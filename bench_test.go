@@ -1,0 +1,529 @@
+// Benchmarks regenerating the reproduction's experiment suite (DESIGN.md
+// section 5): one benchmark per experiment E1–E14 plus micro-benchmarks of
+// the hot paths (samplers, operators, estimation, ingestion). Run with
+//
+//	go test -bench=. -benchmem
+package craqr_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/estimate"
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/inference"
+	"repro/internal/intensity"
+	"repro/internal/mdpp"
+	"repro/internal/planner"
+	"repro/internal/pmat"
+	"repro/internal/query"
+	"repro/internal/sensors"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// benchBatch builds a homogeneous batch of roughly n tuples on a 4×4 region.
+func benchBatch(n int, seed int64) stream.Batch {
+	region := geom.NewRect(0, 0, 4, 4)
+	w := geom.Window{T0: 0, T1: 1, Rect: region}
+	rng := stats.NewRNG(seed)
+	b := stream.Batch{Attr: "temp", Window: w, Tuples: make([]stream.Tuple, n)}
+	for i := 0; i < n; i++ {
+		b.Tuples[i] = stream.Tuple{
+			ID: uint64(i + 1), Attr: "temp",
+			T: rng.Uniform(0, 1), X: rng.Uniform(0, 4), Y: rng.Uniform(0, 4),
+		}
+	}
+	return b
+}
+
+// --- E1: topology construction -------------------------------------------
+
+func BenchmarkTopologyConstruction(b *testing.B) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 6, 6), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fab, err := topology.New(grid, topology.Config{}, stats.NewRNG(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fab.InsertQuery(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 12}, stream.NewCollector()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fab.InsertQuery(query.Query{Attr: "temp", Region: geom.NewRect(4, 0, 6, 4), Rate: 8}, stream.NewCollector()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fab.InsertQuery(query.Query{Attr: "temp", Region: geom.NewRect(1, 4, 3, 6), Rate: 3}, stream.NewCollector()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: thin --------------------------------------------------------------
+
+func BenchmarkThin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			batch := benchBatch(n, 2)
+			th, err := pmat.NewThin("t", 200, 100, stats.NewRNG(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sink stream.Counter
+			th.AddDownstream(&sink)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := th.Process(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(n))
+		})
+	}
+}
+
+// --- E3/E4: flatten ---------------------------------------------------------
+
+func benchFlatten(b *testing.B, mode pmat.EstimatorMode, n int) {
+	batch := benchBatch(n, 4)
+	hot, err := intensity.NewHotspot(5, 50, 1, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pmat.FlattenConfig{TargetRate: 20, Mode: mode}
+	if mode == pmat.EstimatorKnown {
+		cfg.Known = hot
+	}
+	fl, err := pmat.NewFlatten("f", cfg, stats.NewRNG(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink stream.Counter
+	fl.AddDownstream(&sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fl.Process(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("mle/n=%d", n), func(b *testing.B) { benchFlatten(b, pmat.EstimatorMLE, n) })
+		b.Run(fmt.Sprintf("known/n=%d", n), func(b *testing.B) { benchFlatten(b, pmat.EstimatorKnown, n) })
+		b.Run(fmt.Sprintf("sgd/n=%d", n), func(b *testing.B) { benchFlatten(b, pmat.EstimatorSGD, n) })
+	}
+}
+
+func BenchmarkFlattenViolations(b *testing.B) {
+	// Over-requested flatten: every tuple is a violation; measures the
+	// violation-accounting path (E4).
+	batch := benchBatch(5000, 6)
+	fl, err := pmat.NewFlatten("f", pmat.FlattenConfig{
+		TargetRate: 10 * batch.MeasuredRate(),
+		Mode:       pmat.EstimatorKnown,
+		Known:      intensity.Constant{Rate: batch.MeasuredRate()},
+	}, stats.NewRNG(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink stream.Counter
+	fl.AddDownstream(&sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fl.Process(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: partition/union -----------------------------------------------------
+
+func BenchmarkPartitionUnion(b *testing.B) {
+	for _, k := range []int{2, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			region := geom.NewRect(0, 0, 4, 4)
+			part, err := pmat.NewPartition("p", region)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rects := make([]geom.Rect, k)
+			wStep := 4.0 / float64(k)
+			for i := 0; i < k; i++ {
+				rects[i] = geom.NewRect(float64(i)*wStep, 0, float64(i+1)*wStep, 4)
+			}
+			uni, err := pmat.NewUnion("u", rects...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				port, err := part.AddBranch(fmt.Sprintf("b%d", i), rects[i])
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := uni.Input(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				port.AddDownstream(in)
+			}
+			var sink stream.Counter
+			uni.AddDownstream(&sink)
+			batch := benchBatch(5000, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Vary the window per iteration so union slices are distinct.
+				batch.Window.T0 = float64(i)
+				batch.Window.T1 = float64(i + 1)
+				if err := part.Process(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: budget tuning closed loop -------------------------------------------
+
+func BenchmarkBudgetTuning(b *testing.B) {
+	fields := map[string]sensors.Field{"c": sensors.ConstantField{Name: "c", V: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := server.New(server.Config{
+			Region:    geom.NewRect(0, 0, 8, 8),
+			GridCells: 16,
+			Epoch:     1,
+			Budget:    budget.Config{Initial: 10, Delta: 5, Min: 2, Max: 200, ViolationThreshold: 10},
+			Fleet: sensors.FleetConfig{
+				N:        200,
+				Response: sensors.ResponseModel{BaseProb: 0.6, MaxProb: 0.95, IncentiveScale: 1},
+			},
+			Seed: int64(i),
+		}, fields)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Submit(query.Query{Attr: "c", Region: geom.NewRect(0, 0, 8, 8), Rate: 3}); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: shared vs naive -------------------------------------------------------
+
+func benchFabricator(b *testing.B, shared bool, k int) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 6, 6), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fabs []*topology.Fabricator
+	mk := func(seed int64) *topology.Fabricator {
+		f, err := topology.New(grid, topology.Config{}, stats.NewRNG(seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	if shared {
+		fabs = []*topology.Fabricator{mk(1)}
+	}
+	for i := 0; i < k; i++ {
+		q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 40 / float64(i+1)}
+		if shared {
+			if _, err := fabs[0].InsertQuery(q, stream.NewCollector()); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			f := mk(int64(i + 1))
+			if _, err := f.InsertQuery(q, stream.NewCollector()); err != nil {
+				b.Fatal(err)
+			}
+			fabs = append(fabs, f)
+		}
+	}
+	batch := benchBatch(3000, 9)
+	batch.Attr = "rain"
+	batch.Window.Rect = grid.Region()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Window.T0 = float64(i)
+		batch.Window.T1 = float64(i + 1)
+		for _, f := range fabs {
+			if err := f.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSharedVsNaive(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("shared/k=%d", k), func(b *testing.B) { benchFabricator(b, true, k) })
+		b.Run(fmt.Sprintf("naive/k=%d", k), func(b *testing.B) { benchFabricator(b, false, k) })
+	}
+}
+
+// --- E8: end-to-end throughput ----------------------------------------------
+
+func BenchmarkEndToEnd(b *testing.B) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 12, 12), 36)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab, err := topology.New(grid, topology.Config{}, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	for i := 0; i < 16; i++ {
+		q0 := rng.Intn(5)
+		r0 := rng.Intn(6)
+		region := geom.NewRect(float64(q0)*2, float64(r0)*2, float64(q0+2)*2, float64(r0+1)*2)
+		if _, err := fab.InsertQuery(query.Query{Attr: "rain", Region: region, Rate: 1 + rng.Float64()*20}, stream.NewCollector()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batch := benchBatch(10000, 3)
+	batch.Attr = "rain"
+	batch.Window.Rect = grid.Region()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Window.T0 = float64(i)
+		batch.Window.T1 = float64(i + 1)
+		if err := fab.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(batch.Len()))
+}
+
+// --- E9: estimation ------------------------------------------------------------
+
+func benchEvents(b *testing.B, n int) ([]mdpp.Event, geom.Window) {
+	region := geom.NewRect(0, 0, 8, 8)
+	w := geom.Window{T0: 0, T1: float64(n) / (64 * 10), Rect: region}
+	proc, err := mdpp.NewInhomogeneous(intensity.NewLinear(intensity.Theta{10, 0.2, -0.1, 0.3}), region)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := proc.Sample(w, stats.NewRNG(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev, w
+}
+
+func BenchmarkMLE(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ev, w := benchEvents(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := estimate.FitMLE(ev, w, estimate.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSGD(b *testing.B) {
+	ev, w := benchEvents(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.FitSGD(ev, w, 16, 3, estimate.SGDConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: query churn -----------------------------------------------------------
+
+func BenchmarkQueryChurn(b *testing.B) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 8, 8), 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab, err := topology.New(grid, topology.Config{}, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x0 := float64(rng.Intn(3) * 2)
+		y0 := float64(rng.Intn(3) * 2)
+		region := geom.NewRect(x0, y0, x0+2+float64(rng.Intn(2)*2), y0+2)
+		stored, err := fab.InsertQuery(query.Query{Attr: "rain", Region: region, Rate: 1 + rng.Float64()*50}, stream.NewCollector())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fab.DeleteQuery(stored.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11–E14: extension experiments (run via the harness in Quick mode) -------
+
+func benchExperiment(b *testing.B, run func(experiments.Options) (*experiments.Table, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(experiments.Options{Seed: int64(i + 1), Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncentives(b *testing.B)  { benchExperiment(b, experiments.E11Incentives) }
+func BenchmarkChainVsTree(b *testing.B) { benchExperiment(b, experiments.E12ChainVsTree) }
+func BenchmarkTChainOrder(b *testing.B) { benchExperiment(b, experiments.E13TChainOrder) }
+func BenchmarkGPSError(b *testing.B)    { benchExperiment(b, experiments.E14GPSError) }
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkPoisson(b *testing.B) {
+	for _, mean := range []float64{5, 500} {
+		b.Run(fmt.Sprintf("mean=%g", mean), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = rng.Poisson(mean)
+			}
+		})
+	}
+}
+
+func BenchmarkHomogeneousSampling(b *testing.B) {
+	region := geom.NewRect(0, 0, 4, 4)
+	proc, err := mdpp.NewHomogeneous(100, region)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := geom.Window{T0: 0, T1: 1, Rect: region}
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := proc.Sample(w, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThinningSampler(b *testing.B) {
+	region := geom.NewRect(0, 0, 4, 4)
+	hot, err := intensity.NewHotspot(10, 90, 1, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := mdpp.NewInhomogeneous(hot, region)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := geom.Window{T0: 0, T1: 1, Rect: region}
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := proc.Sample(w, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridOverlap(b *testing.B) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 32, 32), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queryRect := geom.NewRect(3, 3, 21, 17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ovs := grid.Overlapping(queryRect); len(ovs) == 0 {
+			b.Fatal("no overlaps")
+		}
+	}
+}
+
+func BenchmarkInferenceBias(b *testing.B) { benchExperiment(b, experiments.E15InferenceBias) }
+
+func BenchmarkPlannerChooseMergeMode(b *testing.B) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 32, 32), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 16, 8), Rate: 5}
+	w := planner.DefaultWeights()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.ChooseMergeMode(grid, q, 1, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVExport(b *testing.B) {
+	batch := benchBatch(1000, 11)
+	sink, err := export.NewCSVSink(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sink.Process(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(batch.Len()))
+}
+
+func BenchmarkJSONLinesExport(b *testing.B) {
+	batch := benchBatch(1000, 12)
+	sink, err := export.NewJSONLinesSink(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sink.Process(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(batch.Len()))
+}
+
+func BenchmarkCoverageEstimator(b *testing.B) {
+	batch := benchBatch(5000, 13)
+	est, err := inference.NewCoverageEstimator(0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := est.Process(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(batch.Len()))
+}

@@ -1,0 +1,85 @@
+// Command craqrd serves a CrAQR engine over HTTP: clients submit CrAQL
+// queries, the simulated crowdsensing world advances automatically in the
+// background, and fabricated streams are read back as JSON.
+//
+//	craqrd -addr :8080 -interval 200ms
+//
+//	POST /queries        (CrAQL text body)      submit a query
+//	POST /script         (CrAQL script body)    submit several queries atomically
+//	GET  /queries                               list queries
+//	DELETE /queries/{id}                        delete a query
+//	GET  /results/{id}?limit=n                  read a fabricated stream
+//	POST /step?n=k                              advance k epochs manually
+//	GET  /status                                engine status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/sensors"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	interval := flag.Duration("interval", 0, "auto-step interval (0 disables; use POST /step)")
+	nSensors := flag.Int("sensors", 500, "mobile sensors in the fleet")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	region := geom.NewRect(0, 0, 8, 8)
+	rain, err := sensors.NewRainField(region, []sensors.Storm{{X0: 2, Y0: 2, VX: 0.15, VY: 0.05, Radius: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	temp, err := sensors.NewTempField(20, 0.3, -0.2, 4, 24, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := server.Config{
+		Region:    region,
+		GridCells: 16,
+		Epoch:     1,
+		Budget:    budget.Config{Initial: 10, Delta: 4, Min: 2, Max: 300, ViolationThreshold: 10},
+		Fleet: sensors.FleetConfig{
+			N: *nSensors,
+			Hotspots: []mobility.Hotspot{
+				{Center: geom.Point{X: 2, Y: 2}, Sigma: 1, Weight: 2},
+				{Center: geom.Point{X: 6, Y: 5}, Sigma: 1.5, Weight: 1},
+			},
+			UniformFraction: 0.25,
+			Dwell:           3,
+			Response:        sensors.ResponseModel{BaseProb: 0.5, MaxProb: 0.95, IncentiveScale: 1, MeanLatency: 0.05},
+		},
+		Seed: *seed,
+	}
+	engine, err := server.New(cfg, map[string]sensors.Field{"rain": rain, "temp": temp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer, err := server.NewHTTPServer(engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *interval > 0 {
+		go func() {
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := engine.Step(); err != nil {
+					log.Printf("craqrd: step: %v", err)
+				}
+			}
+		}()
+		fmt.Printf("craqrd: auto-stepping every %v\n", *interval)
+	}
+	fmt.Printf("craqrd: listening on %s (try: curl -X POST -d 'ACQUIRE rain FROM RECT(0,0,4,4) RATE 3' localhost%s/queries)\n", *addr, *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpServer))
+}

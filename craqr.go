@@ -1,0 +1,316 @@
+// Package craqr is the public API of the CrAQR reproduction: crowdsensed
+// data acquisition using multi-dimensional point processes (Sathe, Sellis,
+// Aberer; ICDE Workshops 2015).
+//
+// The package re-exports the supported surface of the internal packages so
+// downstream users import a single path:
+//
+//   - geometry and grids (Rect, Window, Grid);
+//   - point processes and intensities (Process, intensity constructors);
+//   - the PMAT operators (Flatten, Thin, Partition, Union);
+//   - acquisitional queries and the CrAQL language;
+//   - the full engine (sensors → handler → fabricator → streams).
+//
+// Quickstart:
+//
+//	engine, _ := craqr.NewEngine(cfg, fields)
+//	q, _ := engine.SubmitCRAQL("ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10")
+//	_ = engine.Run(100)
+//	tuples, _ := engine.Results(q.ID)
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package craqr
+
+import (
+	"io"
+
+	"repro/internal/budget"
+	"repro/internal/craql"
+	"repro/internal/estimate"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/incentive"
+	"repro/internal/inference"
+	"repro/internal/intensity"
+	"repro/internal/mdpp"
+	"repro/internal/mobility"
+	"repro/internal/planner"
+	"repro/internal/pmat"
+	"repro/internal/query"
+	"repro/internal/sensors"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Geometry.
+type (
+	// Point is a planar location.
+	Point = geom.Point
+	// Rect is an axis-aligned half-open rectangle (a region).
+	Rect = geom.Rect
+	// Window is a spatio-temporal box [T0,T1) × Rect.
+	Window = geom.Window
+	// Grid is the logical √h×√h partitioning of the region of interest.
+	Grid = geom.Grid
+	// CellID addresses one grid cell R(q,r).
+	CellID = geom.CellID
+)
+
+// NewRect constructs a rectangle, normalizing coordinate order.
+func NewRect(x0, y0, x1, y1 float64) Rect { return geom.NewRect(x0, y0, x1, y1) }
+
+// NewWindow constructs a spatio-temporal window.
+func NewWindow(t0, t1 float64, r Rect) Window { return geom.NewWindow(t0, t1, r) }
+
+// NewGrid builds a grid over region with h cells (h a perfect square).
+func NewGrid(region Rect, h int) (*Grid, error) { return geom.NewGrid(region, h) }
+
+// Randomness.
+type (
+	// RNG is the seeded random generator used across the library.
+	RNG = stats.RNG
+)
+
+// NewRNG returns a deterministic generator for the seed.
+func NewRNG(seed int64) *RNG { return stats.NewRNG(seed) }
+
+// Point processes and intensities.
+type (
+	// Process is an MDPP descriptor P(λ, R) / P̃(λ̃, R).
+	Process = mdpp.Process
+	// Event is one point of a process.
+	Event = mdpp.Event
+	// IntensityFunc is a conditional rate λ(t, x, y).
+	IntensityFunc = intensity.Func
+	// Theta holds the parameters of the paper's Eq. (1) linear rate.
+	Theta = intensity.Theta
+	// LinearIntensity is the Eq. (1) parametric rate.
+	LinearIntensity = intensity.Linear
+	// HotspotIntensity is a Gaussian spatial bump rate.
+	HotspotIntensity = intensity.Hotspot
+)
+
+// NewHomogeneousProcess builds P(λ, R).
+func NewHomogeneousProcess(rate float64, region Rect) (Process, error) {
+	return mdpp.NewHomogeneous(rate, region)
+}
+
+// NewInhomogeneousProcess builds P̃(λ̃, R).
+func NewInhomogeneousProcess(rate IntensityFunc, region Rect) (Process, error) {
+	return mdpp.NewInhomogeneous(rate, region)
+}
+
+// NewLinearIntensity returns the paper's Eq. (1) rate with parameters θ.
+func NewLinearIntensity(theta Theta) LinearIntensity { return intensity.NewLinear(theta) }
+
+// FitMLE fits Eq. (1) to events observed on a window by maximum likelihood.
+func FitMLE(events []Event, w Window) (Theta, error) {
+	res, err := estimate.FitMLE(events, w, estimate.Options{})
+	if err != nil {
+		return Theta{}, err
+	}
+	return res.Theta, nil
+}
+
+// Streams and operators.
+type (
+	// Tuple is one crowdsensed observation.
+	Tuple = stream.Tuple
+	// Batch groups same-attribute tuples over a window.
+	Batch = stream.Batch
+	// Processor consumes batches.
+	Processor = stream.Processor
+	// Collector accumulates a fabricated stream.
+	Collector = stream.Collector
+	// Flatten is the F PMAT operator.
+	Flatten = pmat.Flatten
+	// FlattenConfig parameterizes Flatten.
+	FlattenConfig = pmat.FlattenConfig
+	// Thin is the T PMAT operator.
+	Thin = pmat.Thin
+	// Partition is the P PMAT operator.
+	Partition = pmat.Partition
+	// Union is the U PMAT operator.
+	Union = pmat.Union
+	// ViolationReport is a Flatten batch's N_v report.
+	ViolationReport = pmat.ViolationReport
+)
+
+// NewCollector returns an empty stream collector.
+func NewCollector() *Collector { return stream.NewCollector() }
+
+// NewFlatten constructs an F-operator.
+func NewFlatten(name string, cfg FlattenConfig, rng *RNG) (*Flatten, error) {
+	return pmat.NewFlatten(name, cfg, rng)
+}
+
+// NewThin constructs a T-operator thinning λ1 down to λ2.
+func NewThin(name string, lambda1, lambda2 float64, rng *RNG) (*Thin, error) {
+	return pmat.NewThin(name, lambda1, lambda2, rng)
+}
+
+// NewPartition constructs a P-operator over region.
+func NewPartition(name string, region Rect) (*Partition, error) {
+	return pmat.NewPartition(name, region)
+}
+
+// NewUnion constructs a U-operator over adjacent regions.
+func NewUnion(name string, regions ...Rect) (*Union, error) {
+	return pmat.NewUnion(name, regions...)
+}
+
+// Queries.
+type (
+	// Query is an acquisitional query: attribute, region, rate.
+	Query = query.Query
+)
+
+// ParseCRAQL parses a CrAQL statement ("ACQUIRE rain FROM RECT(…) RATE 10").
+func ParseCRAQL(src string) (Query, error) { return craql.Parse(src) }
+
+// ParseCRAQLScript parses a ";"-separated multi-statement CrAQL script with
+// "--" line comments.
+func ParseCRAQLScript(src string) ([]Query, error) { return craql.ParseScript(src) }
+
+// FormatCRAQL renders a query back into CrAQL syntax.
+func FormatCRAQL(q Query) string { return craql.Format(q) }
+
+// Simulation substrate.
+type (
+	// Field is a ground-truth spatio-temporal attribute.
+	Field = sensors.Field
+	// RainField is the moving-storm boolean rain attribute.
+	RainField = sensors.RainField
+	// TempField is the smooth temperature attribute.
+	TempField = sensors.TempField
+	// Storm is one moving rain cell.
+	Storm = sensors.Storm
+	// FleetConfig describes a synthetic mobile-sensor fleet.
+	FleetConfig = sensors.FleetConfig
+	// ResponseModel governs sensor response probability and latency.
+	ResponseModel = sensors.ResponseModel
+	// MobilityHotspot is an attraction point for hotspot walkers.
+	MobilityHotspot = mobility.Hotspot
+)
+
+// NewRainField creates a rain field over region with the given storms.
+func NewRainField(region Rect, storms []Storm) (*RainField, error) {
+	return sensors.NewRainField(region, storms)
+}
+
+// NewTempField creates a temperature field. rng may be nil when noiseStd
+// is zero.
+func NewTempField(base, gradX, gradY, diurnal, period, noiseStd float64, rng *RNG) (*TempField, error) {
+	return sensors.NewTempField(base, gradX, gradY, diurnal, period, noiseStd, rng)
+}
+
+// Engine.
+type (
+	// Engine is a running CrAQR instance (Fig. 1).
+	Engine = server.Engine
+	// EngineConfig assembles an engine.
+	EngineConfig = server.Config
+	// HTTPServer exposes an engine over JSON/HTTP.
+	HTTPServer = server.HTTPServer
+	// BudgetConfig parameterizes budget tuning.
+	BudgetConfig = budget.Config
+	// FabricatorConfig parameterizes the stream fabricator.
+	FabricatorConfig = topology.Config
+	// MergeMode selects the merge-phase topology.
+	MergeMode = topology.MergeMode
+	// IncentiveAllocator distributes incentive budget (Section VI).
+	IncentiveAllocator = incentive.Allocator
+)
+
+// Merge-phase topologies.
+const (
+	// MergeFlat uses one n-ary U-operator.
+	MergeFlat = topology.MergeFlat
+	// MergeChain cascades binary U-operators (Fig. 2(c) style).
+	MergeChain = topology.MergeChain
+	// MergeTree builds balanced binary U-operator trees (Section VI).
+	MergeTree = topology.MergeTree
+)
+
+// NewEngine assembles a CrAQR engine from the config and ground-truth
+// fields.
+func NewEngine(cfg EngineConfig, fields map[string]Field) (*Engine, error) {
+	return server.New(cfg, fields)
+}
+
+// NewHTTPServer wraps an engine in the JSON/HTTP façade.
+func NewHTTPServer(e *Engine) (*HTTPServer, error) { return server.NewHTTPServer(e) }
+
+// NewIncentiveAllocator creates a Section VI incentive allocator with the
+// given per-epoch incentive budget and greedy step.
+func NewIncentiveAllocator(model ResponseModel, total, step float64) (*IncentiveAllocator, error) {
+	return incentive.NewAllocator(model, total, step)
+}
+
+// Stream plumbing, export and inference.
+type (
+	// Tee fans a stream out to several processors.
+	Tee = stream.Tee
+	// CSVSink persists a fabricated stream as CSV.
+	CSVSink = export.CSVSink
+	// JSONLinesSink persists a fabricated stream as ndjson.
+	JSONLinesSink = export.JSONLinesSink
+	// CoverageEstimator infers areal coverage of a boolean attribute.
+	CoverageEstimator = inference.CoverageEstimator
+	// CoverageEstimate is one window's coverage with a Wilson interval.
+	CoverageEstimate = inference.CoverageEstimate
+	// FieldReconstructor grids a real-valued attribute by IDW.
+	FieldReconstructor = inference.FieldReconstructor
+	// EventDetector extracts threshold-crossing episodes with hysteresis.
+	EventDetector = inference.EventDetector
+	// DetectedEvent is one episode found by an EventDetector.
+	DetectedEvent = inference.Event
+)
+
+// NewCSVSink writes tuples to w as CSV rows.
+func NewCSVSink(w io.Writer) (*CSVSink, error) { return export.NewCSVSink(w) }
+
+// NewJSONLinesSink writes tuples to w as one JSON object per line.
+func NewJSONLinesSink(w io.Writer) (*JSONLinesSink, error) { return export.NewJSONLinesSink(w) }
+
+// ReadJSONLines parses tuples back from ndjson produced by a JSONLinesSink.
+func ReadJSONLines(r io.Reader) ([]Tuple, error) { return export.ReadJSONLines(r) }
+
+// NewCoverageEstimator buckets boolean samples into windows of windowLen.
+func NewCoverageEstimator(windowLen float64) (*CoverageEstimator, error) {
+	return inference.NewCoverageEstimator(windowLen)
+}
+
+// NewFieldReconstructor builds an IDW reconstructor over region with an
+// nx×ny output grid.
+func NewFieldReconstructor(region Rect, nx, ny int, power, maxAge float64) (*FieldReconstructor, error) {
+	return inference.NewFieldReconstructor(region, nx, ny, power, maxAge)
+}
+
+// NewEventDetector creates a hysteresis detector with thresholds off < on.
+func NewEventDetector(on, off float64) (*EventDetector, error) {
+	return inference.NewEventDetector(on, off)
+}
+
+// Query-cost planning (the Section VI query-optimization extension).
+type (
+	// PlannerWeights prices tuples, operators and merge depth.
+	PlannerWeights = planner.Weights
+	// CostEstimate prices one candidate query plan.
+	CostEstimate = planner.CostEstimate
+)
+
+// DefaultPlannerWeights balances work, state and response time.
+func DefaultPlannerWeights() PlannerWeights { return planner.DefaultWeights() }
+
+// EstimateQueryCost prices a query on the grid under a merge mode.
+func EstimateQueryCost(grid *Grid, q Query, mode MergeMode, epochLength float64, w PlannerWeights) (CostEstimate, error) {
+	return planner.EstimateQueryCost(grid, q, mode, epochLength, w)
+}
+
+// ChooseMergeMode returns the cheapest merge-mode plan for the query.
+func ChooseMergeMode(grid *Grid, q Query, epochLength float64, w PlannerWeights) (CostEstimate, error) {
+	return planner.ChooseMergeMode(grid, q, epochLength, w)
+}

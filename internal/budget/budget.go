@@ -1,0 +1,204 @@
+// Package budget implements the paper's budget-tuning feedback loop. The
+// budget β⟨j⟩(q,r) is the number of acquisition requests per attribute and
+// per grid cell that the request/response handler may send in a given
+// duration. After every batch, the F-operators report the percent rate
+// violation N_v; when N_v exceeds a user-defined threshold the budget is
+// increased by Δβ, otherwise decreased by Δβ, and when the budget saturates
+// at its limit the query is flagged infeasible ("the user is requested to
+// either accept the feasible rate or pay more").
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Key identifies a budget slot: attribute × grid cell.
+type Key struct {
+	Attr string
+	Cell geom.CellID
+}
+
+// String renders the key.
+func (k Key) String() string { return fmt.Sprintf("%s@%v", k.Attr, k.Cell) }
+
+// Config parameterizes the controller.
+type Config struct {
+	// Initial is the starting budget for newly registered slots.
+	Initial float64
+	// Delta is Δβ, the additive adjustment per observation.
+	Delta float64
+	// Min is the smallest allowed budget (requests per epoch).
+	Min float64
+	// Max is the budget cap; saturating at Max with violations still above
+	// threshold marks the slot infeasible.
+	Max float64
+	// ViolationThreshold is the N_v percentage above which the budget is
+	// raised (e.g. 5 means 5%).
+	ViolationThreshold float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Initial <= 0 {
+		return errors.New("budget: Initial must be positive")
+	}
+	if c.Delta <= 0 {
+		return errors.New("budget: Delta must be positive")
+	}
+	if c.Min <= 0 || c.Min > c.Initial {
+		return errors.New("budget: need 0 < Min <= Initial")
+	}
+	if c.Max < c.Initial {
+		return errors.New("budget: need Max >= Initial")
+	}
+	if c.ViolationThreshold < 0 || c.ViolationThreshold > 100 {
+		return errors.New("budget: ViolationThreshold must be a percentage in [0,100]")
+	}
+	return nil
+}
+
+// slot is the per-key controller state.
+type slot struct {
+	beta        float64
+	infeasible  bool
+	adjustments int
+	lastNv      float64
+}
+
+// Controller maintains budgets for every registered (attribute, cell) slot
+// and adjusts them from violation feedback. It is safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu    sync.Mutex
+	slots map[Key]*slot
+}
+
+// NewController creates a controller with the given configuration.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, slots: make(map[Key]*slot)}, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Register creates a slot at the initial budget; registering an existing
+// slot is a no-op.
+func (c *Controller) Register(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.slots[k]; !ok {
+		c.slots[k] = &slot{beta: c.cfg.Initial}
+	}
+}
+
+// Unregister removes a slot (query deletion emptied the cell).
+func (c *Controller) Unregister(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.slots, k)
+}
+
+// Budget returns the current budget for the slot; the boolean is false for
+// unregistered slots.
+func (c *Controller) Budget(k Key) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.slots[k]
+	if !ok {
+		return 0, false
+	}
+	return s.beta, true
+}
+
+// Observe feeds one percent-rate-violation measurement N_v for the slot and
+// applies the paper's rule: raise β by Δβ when N_v exceeds the threshold,
+// lower it otherwise; clamp to [Min, Max] and flag infeasibility at the cap.
+// It returns the updated budget. Observing an unregistered slot registers it
+// first.
+func (c *Controller) Observe(k Key, nvPercent float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.slots[k]
+	if !ok {
+		s = &slot{beta: c.cfg.Initial}
+		c.slots[k] = s
+	}
+	s.lastNv = nvPercent
+	s.adjustments++
+	if nvPercent > c.cfg.ViolationThreshold {
+		s.beta += c.cfg.Delta
+		if s.beta >= c.cfg.Max {
+			s.beta = c.cfg.Max
+			// Cannot increase further while violations persist: the user
+			// must accept the feasible rate or pay more.
+			s.infeasible = true
+		}
+	} else {
+		s.beta -= c.cfg.Delta
+		if s.beta < c.cfg.Min {
+			s.beta = c.cfg.Min
+		}
+		s.infeasible = false
+	}
+	return s.beta
+}
+
+// Infeasible reports whether the slot has saturated its budget while still
+// violating the threshold.
+func (c *Controller) Infeasible(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.slots[k]
+	return ok && s.infeasible
+}
+
+// Snapshot is a point-in-time view of one slot.
+type Snapshot struct {
+	Key         Key
+	Budget      float64
+	LastNv      float64
+	Adjustments int
+	Infeasible  bool
+}
+
+// Snapshots returns all slots sorted by key for stable reporting.
+func (c *Controller) Snapshots() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Snapshot, 0, len(c.slots))
+	for k, s := range c.slots {
+		out = append(out, Snapshot{Key: k, Budget: s.beta, LastNv: s.lastNv, Adjustments: s.adjustments, Infeasible: s.infeasible})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.Cell.Q != b.Cell.Q {
+			return a.Cell.Q < b.Cell.Q
+		}
+		return a.Cell.R < b.Cell.R
+	})
+	return out
+}
+
+// TotalBudget returns the sum of budgets across slots — the total request
+// spend per epoch, the cost metric of experiments E6 and E11.
+func (c *Controller) TotalBudget() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, s := range c.slots {
+		total += s.beta
+	}
+	return total
+}

@@ -1,0 +1,197 @@
+package budget
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func validCfg() Config {
+	return Config{Initial: 50, Delta: 10, Min: 10, Max: 200, ViolationThreshold: 5}
+}
+
+func key(attr string, q, r int) Key {
+	return Key{Attr: attr, Cell: geom.CellID{Q: q, R: r}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Initial: 10, Delta: 0, Min: 1, Max: 20},
+		{Initial: 10, Delta: 1, Min: 0, Max: 20},
+		{Initial: 10, Delta: 1, Min: 11, Max: 20},
+		{Initial: 10, Delta: 1, Min: 1, Max: 5},
+		{Initial: 10, Delta: 1, Min: 1, Max: 20, ViolationThreshold: 101},
+		{Initial: 10, Delta: 1, Min: 1, Max: 20, ViolationThreshold: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if validCfg().Validate() != nil {
+		t.Error("valid config rejected")
+	}
+	if _, err := NewController(Config{}); err == nil {
+		t.Error("NewController must validate")
+	}
+}
+
+func TestRegisterAndBudget(t *testing.T) {
+	c, err := NewController(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("rain", 1, 2)
+	if _, ok := c.Budget(k); ok {
+		t.Fatal("unregistered slot has a budget")
+	}
+	c.Register(k)
+	b, ok := c.Budget(k)
+	if !ok || b != 50 {
+		t.Fatalf("budget = %g, ok=%v", b, ok)
+	}
+	// Re-register is a no-op (state preserved).
+	c.Observe(k, 50)
+	c.Register(k)
+	if b, _ := c.Budget(k); b != 60 {
+		t.Fatalf("re-register reset the budget to %g", b)
+	}
+}
+
+func TestObserveRaisesOnViolation(t *testing.T) {
+	c, _ := NewController(validCfg())
+	k := key("rain", 0, 0)
+	c.Register(k)
+	got := c.Observe(k, 20) // above threshold 5 → +Δ
+	if got != 60 {
+		t.Fatalf("budget = %g, want 60", got)
+	}
+	got = c.Observe(k, 0) // below threshold → -Δ
+	if got != 50 {
+		t.Fatalf("budget = %g, want 50", got)
+	}
+}
+
+func TestObserveAutoRegisters(t *testing.T) {
+	c, _ := NewController(validCfg())
+	k := key("temp", 3, 3)
+	got := c.Observe(k, 50)
+	if got != 60 {
+		t.Fatalf("auto-registered budget = %g", got)
+	}
+}
+
+func TestBudgetClampsAtMin(t *testing.T) {
+	c, _ := NewController(validCfg())
+	k := key("rain", 0, 0)
+	c.Register(k)
+	for i := 0; i < 20; i++ {
+		c.Observe(k, 0)
+	}
+	b, _ := c.Budget(k)
+	if b != 10 {
+		t.Fatalf("budget = %g, want clamped at Min=10", b)
+	}
+	if c.Infeasible(k) {
+		t.Fatal("satisfied slot flagged infeasible")
+	}
+}
+
+func TestInfeasibilityAtCap(t *testing.T) {
+	c, _ := NewController(validCfg())
+	k := key("rain", 0, 0)
+	c.Register(k)
+	for i := 0; i < 30; i++ {
+		c.Observe(k, 80)
+	}
+	b, _ := c.Budget(k)
+	if b != 200 {
+		t.Fatalf("budget = %g, want capped at 200", b)
+	}
+	if !c.Infeasible(k) {
+		t.Fatal("saturated violating slot must be infeasible")
+	}
+	// Recovery: once violations stop, the flag clears.
+	c.Observe(k, 0)
+	if c.Infeasible(k) {
+		t.Fatal("infeasible flag did not clear")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	c, _ := NewController(validCfg())
+	k := key("rain", 0, 0)
+	c.Register(k)
+	c.Unregister(k)
+	if _, ok := c.Budget(k); ok {
+		t.Fatal("unregistered slot still present")
+	}
+	if c.Infeasible(k) {
+		t.Fatal("unregistered slot infeasible")
+	}
+}
+
+func TestSnapshotsSortedAndComplete(t *testing.T) {
+	c, _ := NewController(validCfg())
+	keys := []Key{key("temp", 1, 0), key("rain", 0, 1), key("rain", 0, 0), key("temp", 0, 0)}
+	for _, k := range keys {
+		c.Register(k)
+	}
+	snaps := c.Snapshots()
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		a, b := snaps[i-1].Key, snaps[i].Key
+		if a.Attr > b.Attr || (a.Attr == b.Attr && a.Cell.Q > b.Cell.Q) {
+			t.Fatal("snapshots not sorted")
+		}
+	}
+}
+
+func TestTotalBudget(t *testing.T) {
+	c, _ := NewController(validCfg())
+	c.Register(key("a", 0, 0))
+	c.Register(key("a", 1, 0))
+	if got := c.TotalBudget(); got != 100 {
+		t.Fatalf("total = %g", got)
+	}
+}
+
+func TestBudgetConvergesUnderAlternatingPressure(t *testing.T) {
+	// A slot that violates exactly when budget < 100 settles into a narrow
+	// band around 100 — the closed-loop behaviour E6 measures end to end.
+	c, _ := NewController(Config{Initial: 20, Delta: 5, Min: 5, Max: 500, ViolationThreshold: 5})
+	k := key("rain", 0, 0)
+	c.Register(k)
+	for i := 0; i < 200; i++ {
+		b, _ := c.Budget(k)
+		nv := 0.0
+		if b < 100 {
+			nv = 50
+		}
+		c.Observe(k, nv)
+	}
+	b, _ := c.Budget(k)
+	if b < 90 || b > 115 {
+		t.Fatalf("budget %g did not settle near 100", b)
+	}
+	snap := c.Snapshots()[0]
+	if snap.Adjustments != 200 {
+		t.Fatalf("adjustments = %d", snap.Adjustments)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if key("rain", 1, 2).String() != "rain@(1,2)" {
+		t.Fatalf("key string = %s", key("rain", 1, 2))
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	c, _ := NewController(validCfg())
+	if c.Config() != validCfg() {
+		t.Fatal("Config accessor wrong")
+	}
+}

@@ -1,0 +1,332 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/intensity"
+	"repro/internal/mdpp"
+	"repro/internal/stats"
+)
+
+func bigWindow() geom.Window {
+	return geom.Window{T0: 0, T1: 4, Rect: geom.NewRect(0, 0, 8, 8)}
+}
+
+// sampleLinear draws one realization of the linear-intensity process.
+func sampleLinear(t *testing.T, theta intensity.Theta, w geom.Window, seed int64) []mdpp.Event {
+	t.Helper()
+	p, err := mdpp.NewInhomogeneous(intensity.NewLinear(theta), w.Rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Sample(w, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestSolve4(t *testing.T) {
+	a := [4][4]float64{
+		{4, 1, 0, 0},
+		{1, 3, 1, 0},
+		{0, 1, 2, 1},
+		{0, 0, 1, 5},
+	}
+	x := [4]float64{1, -2, 3, 0.5}
+	var b [4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			b[i] += a[i][j] * x[j]
+		}
+	}
+	got, err := solve4(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+}
+
+func TestSolve4Singular(t *testing.T) {
+	var a [4][4]float64 // all zeros
+	if _, err := solve4(a, [4]float64{1, 0, 0, 0}); err == nil {
+		t.Fatal("singular system should error")
+	}
+}
+
+func TestSolve4NeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [4][4]float64{
+		{0, 1, 0, 0},
+		{1, 0, 0, 0},
+		{0, 0, 2, 0},
+		{0, 0, 0, 3},
+	}
+	got, err := solve4(a, [4]float64{2, 1, 4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [4]float64{1, 2, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFitMLERecoversHomogeneous(t *testing.T) {
+	truth := intensity.Theta{8, 0, 0, 0}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 10)
+	res, err := FitMLE(ev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("MLE did not converge")
+	}
+	if RelativeError(res.Theta, truth) > 0.1 {
+		t.Fatalf("theta = %v, truth %v", res.Theta, truth)
+	}
+}
+
+func TestFitMLERecoversSlopes(t *testing.T) {
+	truth := intensity.Theta{10, 0.8, -0.5, 0.6}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 11)
+	if len(ev) < 500 {
+		t.Fatalf("sample too small (%d) for a meaningful fit", len(ev))
+	}
+	res, err := FitMLE(ev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelativeError(res.Theta, truth) > 0.15 {
+		t.Fatalf("theta = %v, truth %v (relerr %g)", res.Theta, truth, RelativeError(res.Theta, truth))
+	}
+}
+
+func TestFitMLEImprovesLikelihoodOverInit(t *testing.T) {
+	truth := intensity.Theta{6, 0.5, 0.7, -0.3}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 12)
+	res, err := FitMLE(ev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := intensity.Theta{float64(len(ev)) / w.Volume(), 0, 0, 0}
+	if res.LogLik < LogLikelihood(init, ev, w) {
+		t.Fatal("MLE worse than homogeneous initialization")
+	}
+	// And at least as good as the truth evaluated on this sample (MLE is the
+	// in-sample maximizer).
+	if res.LogLik+1e-6 < LogLikelihood(truth, ev, w) {
+		t.Fatalf("MLE loglik %g below truth loglik %g", res.LogLik, LogLikelihood(truth, ev, w))
+	}
+}
+
+func TestFitMLEErrors(t *testing.T) {
+	w := bigWindow()
+	if _, err := FitMLE(nil, w, Options{}); err == nil {
+		t.Error("too few events should error")
+	}
+	if _, err := FitMLE(make([]mdpp.Event, 10), geom.Window{}, Options{}); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestFitMLEConsistency(t *testing.T) {
+	// Error should shrink with more data (larger window ⇒ more events).
+	truth := intensity.Theta{12, 0.4, -0.3, 0.2}
+	small := geom.Window{T0: 0, T1: 1, Rect: geom.NewRect(0, 0, 3, 3)}
+	large := geom.Window{T0: 0, T1: 6, Rect: geom.NewRect(0, 0, 10, 10)}
+	var errSmall, errLarge float64
+	trials := 5
+	for i := 0; i < trials; i++ {
+		evS := sampleLinear(t, truth, small, int64(100+i))
+		evL := sampleLinear(t, truth, large, int64(200+i))
+		rs, err := FitMLE(evS, small, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := FitMLE(evL, large, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSmall += RelativeError(rs.Theta, truth)
+		errLarge += RelativeError(rl.Theta, truth)
+	}
+	if errLarge >= errSmall {
+		t.Fatalf("no consistency: small-sample err %g <= large-sample err %g", errSmall, errLarge)
+	}
+}
+
+func TestLogLikelihoodFiniteOnFloor(t *testing.T) {
+	// A theta that is negative somewhere must still give a finite value
+	// thanks to the positivity floor.
+	w := bigWindow()
+	ev := []mdpp.Event{{T: 0, X: 0, Y: 0}, {T: 1, X: 1, Y: 1}, {T: 2, X: 3, Y: 3}, {T: 3, X: 7, Y: 7}}
+	ll := LogLikelihood(intensity.Theta{-5, 0, 0, 0}, ev, w)
+	if math.IsInf(ll, 0) || math.IsNaN(ll) {
+		t.Fatalf("loglik = %g", ll)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	a := intensity.Theta{10, 1, 2, 3}
+	if RelativeError(a, a) != 0 {
+		t.Fatal("identical thetas must have zero error")
+	}
+	b := intensity.Theta{11, 1, 2, 3}
+	if got := RelativeError(b, a); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("relerr = %g", got)
+	}
+	zero := intensity.Theta{}
+	if got := RelativeError(intensity.Theta{1, 0, 0, 0}, zero); got != 1 {
+		t.Fatalf("zero-scale relerr = %g", got)
+	}
+}
+
+func TestSGDConvergesToNeighborhood(t *testing.T) {
+	truth := intensity.Theta{10, 0, 0.5, -0.4}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 13)
+	theta, err := FitSGD(ev, w, 16, 30, SGDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelativeError(theta, truth) > 0.35 {
+		t.Fatalf("SGD theta = %v, truth %v (relerr %g)", theta, truth, RelativeError(theta, truth))
+	}
+}
+
+func TestSGDObserveBatchSeedsFirst(t *testing.T) {
+	s := NewSGD(SGDConfig{})
+	if s.Ready() {
+		t.Fatal("fresh SGD reported ready")
+	}
+	w := geom.Window{T0: 0, T1: 1, Rect: geom.NewRect(0, 0, 2, 2)}
+	ev := []mdpp.Event{{T: 0.5, X: 1, Y: 1}, {T: 0.2, X: 0.5, Y: 0.5}}
+	if err := s.ObserveBatch(ev, w); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ready() {
+		t.Fatal("SGD not ready after first batch")
+	}
+	// Seeded θ0 is the homogeneous rate 2 tuples / 4 volume = 0.5.
+	if math.Abs(s.Theta()[0]-0.5) > 1e-12 {
+		t.Fatalf("seed theta0 = %g", s.Theta()[0])
+	}
+	if s.Steps() != 0 {
+		t.Fatal("seeding must not count as a gradient step")
+	}
+	if err := s.ObserveBatch(ev, w); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps() != 1 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestSGDEmptyWindowErrors(t *testing.T) {
+	s := NewSGD(SGDConfig{})
+	if err := s.ObserveBatch(nil, geom.Window{}); err == nil {
+		t.Fatal("empty window should error")
+	}
+}
+
+func TestSGDWarmstart(t *testing.T) {
+	s := NewSGD(SGDConfig{})
+	th := intensity.Theta{3, 1, 0, 0}
+	s.Warmstart(th)
+	if !s.Ready() || s.Theta() != th {
+		t.Fatal("warmstart ignored")
+	}
+}
+
+func TestSGDKeepsFeasible(t *testing.T) {
+	// Feed empty batches: the rate is pulled down but must stay positive on
+	// the window (projection).
+	s := NewSGD(SGDConfig{Eta0: 2})
+	w := geom.Window{T0: 0, T1: 1, Rect: geom.NewRect(0, 0, 2, 2)}
+	s.Warmstart(intensity.Theta{0.5, 0, 0, 0})
+	for i := 0; i < 50; i++ {
+		if err := s.ObserveBatch(nil, w); err != nil {
+			t.Fatal(err)
+		}
+		lin := s.Intensity()
+		for _, corner := range [][2]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}} {
+			if lin.Eval(0.5, corner[0], corner[1]) <= 0 {
+				t.Fatal("SGD left the feasible region")
+			}
+		}
+	}
+}
+
+func TestFitSGDValidation(t *testing.T) {
+	w := bigWindow()
+	if _, err := FitSGD(nil, w, 0, 1, SGDConfig{}); err == nil {
+		t.Error("zero slices should error")
+	}
+	if _, err := FitSGD(nil, w, 4, 0, SGDConfig{}); err == nil {
+		t.Error("zero passes should error")
+	}
+	if _, err := FitSGD(nil, geom.Window{}, 4, 1, SGDConfig{}); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestMLEInvariantToEventOrder(t *testing.T) {
+	truth := intensity.Theta{9, 0.3, 0.2, -0.1}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 14)
+	res1, err := FitMLE(ev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]mdpp.Event, len(ev))
+	for i, e := range ev {
+		rev[len(ev)-1-i] = e
+	}
+	res2, err := FitMLE(rev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if math.Abs(res1.Theta[k]-res2.Theta[k]) > 1e-6 {
+			t.Fatalf("order-dependent fit: %v vs %v", res1.Theta, res2.Theta)
+		}
+	}
+}
+
+func TestGradHessSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		w := geom.Window{T0: 0, T1: 2, Rect: geom.NewRect(0, 0, 4, 4)}
+		ev := sampleLinear(t, intensity.Theta{5, 0.1, 0.1, 0.1}, w, seed%1000)
+		if len(ev) == 0 {
+			return true
+		}
+		_, h := gradHess(intensity.Theta{5, 0.1, 0.1, 0.1}, ev, intensity.FeatureIntegrals(w), 1e-9)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if math.Abs(h[i][j]-h[j][i]) > 1e-9 {
+					return false
+				}
+				if i == j && h[i][j] > 0 {
+					return false // diagonal must be ≤ 0 (concave)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package estimate
+
+import "errors"
+
+// solve4 solves the 4×4 linear system A·x = b using Gaussian elimination
+// with partial pivoting. It is the only linear algebra the Newton MLE needs,
+// so a dedicated routine keeps the package dependency-free.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, error) {
+	const n = 4
+	// Augmented matrix.
+	var m [n][n + 1]float64
+	for i := 0; i < n; i++ {
+		copy(m[i][:n], a[i][:])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if abs(m[row][col]) > abs(m[pivot][col]) {
+				pivot = row
+			}
+		}
+		if abs(m[pivot][col]) < 1e-14 {
+			return [4]float64{}, errors.New("estimate: singular system")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for row := col + 1; row < n; row++ {
+			factor := m[row][col] / m[col][col]
+			for k := col; k <= n; k++ {
+				m[row][k] -= factor * m[col][k]
+			}
+		}
+	}
+	// Back substitution.
+	var x [4]float64
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for k := i + 1; k < n; k++ {
+			sum -= m[i][k] * x[k]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/inference"
+	"repro/internal/intensity"
+	"repro/internal/mdpp"
+	"repro/internal/pmat"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// E15InferenceBias demonstrates the paper's core motivation quantitatively:
+// high-level inference over the *raw* skewed crowdsensed stream is biased
+// toward where the sensors are, while the same estimator over the
+// *fabricated* (flattened, fixed-rate) stream is unbiased.
+//
+// Setup: it rains on exactly 25% of the region (the south-west quadrant);
+// mobile sensors cluster at a hotspot in the dry north-east. A coverage
+// estimator (sample mean of the boolean attribute) is run over the raw
+// arrivals and over the Flatten operator's output, sweeping the skew
+// strength.
+func E15InferenceBias(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		ID:     "E15",
+		Title:  "Inference bias: rain coverage (truth 0.25) from raw vs fabricated streams",
+		Header: []string{"skew(amp/base)", "n_raw", "raw_est", "flat_est", "raw_bias", "flat_bias"},
+	}
+	region := geom.NewRect(0, 0, 8, 8)
+	rainArea := geom.NewRect(0, 0, 4, 4) // exactly 25% of the region
+	trials := o.trials(20, 5)
+	skews := []float64{0, 2, 5, 10, 20}
+	if o.Quick {
+		skews = []float64{0, 10}
+	}
+	for _, skew := range skews {
+		base := 20.0
+		hot, err := intensity.NewHotspot(base, skew*base, 6, 6, 1.2) // dry-corner hotspot
+		if err != nil {
+			return nil, err
+		}
+		proc, err := mdpp.NewInhomogeneous(hot, region)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRNG(o.Seed)
+		var rawSum, flatSum stats.Summary
+		nRaw := 0
+		for trial := 0; trial < trials; trial++ {
+			w := geom.Window{T0: float64(trial), T1: float64(trial + 1), Rect: region}
+			ev, err := proc.Sample(w, rng)
+			if err != nil {
+				return nil, err
+			}
+			b := stream.Batch{Attr: "rain", Window: w}
+			for i, e := range ev {
+				v := 0.0
+				if rainArea.Contains(geom.Point{X: e.X, Y: e.Y}) {
+					v = 1
+				}
+				b.Tuples = append(b.Tuples, stream.Tuple{ID: uint64(i + 1), Attr: "rain", T: e.T, X: e.X, Y: e.Y, Value: v})
+			}
+			nRaw += b.Len()
+			// Raw-stream estimator.
+			rawEst, err := inference.NewCoverageEstimator(1)
+			if err != nil {
+				return nil, err
+			}
+			if err := rawEst.Process(b); err != nil {
+				return nil, err
+			}
+			for _, e := range rawEst.Estimates() {
+				rawSum.Add(e.Coverage)
+			}
+			// Fabricated-stream estimator: flatten first.
+			fl, err := pmat.NewFlatten("f", pmat.FlattenConfig{TargetRate: 0.25 * b.MeasuredRate(), Mode: pmat.EstimatorKnown, Known: hot}, rng.Fork())
+			if err != nil {
+				return nil, err
+			}
+			flatEst, err := inference.NewCoverageEstimator(1)
+			if err != nil {
+				return nil, err
+			}
+			fl.AddDownstream(flatEst)
+			if err := fl.Process(b); err != nil {
+				return nil, err
+			}
+			for _, e := range flatEst.Estimates() {
+				flatSum.Add(e.Coverage)
+			}
+		}
+		tab.AddRow(
+			fmt.Sprintf("%.0f", skew),
+			fmt.Sprintf("%d", nRaw),
+			fmt.Sprintf("%.3f", rawSum.Mean()),
+			fmt.Sprintf("%.3f", flatSum.Mean()),
+			fmt.Sprintf("%+.3f", rawSum.Mean()-0.25),
+			fmt.Sprintf("%+.3f", flatSum.Mean()-0.25),
+		)
+	}
+	tab.AddNote("claim: skewed sampling biases inference (sensors cluster in the dry corner ⇒ raw underestimates")
+	tab.AddNote("coverage), while the fabricated fixed-rate stream keeps the estimator unbiased (paper §I/§III motivation)")
+	return tab, nil
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/intensity"
+	"repro/internal/mdpp"
+	"repro/internal/pmat"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// fig2Grid returns the 3×3 grid of the paper's Fig. 2 walkthrough.
+func fig2Grid() (*geom.Grid, error) {
+	return geom.NewGrid(geom.NewRect(0, 0, 6, 6), 9)
+}
+
+// batchFromEvents converts sampled events into a stream batch.
+func batchFromEvents(attr string, w geom.Window, events []mdpp.Event) stream.Batch {
+	b := stream.Batch{Attr: attr, Window: w}
+	for i, e := range events {
+		b.Tuples = append(b.Tuples, stream.Tuple{ID: uint64(i + 1), Attr: attr, T: e.T, X: e.X, Y: e.Y})
+	}
+	return b
+}
+
+// E1Fig2 reproduces the paper's Fig. 2: three queries (rain at the highest
+// rate over four whole cells; temp over two whole cells; temp at the lowest
+// rate over a sub-cell region) are inserted into a 3×3 grid and the
+// resulting execution topology is checked against the paper's construction
+// rules and rendered.
+func E1Fig2(o Options) (*Table, error) {
+	o = o.withDefaults()
+	grid, err := fig2Grid()
+	if err != nil {
+		return nil, err
+	}
+	fab, err := topology.New(grid, topology.Config{}, stats.NewRNG(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		q    query.Query
+		note string
+	}{
+		{query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 12}, "4 whole cells, no P"},
+		{query.Query{Attr: "temp", Region: geom.NewRect(4, 0, 6, 4), Rate: 8}, "2 whole cells, no P"},
+		{query.Query{Attr: "temp", Region: geom.NewRect(1, 4, 3, 6), Rate: 3}, "sub-cell region, P required"},
+	}
+	tab := &Table{
+		ID:     "E1",
+		Title:  "Fig. 2 topology construction (λ1 > λ2 > λ3)",
+		Header: []string{"step", "query", "pipelines", "F", "T", "P", "U", "invariants"},
+	}
+	for i, spec := range specs {
+		stored, err := fab.InsertQuery(spec.q, stream.NewCollector())
+		if err != nil {
+			return nil, err
+		}
+		counts := fab.OperatorCounts()
+		inv := "ok"
+		if err := fab.CheckInvariants(); err != nil {
+			inv = err.Error()
+		}
+		tab.AddRow(
+			fmt.Sprintf("insert %d", i+1),
+			fmt.Sprintf("%s(%s@%g)", stored.ID, stored.Attr, stored.Rate),
+			fmt.Sprintf("%d", fab.NumPipelines()),
+			fmt.Sprintf("%d", counts["F"]),
+			fmt.Sprintf("%d", counts["T"]),
+			fmt.Sprintf("%d", counts["P"]),
+			fmt.Sprintf("%d", counts["U"]),
+			inv,
+		)
+	}
+	// Deletion walkthrough: delete Q1 as the paper describes.
+	if err := fab.DeleteQuery("Q1"); err != nil {
+		return nil, err
+	}
+	counts := fab.OperatorCounts()
+	inv := "ok"
+	if err := fab.CheckInvariants(); err != nil {
+		inv = err.Error()
+	}
+	tab.AddRow("delete Q1", "-", fmt.Sprintf("%d", fab.NumPipelines()),
+		fmt.Sprintf("%d", counts["F"]), fmt.Sprintf("%d", counts["T"]),
+		fmt.Sprintf("%d", counts["P"]), fmt.Sprintf("%d", counts["U"]), inv)
+	for _, line := range strings.Split(strings.TrimSpace(fab.Render()), "\n") {
+		tab.AddNote("%s", line)
+	}
+	return tab, nil
+}
+
+// E2Thin sweeps the thinning ratio λ2/λ1 and reports the measured output
+// rate against λ2 — the paper's "desired rate λ2" claim.
+func E2Thin(o Options) (*Table, error) {
+	o = o.withDefaults()
+	rng := stats.NewRNG(o.Seed)
+	tab := &Table{
+		ID:     "E2",
+		Title:  "Thin: measured output rate vs desired λ2 (λ1 = 200)",
+		Header: []string{"λ2/λ1", "λ2", "measured", "stderr", "ratio"},
+	}
+	region := geom.NewRect(0, 0, 4, 4)
+	w := geom.Window{T0: 0, T1: 2, Rect: region}
+	trials := o.trials(30, 6)
+	proc, err := mdpp.NewHomogeneous(200, region)
+	if err != nil {
+		return nil, err
+	}
+	for _, ratio := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		lambda2 := 200 * ratio
+		th, err := pmat.NewThin("t", 200, lambda2, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		col := stream.NewCollector()
+		th.AddDownstream(col)
+		var s stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			col.Reset()
+			ev, err := proc.Sample(w, rng)
+			if err != nil {
+				return nil, err
+			}
+			if err := th.Process(batchFromEvents("temp", w, ev)); err != nil {
+				return nil, err
+			}
+			s.Add(float64(col.Len()) / w.Volume())
+		}
+		tab.AddRow(
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.1f", lambda2),
+			fmt.Sprintf("%.2f", s.Mean()),
+			fmt.Sprintf("%.2f", s.StdErr()),
+			fmt.Sprintf("%.4f", s.Mean()/lambda2),
+		)
+	}
+	tab.AddNote("claim: ratio ≈ 1.0 across the sweep (paper §IV.B.1, Thin)")
+	return tab, nil
+}
+
+// E3FlattenHomogenize measures Flatten's homogenization quality: chi-square
+// spatial-uniformity p-values before and after flattening a hotspot-skewed
+// process, at increasing batch sizes, and the output-rate error.
+func E3FlattenHomogenize(o Options) (*Table, error) {
+	o = o.withDefaults()
+	rng := stats.NewRNG(o.Seed)
+	tab := &Table{
+		ID:     "E3",
+		Title:  "Flatten: homogenization of a hotspot-skewed MDPP",
+		Header: []string{"batch", "p_before", "p_after", "rate_err%", "N_v%"},
+	}
+	region := geom.NewRect(0, 0, 6, 6)
+	hot, err := intensity.NewHotspot(4, 80, 2, 2, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	durations := []float64{0.5, 1, 2, 4}
+	if o.Quick {
+		durations = []float64{0.5, 2}
+	}
+	for _, dur := range durations {
+		w := geom.Window{T0: 0, T1: dur, Rect: region}
+		proc, err := mdpp.NewInhomogeneous(hot, region)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := proc.Sample(w, rng)
+		if err != nil {
+			return nil, err
+		}
+		b := batchFromEvents("rain", w, ev)
+		target := 0.3 * b.MeasuredRate()
+		gin, err := mdpp.SpatialCounts(ev, w, 3, 3)
+		if err != nil {
+			return nil, err
+		}
+		pBefore, err := gin.UniformityPValue()
+		if err != nil {
+			return nil, err
+		}
+		fl, err := pmat.NewFlatten("f", pmat.FlattenConfig{TargetRate: target, Mode: pmat.EstimatorKnown, Known: hot}, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		col := stream.NewCollector()
+		fl.AddDownstream(col)
+		if err := fl.Process(b); err != nil {
+			return nil, err
+		}
+		gout, err := stats.NewGrid2D(0, 6, 0, 6, 3, 3)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range col.Tuples() {
+			gout.Add(tp.X, tp.Y)
+		}
+		pAfter, err := gout.UniformityPValue()
+		if err != nil {
+			return nil, err
+		}
+		outRate := float64(col.Len()) / w.Volume()
+		tab.AddRow(
+			fmt.Sprintf("%d", b.Len()),
+			fmt.Sprintf("%.2g", pBefore),
+			fmt.Sprintf("%.3f", pAfter),
+			fmt.Sprintf("%.1f", 100*absf(outRate-target)/target),
+			fmt.Sprintf("%.1f", fl.LastReport().Percent),
+		)
+	}
+	tab.AddNote("claim: p_before ≈ 0 (skewed), p_after ≥ 0.01 (approximately homogeneous)")
+	return tab, nil
+}
+
+// E4FlattenViolations sweeps the requested rate past the feasible supply and
+// reports the percent rate violation N_v, the signal budget tuning consumes.
+func E4FlattenViolations(o Options) (*Table, error) {
+	o = o.withDefaults()
+	rng := stats.NewRNG(o.Seed)
+	tab := &Table{
+		ID:     "E4",
+		Title:  "Flatten: N_v vs requested rate multiple of supply",
+		Header: []string{"λ̄/supply", "N_v%", "out_rate/target"},
+	}
+	region := geom.NewRect(0, 0, 6, 6)
+	hot, err := intensity.NewHotspot(4, 60, 2, 2, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	w := geom.Window{T0: 0, T1: 2, Rect: region}
+	proc, err := mdpp.NewInhomogeneous(hot, region)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := proc.Sample(w, rng)
+	if err != nil {
+		return nil, err
+	}
+	b := batchFromEvents("rain", w, ev)
+	supply := b.MeasuredRate()
+	for _, mult := range []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0} {
+		fl, err := pmat.NewFlatten("f", pmat.FlattenConfig{TargetRate: mult * supply, Mode: pmat.EstimatorKnown, Known: hot}, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		col := stream.NewCollector()
+		fl.AddDownstream(col)
+		if err := fl.Process(b); err != nil {
+			return nil, err
+		}
+		rep := fl.LastReport()
+		tab.AddRow(
+			fmt.Sprintf("%.2f", mult),
+			fmt.Sprintf("%.1f", rep.Percent),
+			fmt.Sprintf("%.2f", (float64(col.Len())/w.Volume())/(mult*supply)),
+		)
+	}
+	tab.AddNote("claim: N_v grows once λ̄ approaches supply; output saturates below target (paper §IV.B.1)")
+	return tab, nil
+}
+
+// E5PartitionUnion partitions a homogeneous process into k cells and unions
+// the pieces back, verifying that the rate is preserved at every stage.
+func E5PartitionUnion(o Options) (*Table, error) {
+	o = o.withDefaults()
+	rng := stats.NewRNG(o.Seed)
+	tab := &Table{
+		ID:     "E5",
+		Title:  "Partition → Union round trip: rate preservation (λ = 120)",
+		Header: []string{"k", "branch_rate/λ", "union_rate/λ", "tuples_lost"},
+	}
+	ks := []int{2, 4, 8, 16}
+	if o.Quick {
+		ks = []int{2, 4}
+	}
+	for _, k := range ks {
+		region := geom.NewRect(0, 0, float64(k), 1)
+		w := geom.Window{T0: 0, T1: 2, Rect: region}
+		proc, err := mdpp.NewHomogeneous(120, region)
+		if err != nil {
+			return nil, err
+		}
+		part, err := pmat.NewPartition("p", region)
+		if err != nil {
+			return nil, err
+		}
+		rects := make([]geom.Rect, k)
+		for i := 0; i < k; i++ {
+			rects[i] = geom.NewRect(float64(i), 0, float64(i+1), 1)
+		}
+		uni, err := pmat.NewUnion("u", rects...)
+		if err != nil {
+			return nil, err
+		}
+		branchCols := make([]*stream.Collector, k)
+		for i := 0; i < k; i++ {
+			port, err := part.AddBranch(fmt.Sprintf("b%d", i), rects[i])
+			if err != nil {
+				return nil, err
+			}
+			branchCols[i] = stream.NewCollector()
+			in, err := uni.Input(i)
+			if err != nil {
+				return nil, err
+			}
+			port.AddDownstream(branchCols[i])
+			port.AddDownstream(in)
+		}
+		out := stream.NewCollector()
+		uni.AddDownstream(out)
+		ev, err := proc.Sample(w, rng)
+		if err != nil {
+			return nil, err
+		}
+		b := batchFromEvents("temp", w, ev)
+		if err := part.Process(b); err != nil {
+			return nil, err
+		}
+		var branchRate stats.Summary
+		for i, col := range branchCols {
+			branchRate.Add(float64(col.Len()) / (w.Duration() * rects[i].Area()))
+		}
+		unionRate := float64(out.Len()) / w.Volume()
+		tab.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f", branchRate.Mean()/120),
+			fmt.Sprintf("%.3f", unionRate/120),
+			fmt.Sprintf("%d", b.Len()-out.Len()),
+		)
+	}
+	tab.AddNote("claim: both ratios ≈ 1.0 and no tuples lost (P routes, U merges; paper §IV.B.1)")
+	return tab, nil
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+// Package export provides persistent sinks for acquired crowdsensed data
+// streams. The paper notes that fabricated MCDS "are returned to the user or
+// can be further processed using well-known stream processing frameworks";
+// these sinks are the hand-off points: CSV and JSON-lines writers that
+// implement stream.Processor and can terminate any operator chain or query.
+package export
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// CSVSink writes tuples as CSV rows: id,attr,t,x,y,value,sensor. The header
+// is written once on first use. CSVSink is safe for concurrent use.
+type CSVSink struct {
+	mu     sync.Mutex
+	w      *csv.Writer
+	header bool
+	rows   int
+}
+
+// NewCSVSink wraps an io.Writer.
+func NewCSVSink(w io.Writer) (*CSVSink, error) {
+	if w == nil {
+		return nil, errors.New("export: NewCSVSink requires a writer")
+	}
+	return &CSVSink{w: csv.NewWriter(w)}, nil
+}
+
+// Process implements stream.Processor.
+func (s *CSVSink) Process(b stream.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.header {
+		if err := s.w.Write([]string{"id", "attr", "t", "x", "y", "value", "sensor"}); err != nil {
+			return fmt.Errorf("export: csv header: %w", err)
+		}
+		s.header = true
+	}
+	for _, tp := range b.Tuples {
+		rec := []string{
+			strconv.FormatUint(tp.ID, 10),
+			tp.Attr,
+			strconv.FormatFloat(tp.T, 'g', -1, 64),
+			strconv.FormatFloat(tp.X, 'g', -1, 64),
+			strconv.FormatFloat(tp.Y, 'g', -1, 64),
+			strconv.FormatFloat(tp.Value, 'g', -1, 64),
+			strconv.Itoa(tp.Sensor),
+		}
+		if err := s.w.Write(rec); err != nil {
+			return fmt.Errorf("export: csv row: %w", err)
+		}
+		s.rows++
+	}
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		return fmt.Errorf("export: csv flush: %w", err)
+	}
+	return nil
+}
+
+// Rows returns the number of data rows written.
+func (s *CSVSink) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// tupleJSON is the wire format of JSONLinesSink.
+type tupleJSON struct {
+	ID     uint64  `json:"id"`
+	Attr   string  `json:"attr"`
+	T      float64 `json:"t"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Value  float64 `json:"value"`
+	Sensor int     `json:"sensor"`
+}
+
+// JSONLinesSink writes one JSON object per tuple (ndjson), the lingua franca
+// of downstream stream processors. It is safe for concurrent use.
+type JSONLinesSink struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	enc  *json.Encoder
+	rows int
+}
+
+// NewJSONLinesSink wraps an io.Writer.
+func NewJSONLinesSink(w io.Writer) (*JSONLinesSink, error) {
+	if w == nil {
+		return nil, errors.New("export: NewJSONLinesSink requires a writer")
+	}
+	bw := bufio.NewWriter(w)
+	return &JSONLinesSink{w: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Process implements stream.Processor.
+func (s *JSONLinesSink) Process(b stream.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tp := range b.Tuples {
+		rec := tupleJSON{ID: tp.ID, Attr: tp.Attr, T: tp.T, X: tp.X, Y: tp.Y, Value: tp.Value, Sensor: tp.Sensor}
+		if err := s.enc.Encode(rec); err != nil {
+			return fmt.Errorf("export: json encode: %w", err)
+		}
+		s.rows++
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("export: json flush: %w", err)
+	}
+	return nil
+}
+
+// Rows returns the number of records written.
+func (s *JSONLinesSink) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// ReadJSONLines parses tuples back from ndjson produced by JSONLinesSink —
+// the round trip used by tests and by replaying recorded streams.
+func ReadJSONLines(r io.Reader) ([]stream.Tuple, error) {
+	dec := json.NewDecoder(r)
+	var out []stream.Tuple
+	for {
+		var rec tupleJSON
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("export: json decode: %w", err)
+		}
+		out = append(out, stream.Tuple{ID: rec.ID, Attr: rec.Attr, T: rec.T, X: rec.X, Y: rec.Y, Value: rec.Value, Sensor: rec.Sensor})
+	}
+}

@@ -1,0 +1,117 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+func sampleBatch() stream.Batch {
+	return stream.Batch{
+		Attr:   "temp",
+		Window: geom.Window{T0: 0, T1: 1, Rect: geom.NewRect(0, 0, 4, 4)},
+		Tuples: []stream.Tuple{
+			{ID: 1, Attr: "temp", T: 0.25, X: 1.5, Y: 2.5, Value: 21.5, Sensor: 7},
+			{ID: 2, Attr: "temp", T: 0.75, X: 3.0, Y: 0.5, Value: 19.25, Sensor: 3},
+		},
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	if _, err := NewCSVSink(nil); err == nil {
+		t.Fatal("nil writer accepted")
+	}
+	var buf bytes.Buffer
+	s, err := NewCSVSink(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Process(sampleBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Process(sampleBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 4 {
+		t.Fatalf("rows = %d", s.Rows())
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 { // header + 4 rows
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "id" || records[0][6] != "sensor" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][1] != "temp" || records[1][5] != "21.5" || records[1][6] != "7" {
+		t.Fatalf("row1 = %v", records[1])
+	}
+}
+
+func TestCSVHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	s, _ := NewCSVSink(&buf)
+	_ = s.Process(sampleBatch())
+	_ = s.Process(sampleBatch())
+	if n := strings.Count(buf.String(), "id,attr"); n != 1 {
+		t.Fatalf("header written %d times", n)
+	}
+}
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	if _, err := NewJSONLinesSink(nil); err == nil {
+		t.Fatal("nil writer accepted")
+	}
+	var buf bytes.Buffer
+	s, err := NewJSONLinesSink(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sampleBatch()
+	if err := s.Process(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 2 {
+		t.Fatalf("rows = %d", s.Rows())
+	}
+	if lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1; lines != 2 {
+		t.Fatalf("ndjson lines = %d", lines)
+	}
+	back, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("decoded %d tuples", len(back))
+	}
+	for i, tp := range back {
+		if tp != b.Tuples[i] {
+			t.Fatalf("round trip changed tuple %d: %+v vs %+v", i, tp, b.Tuples[i])
+		}
+	}
+}
+
+func TestReadJSONLinesEmpty(t *testing.T) {
+	out, err := ReadJSONLines(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty read: %v, %d tuples", err, len(out))
+	}
+}
+
+func TestReadJSONLinesGarbage(t *testing.T) {
+	if _, err := ReadJSONLines(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSinksAsQueryTerminals(t *testing.T) {
+	// Sinks satisfy stream.Processor and can terminate operator chains.
+	var _ stream.Processor = (*CSVSink)(nil)
+	var _ stream.Processor = (*JSONLinesSink)(nil)
+}

@@ -1,0 +1,212 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func TestNewCoverageEstimatorValidation(t *testing.T) {
+	if _, err := NewCoverageEstimator(0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestCoverageEstimatorUnbiasedOnHomogeneousSample(t *testing.T) {
+	// A homogeneous sample over a region where 25% of the area is "raining"
+	// must estimate coverage ≈ 0.25 — the property that motivates flattening.
+	region := geom.NewRect(0, 0, 8, 8)
+	rainArea := geom.NewRect(0, 0, 4, 4) // exactly a quarter
+	rng := stats.NewRNG(1)
+	est, err := NewCoverageEstimator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := stream.Batch{Attr: "rain", Window: geom.Window{T0: 0, T1: 1, Rect: region}}
+	for i := 0; i < 20000; i++ {
+		x, y := rng.Uniform(0, 8), rng.Uniform(0, 8)
+		v := 0.0
+		if rainArea.Contains(geom.Point{X: x, Y: y}) {
+			v = 1
+		}
+		b.Tuples = append(b.Tuples, stream.Tuple{ID: uint64(i), T: rng.Uniform(0, 1), X: x, Y: y, Value: v})
+	}
+	if err := est.Process(b); err != nil {
+		t.Fatal(err)
+	}
+	out := est.Estimates()
+	if len(out) != 1 {
+		t.Fatalf("windows = %d", len(out))
+	}
+	e := out[0]
+	if math.Abs(e.Coverage-0.25) > 0.02 {
+		t.Fatalf("coverage = %g, want ≈0.25", e.Coverage)
+	}
+	if e.Lo > 0.25 || e.Hi < 0.25 {
+		t.Fatalf("Wilson interval [%g, %g] misses the truth", e.Lo, e.Hi)
+	}
+	if e.N != 20000 {
+		t.Fatalf("N = %d", e.N)
+	}
+}
+
+func TestCoverageEstimatorWindowsSorted(t *testing.T) {
+	est, _ := NewCoverageEstimator(2)
+	b := stream.Batch{Attr: "rain"}
+	for _, tt := range []float64{9, 1, 5, 3} {
+		b.Tuples = append(b.Tuples, stream.Tuple{T: tt, Value: 1})
+	}
+	_ = est.Process(b)
+	out := est.Estimates()
+	if len(out) != 4 {
+		t.Fatalf("windows = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].WindowStart >= out[i].WindowStart {
+			t.Fatal("windows not sorted")
+		}
+	}
+}
+
+func TestWilsonDegenerate(t *testing.T) {
+	lo, hi := wilson(0.5, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("n=0 interval = [%g, %g]", lo, hi)
+	}
+	lo, hi = wilson(1, 50)
+	if hi > 1 || lo < 0.9 {
+		t.Fatalf("p=1 interval = [%g, %g]", lo, hi)
+	}
+}
+
+func TestFieldReconstructorValidation(t *testing.T) {
+	r := geom.NewRect(0, 0, 4, 4)
+	if _, err := NewFieldReconstructor(geom.Rect{}, 2, 2, 2, 1); err == nil {
+		t.Error("empty region accepted")
+	}
+	if _, err := NewFieldReconstructor(r, 0, 2, 2, 1); err == nil {
+		t.Error("zero nx accepted")
+	}
+	if _, err := NewFieldReconstructor(r, 2, 2, 0, 1); err == nil {
+		t.Error("zero power accepted")
+	}
+	if _, err := NewFieldReconstructor(r, 2, 2, 2, 0); err == nil {
+		t.Error("zero maxAge accepted")
+	}
+	fr, _ := NewFieldReconstructor(r, 2, 2, 2, 1)
+	if _, err := fr.Reconstruct(); err == nil {
+		t.Error("reconstruct without samples accepted")
+	}
+}
+
+func TestFieldReconstructorRecoversGradient(t *testing.T) {
+	region := geom.NewRect(0, 0, 8, 8)
+	field, err := sensors.NewTempField(20, 1.0, 0, 0, 24, 0, nil) // pure x-gradient
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFieldReconstructor(region, 4, 4, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	b := stream.Batch{Attr: "temp"}
+	for i := 0; i < 3000; i++ {
+		x, y := rng.Uniform(0, 8), rng.Uniform(0, 8)
+		b.Tuples = append(b.Tuples, stream.Tuple{ID: uint64(i), T: rng.Uniform(0, 1), X: x, Y: y, Value: field.Value(0, x, y)})
+	}
+	if err := fr.Process(b); err != nil {
+		t.Fatal(err)
+	}
+	est, err := fr.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := fr.RMSE(est, field.Value, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.7 {
+		t.Fatalf("RMSE = %g on a noiseless gradient", rmse)
+	}
+	// West cells must be colder than east cells.
+	if est[0] >= est[3] {
+		t.Fatalf("gradient direction lost: %g vs %g", est[0], est[3])
+	}
+}
+
+func TestFieldReconstructorEviction(t *testing.T) {
+	fr, _ := NewFieldReconstructor(geom.NewRect(0, 0, 4, 4), 2, 2, 2, 1)
+	b := stream.Batch{Tuples: []stream.Tuple{{T: 0, X: 1, Y: 1, Value: 5}}}
+	_ = fr.Process(b)
+	if fr.SampleCount() != 1 {
+		t.Fatal("sample not buffered")
+	}
+	// A much later sample evicts the stale one.
+	_ = fr.Process(stream.Batch{Tuples: []stream.Tuple{{T: 10, X: 2, Y: 2, Value: 6}}})
+	if fr.SampleCount() != 1 {
+		t.Fatalf("stale samples not evicted: %d", fr.SampleCount())
+	}
+}
+
+func TestFieldReconstructorRMSEValidation(t *testing.T) {
+	fr, _ := NewFieldReconstructor(geom.NewRect(0, 0, 4, 4), 2, 2, 2, 1)
+	if _, err := fr.RMSE([]float64{1}, func(_, _, _ float64) float64 { return 0 }, 0); err == nil {
+		t.Fatal("wrong-size estimate accepted")
+	}
+}
+
+func TestEventDetectorHysteresis(t *testing.T) {
+	if _, err := NewEventDetector(0.5, 0.5); err == nil {
+		t.Fatal("Off >= On accepted")
+	}
+	d, err := NewEventDetector(0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal: rises, flickers around On (no end: stays above Off), ends.
+	series := []struct{ t0, t1, v float64 }{
+		{0, 1, 0.1}, {1, 2, 0.6}, {2, 3, 0.45}, {3, 4, 0.7}, {4, 5, 0.2}, {5, 6, 0.1},
+	}
+	for _, p := range series {
+		d.Observe(p.t0, p.t1, p.v)
+	}
+	events := d.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1 (hysteresis must suppress the flicker)", len(events))
+	}
+	ev := events[0]
+	if ev.Start != 1 || ev.End != 4 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Peak != 0.7 {
+		t.Fatalf("peak = %g", ev.Peak)
+	}
+}
+
+func TestEventDetectorFinishClosesOpenEpisode(t *testing.T) {
+	d, _ := NewEventDetector(0.5, 0.3)
+	d.Observe(0, 1, 0.8)
+	events := d.Finish(3)
+	if len(events) != 1 || events[0].End != 3 {
+		t.Fatalf("finish: %+v", events)
+	}
+	// Finish again is a no-op.
+	if len(d.Finish(5)) != 1 {
+		t.Fatal("double finish duplicated the event")
+	}
+}
+
+func TestEventDetectorNoEvents(t *testing.T) {
+	d, _ := NewEventDetector(0.5, 0.3)
+	for i := 0; i < 10; i++ {
+		d.Observe(float64(i), float64(i+1), 0.2)
+	}
+	if len(d.Finish(10)) != 0 {
+		t.Fatal("phantom events")
+	}
+}

@@ -1,0 +1,206 @@
+package intensity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func box(t0, t1, x0, y0, x1, y1 float64) geom.Window {
+	return geom.Window{T0: t0, T1: t1, Rect: geom.NewRect(x0, y0, x1, y1)}
+}
+
+func TestConstant(t *testing.T) {
+	c, err := NewConstant(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eval(1, 2, 3) != 3 {
+		t.Fatal("Eval wrong")
+	}
+	w := box(0, 2, 0, 0, 3, 4)
+	if got := c.IntegralOver(w); math.Abs(got-3*24) > 1e-12 {
+		t.Fatalf("integral = %g", got)
+	}
+	if c.MaxOver(w) != 3 {
+		t.Fatal("max wrong")
+	}
+	if _, err := NewConstant(-1); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := NewConstant(math.NaN()); err == nil {
+		t.Error("NaN rate should error")
+	}
+}
+
+func TestLinearEvalAndFloor(t *testing.T) {
+	l := NewLinear(Theta{1, 2, 3, 4})
+	if got := l.Eval(1, 1, 1); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("Eval = %g", got)
+	}
+	// Strongly negative region clamps at the floor.
+	neg := NewLinear(Theta{-100, 0, 0, 0})
+	if got := neg.Eval(0, 0, 0); got != DefaultFloor {
+		t.Fatalf("floor not applied: %g", got)
+	}
+}
+
+func TestLinearIntegralMatchesNumeric(t *testing.T) {
+	l := NewLinear(Theta{5, 0.5, -0.2, 0.3})
+	w := box(0, 4, 1, 1, 3, 5)
+	analytic := l.IntegralOver(w)
+	numeric := NumericIntegral(l, w, 32)
+	if math.Abs(analytic-numeric) > 1e-6*math.Abs(numeric) {
+		t.Fatalf("analytic %g vs numeric %g", analytic, numeric)
+	}
+}
+
+func TestLinearIntegralNonNegative(t *testing.T) {
+	l := NewLinear(Theta{-10, 0, 0, 0})
+	if got := l.IntegralOver(box(0, 1, 0, 0, 1, 1)); got != 0 {
+		t.Fatalf("negative-rate integral = %g, want clamped 0", got)
+	}
+}
+
+func TestLinearMaxOverIsUpperBound(t *testing.T) {
+	l := NewLinear(Theta{2, 1, -0.5, 0.25})
+	w := box(0, 3, -1, -1, 2, 2)
+	bound := l.MaxOver(w)
+	f := func(a, b, c float64) bool {
+		tt := w.T0 + math.Mod(math.Abs(a), w.Duration())
+		x := w.Rect.MinX + math.Mod(math.Abs(b), w.Rect.Width())
+		y := w.Rect.MinY + math.Mod(math.Abs(c), w.Rect.Height())
+		return l.Eval(tt, x, y) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := Features(2, 3, 4)
+	want := [4]float64{1, 2, 3, 4}
+	if f != want {
+		t.Fatalf("Features = %v", f)
+	}
+}
+
+func TestFeatureIntegralsMatchNumeric(t *testing.T) {
+	w := box(1, 3, 0, 2, 4, 5)
+	fi := FeatureIntegrals(w)
+	// Compare against numerically integrating each basis function.
+	bases := []Func{
+		NewLinear(Theta{1, 0, 0, 0}),
+		NewLinear(Theta{0, 1, 0, 0}),
+		NewLinear(Theta{0, 0, 1, 0}),
+		NewLinear(Theta{0, 0, 0, 1}),
+	}
+	for k, b := range bases {
+		numeric := NumericIntegral(b, w, 24)
+		if math.Abs(fi[k]-numeric) > 1e-6*math.Abs(numeric)+1e-9 {
+			t.Errorf("feature %d: analytic %g vs numeric %g", k, fi[k], numeric)
+		}
+	}
+}
+
+func TestHotspotEval(t *testing.T) {
+	h, err := NewHotspot(1, 10, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Eval(0, 0, 0); math.Abs(got-11) > 1e-12 {
+		t.Fatalf("peak = %g", got)
+	}
+	far := h.Eval(0, 100, 100)
+	if math.Abs(far-1) > 1e-9 {
+		t.Fatalf("far value = %g, want ≈base", far)
+	}
+	if _, err := NewHotspot(-1, 1, 0, 0, 1); err == nil {
+		t.Error("negative base should error")
+	}
+	if _, err := NewHotspot(1, 1, 0, 0, 0); err == nil {
+		t.Error("zero sigma should error")
+	}
+}
+
+func TestHotspotIntegralMatchesNumeric(t *testing.T) {
+	h, _ := NewHotspot(0.5, 8, 2, 3, 1.5)
+	w := box(0, 2, 0, 0, 5, 6)
+	analytic := h.IntegralOver(w)
+	numeric := NumericIntegral(h, w, 48)
+	if math.Abs(analytic-numeric) > 1e-3*numeric {
+		t.Fatalf("analytic %g vs numeric %g", analytic, numeric)
+	}
+}
+
+func TestHotspotPulsedIntegral(t *testing.T) {
+	h, _ := NewHotspot(1, 5, 1, 1, 1)
+	h.Pulse = 0.5
+	h.Omega = 2
+	w := box(0, 3, 0, 0, 2, 2)
+	analytic := h.IntegralOver(w)
+	numeric := NumericIntegral(h, w, 64)
+	if math.Abs(analytic-numeric) > 5e-3*numeric {
+		t.Fatalf("pulsed: analytic %g vs numeric %g", analytic, numeric)
+	}
+	// Pulsed max is base + amp·(1+pulse).
+	if got := h.MaxOver(w); math.Abs(got-(1+5*1.5)) > 1e-12 {
+		t.Fatalf("pulsed max = %g", got)
+	}
+}
+
+func TestHotspotPulseClampsNonNegative(t *testing.T) {
+	h, _ := NewHotspot(0, 5, 0, 0, 1)
+	h.Pulse = 0.999
+	h.Omega = 1
+	// At ωt = 3π/2 the modulation is 1-0.999 ≈ 0; never negative.
+	for tt := 0.0; tt < 10; tt += 0.1 {
+		if h.Eval(tt, 0, 0) < 0 {
+			t.Fatalf("negative intensity at t=%g", tt)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	c1, _ := NewConstant(2)
+	c2, _ := NewConstant(3)
+	s := NewSum(c1, c2)
+	if s.Eval(0, 0, 0) != 5 {
+		t.Fatal("sum eval wrong")
+	}
+	w := box(0, 1, 0, 0, 1, 1)
+	if s.IntegralOver(w) != 5 {
+		t.Fatal("sum integral wrong")
+	}
+	if s.MaxOver(w) != 5 {
+		t.Fatal("sum max wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	c, _ := NewConstant(4)
+	s, err := NewScale(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := box(0, 1, 0, 0, 2, 1)
+	if s.Eval(0, 0, 0) != 2 || s.IntegralOver(w) != 4 || s.MaxOver(w) != 2 {
+		t.Fatal("scale wrong")
+	}
+	if _, err := NewScale(c, -1); err == nil {
+		t.Error("negative factor should error")
+	}
+	if _, err := NewScale(nil, 1); err == nil {
+		t.Error("nil base should error")
+	}
+}
+
+func TestNumericIntegralDefaultsN(t *testing.T) {
+	c, _ := NewConstant(1)
+	w := box(0, 1, 0, 0, 1, 1)
+	if got := NumericIntegral(c, w, 0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("default-n integral = %g", got)
+	}
+}

@@ -1,0 +1,121 @@
+package pmat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func TestSuperposeValidation(t *testing.T) {
+	if _, err := NewSuperpose("s", 1); err == nil {
+		t.Error("single input should error")
+	}
+	s, err := NewSuperpose("s", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Inputs()) != 3 || s.Kind() != "S" {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestSuperposeAddsRates(t *testing.T) {
+	w := geom.Window{T0: 0, T1: 1, Rect: region4()}
+	s, _ := NewSuperpose("s", 2)
+	col := stream.NewCollector()
+	s.AddDownstream(col)
+	var sum stats.Summary
+	for trial := 0; trial < 25; trial++ {
+		col.Reset()
+		wt := geom.Window{T0: float64(trial), T1: float64(trial + 1), Rect: region4()}
+		b1 := homogeneousBatch(t, 40, wt, int64(20+trial))
+		b2 := homogeneousBatch(t, 60, wt, int64(120+trial))
+		if err := s.Inputs()[0].Process(b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Inputs()[1].Process(b2); err != nil {
+			t.Fatal(err)
+		}
+		sum.Add(float64(col.Len()) / wt.Volume())
+	}
+	_ = w
+	if math.Abs(sum.Mean()-100) > 4*sum.StdErr()+1 {
+		t.Fatalf("superposed rate %g, want ≈100", sum.Mean())
+	}
+	// Output is time sorted.
+	tuples := col.Tuples()
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i-1].T > tuples[i].T {
+			t.Fatal("superposed output not sorted")
+		}
+	}
+}
+
+func TestSuperposeWaitsForAllInputs(t *testing.T) {
+	s, _ := NewSuperpose("s", 2)
+	col := stream.NewCollector()
+	s.AddDownstream(col)
+	w := geom.Window{T0: 0, T1: 1, Rect: region4()}
+	_ = s.Inputs()[0].Process(stream.Batch{Attr: "x", Window: w, Tuples: []stream.Tuple{{ID: 1}}})
+	if col.Batches() != 0 {
+		t.Fatal("emitted early")
+	}
+	_ = s.Inputs()[1].Process(stream.Batch{Attr: "x", Window: w, Tuples: []stream.Tuple{{ID: 2}}})
+	if col.Batches() != 1 || col.Len() != 2 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	if _, err := NewDelay("d", -1); err == nil {
+		t.Error("negative offset should error")
+	}
+	d, err := NewDelay("d", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Offset() != 2.5 || d.Kind() != "D" {
+		t.Fatal("identity wrong")
+	}
+	col := stream.NewCollector()
+	d.AddDownstream(col)
+	w := geom.Window{T0: 0, T1: 1, Rect: region4()}
+	in := stream.Batch{Attr: "x", Window: w, Tuples: []stream.Tuple{{ID: 1, T: 0.5, X: 1, Y: 1}}}
+	if err := d.Process(in); err != nil {
+		t.Fatal(err)
+	}
+	out := col.Tuples()
+	if out[0].T != 3.0 {
+		t.Fatalf("delayed t = %g", out[0].T)
+	}
+	// Input batch must not be mutated.
+	if in.Tuples[0].T != 0.5 {
+		t.Fatal("delay mutated input")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	if _, err := NewRelabel("r", ""); err == nil {
+		t.Error("empty attr should error")
+	}
+	r, err := NewRelabel("r", "alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stream.NewCollector()
+	r.AddDownstream(col)
+	w := geom.Window{T0: 0, T1: 1, Rect: region4()}
+	in := stream.Batch{Attr: "temp", Window: w, Tuples: []stream.Tuple{{ID: 1, Attr: "temp"}}}
+	if err := r.Process(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Tuples()[0].Attr; got != "alias" {
+		t.Fatalf("attr = %s", got)
+	}
+	if in.Tuples[0].Attr != "temp" {
+		t.Fatal("relabel mutated input")
+	}
+}

@@ -1,0 +1,318 @@
+// Package pmat implements the paper's point process transformation (PMAT)
+// operators — probabilistic, algebraic stream operators on multi-dimensional
+// point processes:
+//
+//   - Flatten (F): inhomogeneous → approximately homogeneous (Eq. 3), with
+//     percent-rate-violation (N_v) reporting used for budget tuning;
+//   - Thin (T): rate reduction by Bernoulli retention with p = λ2/λ1;
+//   - Partition (P): split a process into disjoint sub-regions at equal rate;
+//   - Union (U): merge processes on adjacent regions into their union;
+//
+// plus extension operators the paper alludes to having researched
+// (Superpose, Delay). All operators are probabilistic and approximate with
+// provable expected behaviour, and each is implemented in a few lines of
+// core logic, as the paper claims.
+package pmat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/estimate"
+	"repro/internal/geom"
+	"repro/internal/intensity"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// EstimatorMode selects how Flatten obtains the conditional rate λ̃ of its
+// input process.
+type EstimatorMode int
+
+const (
+	// EstimatorMLE fits the paper's Eq. (1) linear model to every batch by
+	// maximum likelihood (the default).
+	EstimatorMLE EstimatorMode = iota
+	// EstimatorSGD maintains a single online SGD estimate across batches —
+	// the paper's sliding-window mode.
+	EstimatorSGD
+	// EstimatorKnown uses a caller-supplied intensity (an oracle); useful
+	// for tests and for ablating estimation error.
+	EstimatorKnown
+)
+
+// String names the mode.
+func (m EstimatorMode) String() string {
+	switch m {
+	case EstimatorMLE:
+		return "mle"
+	case EstimatorSGD:
+		return "sgd"
+	case EstimatorKnown:
+		return "known"
+	default:
+		return fmt.Sprintf("EstimatorMode(%d)", int(m))
+	}
+}
+
+// FlattenConfig parameterizes a Flatten operator.
+type FlattenConfig struct {
+	// TargetRate is λ̄, the desired homogeneous output rate per unit
+	// area-time.
+	TargetRate float64
+	// Mode selects the λ̃ estimator (default EstimatorMLE).
+	Mode EstimatorMode
+	// Known is the oracle intensity for EstimatorKnown.
+	Known intensity.Func
+	// SGD configures the online estimator for EstimatorSGD.
+	SGD estimate.SGDConfig
+	// MinBatchForFit is the smallest batch the MLE will be run on; smaller
+	// batches fall back to the homogeneous estimate (default 8).
+	MinBatchForFit int
+	// DiscardSink, when non-nil, receives the tuples Flatten drops — the
+	// paper notes "the discarded tuples can be stored separately".
+	DiscardSink stream.Processor
+}
+
+func (c FlattenConfig) withDefaults() FlattenConfig {
+	if c.MinBatchForFit <= 0 {
+		c.MinBatchForFit = 8
+	}
+	return c
+}
+
+// ViolationReport captures the rate-violation statistics of one batch: the
+// paper's N_v, the percentage of tuples whose retaining probability
+// exceeded one and had to be rounded down. Rising N_v means the batch does
+// not contain enough tuples to fabricate a process at rate λ̄.
+type ViolationReport struct {
+	Batch      int     // batch sequence number
+	N          int     // batch size
+	Violations int     // tuples with p_i > 1
+	Percent    float64 // N_v: 100·Violations/N
+	TargetRate float64 // λ̄ requested
+	OutputRate float64 // measured output rate of this batch
+}
+
+// Flatten converts an inhomogeneous MDPP P̃(λ̃, R*) into an approximately
+// homogeneous process P(λ̄, R*). For each tuple in a batch it computes the
+// retaining probability of Eq. (3),
+//
+//	p_i = λ̄_count / (λ̃(t_i, x_i, y_i; θ) · λc),   λc = Σ_i 1/λ̃(t_i,x_i,y_i;θ),
+//
+// where λ̄_count = λ̄ · vol(batch window) converts the user-facing rate into
+// the per-batch target count (see DESIGN.md, "Interpretation note"), clamps
+// violations at one, draws a Bernoulli per tuple, and forwards survivors.
+// Flatten is the only operator able to make a process homogeneous, so the
+// topology layer always places it first.
+type Flatten struct {
+	stream.Base
+	cfg FlattenConfig
+
+	mu       sync.Mutex
+	rng      *stats.RNG
+	sgd      *estimate.SGD
+	batchSeq int
+	last     ViolationReport
+	reports  []ViolationReport
+	// onReport, when set, is invoked after each batch with its violation
+	// report; the budget controller subscribes here.
+	onReport func(ViolationReport)
+}
+
+// NewFlatten constructs a Flatten operator.
+func NewFlatten(name string, cfg FlattenConfig, rng *stats.RNG) (*Flatten, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TargetRate <= 0 || math.IsNaN(cfg.TargetRate) {
+		return nil, fmt.Errorf("pmat: flatten %q: target rate must be positive, got %g", name, cfg.TargetRate)
+	}
+	if cfg.Mode == EstimatorKnown && cfg.Known == nil {
+		return nil, fmt.Errorf("pmat: flatten %q: EstimatorKnown requires a Known intensity", name)
+	}
+	if rng == nil {
+		return nil, errors.New("pmat: flatten requires an RNG")
+	}
+	f := &Flatten{Base: stream.NewBase(name, "F"), cfg: cfg, rng: rng}
+	if cfg.Mode == EstimatorSGD {
+		f.sgd = estimate.NewSGD(cfg.SGD)
+	}
+	return f, nil
+}
+
+// TargetRate returns λ̄.
+func (f *Flatten) TargetRate() float64 { return f.cfg.TargetRate }
+
+// SetTargetRate updates λ̄; the topology layer raises the F-operator's
+// output rate when a newly inserted query needs more than the current chain
+// head provides.
+func (f *Flatten) SetTargetRate(rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("pmat: flatten %q: target rate must be positive, got %g", f.Name(), rate)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.TargetRate = rate
+	return nil
+}
+
+// OnReport registers a callback invoked with each batch's violation report.
+func (f *Flatten) OnReport(fn func(ViolationReport)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.onReport = fn
+}
+
+// LastReport returns the most recent batch's violation report.
+func (f *Flatten) LastReport() ViolationReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+// Reports returns a copy of all per-batch violation reports.
+func (f *Flatten) Reports() []ViolationReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ViolationReport, len(f.reports))
+	copy(out, f.reports)
+	return out
+}
+
+// estimateIntensity returns the λ̃ estimate for the batch under the
+// configured mode.
+func (f *Flatten) estimateIntensity(b stream.Batch) intensity.Func {
+	switch f.cfg.Mode {
+	case EstimatorKnown:
+		return f.cfg.Known
+	case EstimatorSGD:
+		// Observe first so the estimate reflects the newest window, then
+		// read the model.
+		_ = f.sgd.ObserveBatch(b.Events(), b.Window)
+		return f.sgd.Intensity()
+	default: // EstimatorMLE
+		if b.Len() < f.cfg.MinBatchForFit {
+			return intensity.NewLinear(intensity.Theta{math.Max(b.MeasuredRate(), intensity.DefaultFloor), 0, 0, 0})
+		}
+		res, err := estimate.FitMLE(b.Events(), b.Window, estimate.Options{})
+		if err != nil {
+			return intensity.NewLinear(intensity.Theta{math.Max(b.MeasuredRate(), intensity.DefaultFloor), 0, 0, 0})
+		}
+		return intensity.NewLinear(res.Theta)
+	}
+}
+
+// Process implements stream.Processor: Eq. (3) with violation accounting.
+func (f *Flatten) Process(b stream.Batch) error {
+	if err := b.Window.Validate(); err != nil {
+		return fmt.Errorf("pmat: flatten %q: %w", f.Name(), err)
+	}
+	f.RecordIn(b)
+	f.mu.Lock()
+	lam := f.estimateIntensity(b)
+	target := f.cfg.TargetRate
+	f.batchSeq++
+	seq := f.batchSeq
+	f.mu.Unlock()
+
+	n := b.Len()
+	report := ViolationReport{Batch: seq, N: n, TargetRate: target}
+	if n == 0 {
+		// An empty batch cannot possibly fabricate a process at rate λ̄: a
+		// starved cell must look maximally violating so budget tuning reacts,
+		// even though Eq. (3) is undefined without tuples.
+		report.Percent = 100
+	}
+	out := stream.Batch{Attr: b.Attr, Window: b.Window}
+	var discarded []stream.Tuple
+	if n > 0 {
+		// λc = Σ 1/λ̃_i (constant over the batch).
+		rates := make([]float64, n)
+		lambdaC := 0.0
+		for i, tp := range b.Tuples {
+			r := lam.Eval(tp.T, tp.X, tp.Y)
+			if r < intensity.DefaultFloor {
+				r = intensity.DefaultFloor
+			}
+			rates[i] = r
+			lambdaC += 1 / r
+		}
+		targetCount := target * b.Window.Volume()
+		f.mu.Lock()
+		for i, tp := range b.Tuples {
+			p := targetCount / (rates[i] * lambdaC)
+			if p > 1 {
+				report.Violations++
+				p = 1
+			}
+			f.RecordDraws(1)
+			if f.rng.Bernoulli(p) {
+				out.Tuples = append(out.Tuples, tp)
+			} else if f.cfg.DiscardSink != nil {
+				discarded = append(discarded, tp)
+			}
+		}
+		f.mu.Unlock()
+		report.Percent = 100 * float64(report.Violations) / float64(n)
+	}
+	report.OutputRate = out.MeasuredRate()
+
+	f.mu.Lock()
+	f.last = report
+	f.reports = append(f.reports, report)
+	cb := f.onReport
+	f.mu.Unlock()
+	if cb != nil {
+		cb(report)
+	}
+	if f.cfg.DiscardSink != nil && len(discarded) > 0 {
+		if err := f.cfg.DiscardSink.Process(stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: discarded}); err != nil {
+			return fmt.Errorf("pmat: flatten %q: discard sink: %w", f.Name(), err)
+		}
+	}
+	return f.Emit(out)
+}
+
+// SlidingFlatten wraps Flatten with a trailing-window buffer: tuples are
+// accumulated into a stream.SlidingWindow, and each Tick re-runs flattening
+// over the buffered window using the online SGD estimate — the paper's
+// sliding-window mode. It is exercised by tests and example programs;
+// topologies default to batch Flatten.
+type SlidingFlatten struct {
+	*Flatten
+	win *stream.SlidingWindow
+}
+
+// NewSlidingFlatten builds a sliding-window flatten over span time units on
+// rect.
+func NewSlidingFlatten(name string, cfg FlattenConfig, span float64, rect geom.Rect, rng *stats.RNG) (*SlidingFlatten, error) {
+	cfg.Mode = EstimatorSGD
+	inner, err := NewFlatten(name, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	w, err := stream.NewSlidingWindow(span, rect)
+	if err != nil {
+		return nil, err
+	}
+	return &SlidingFlatten{Flatten: inner, win: w}, nil
+}
+
+// Offer adds tuples to the sliding buffer without triggering output.
+func (s *SlidingFlatten) Offer(b stream.Batch) {
+	for _, tp := range b.Tuples {
+		s.win.Add(tp)
+	}
+}
+
+// Tick flattens the current window contents and emits the result.
+func (s *SlidingFlatten) Tick(attr string) error {
+	if s.win.Len() == 0 {
+		return nil
+	}
+	return s.Flatten.Process(s.win.Snapshot(attr))
+}
+
+// Buffered returns the number of tuples currently in the window.
+func (s *SlidingFlatten) Buffered() int { return s.win.Len() }

@@ -1,0 +1,185 @@
+package pmat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// Union merges MDPPs of the same attribute and rate on adjacent regions
+// R*₁, R*₂, … into one process on R*₃ = ∪ R*ᵢ. The paper requires unioned
+// rectangles to be adjacent with a common side of equal length so the result
+// is again a rectangle; NewUnion enforces this by checking that the inputs
+// tile their bounding rectangle.
+//
+// Batches from different inputs that cover the same time slice are aligned
+// on their [T0, T1) interval and emitted as a single merged batch once every
+// input has delivered its share — the synchronous merge used in the paper's
+// Fig. 2(c) merge phase.
+type Union struct {
+	stream.Base
+
+	regions []geom.Rect
+	unioned geom.Rect
+	inputs  []*UnionInput
+
+	mu      sync.Mutex
+	pending map[timeKey]*pendingMerge
+}
+
+// UnionInput is one input port of a Union operator; upstream operators send
+// the branch for region Region into it.
+type UnionInput struct {
+	u      *Union
+	idx    int
+	region geom.Rect
+}
+
+// Region returns the region this input carries.
+func (in *UnionInput) Region() geom.Rect { return in.region }
+
+// Process implements stream.Processor.
+func (in *UnionInput) Process(b stream.Batch) error { return in.u.receive(in.idx, b) }
+
+type timeKey struct{ t0, t1 float64 }
+
+type pendingMerge struct {
+	got    []bool
+	nGot   int
+	attr   string
+	tuples []stream.Tuple
+}
+
+// NewUnion constructs a union over the given input regions. The regions
+// must be non-empty, pairwise disjoint, and tile their bounding box exactly
+// (total area equals the bounding-box area), which generalizes the paper's
+// pairwise adjacency condition to multi-way unions.
+func NewUnion(name string, regions ...geom.Rect) (*Union, error) {
+	if len(regions) < 2 {
+		return nil, errors.New("pmat: union requires at least two input regions")
+	}
+	for i, r := range regions {
+		if r.IsEmpty() {
+			return nil, fmt.Errorf("pmat: union %q: input region %d is empty", name, i)
+		}
+	}
+	if !geom.Disjoint(regions) {
+		return nil, fmt.Errorf("pmat: union %q: input regions overlap", name)
+	}
+	bb, err := geom.BoundingBox(regions)
+	if err != nil {
+		return nil, fmt.Errorf("pmat: union %q: %w", name, err)
+	}
+	total := 0.0
+	for _, r := range regions {
+		total += r.Area()
+	}
+	if diff := bb.Area() - total; diff > 1e-6*bb.Area() {
+		return nil, fmt.Errorf("pmat: union %q: input regions do not tile a rectangle (gap area %g); the paper requires adjacent regions with common sides", name, diff)
+	}
+	u := &Union{
+		Base:    stream.NewBase(name, "U"),
+		regions: append([]geom.Rect(nil), regions...),
+		unioned: bb,
+		pending: make(map[timeKey]*pendingMerge),
+	}
+	for i, r := range regions {
+		u.inputs = append(u.inputs, &UnionInput{u: u, idx: i, region: r})
+	}
+	return u, nil
+}
+
+// Inputs returns the operator's input ports, in construction order.
+func (u *Union) Inputs() []*UnionInput { return u.inputs }
+
+// Input returns the i-th input port.
+func (u *Union) Input(i int) (*UnionInput, error) {
+	if i < 0 || i >= len(u.inputs) {
+		return nil, fmt.Errorf("pmat: union %q: no input %d", u.Name(), i)
+	}
+	return u.inputs[i], nil
+}
+
+// Region returns R*₃, the unioned output region.
+func (u *Union) Region() geom.Rect { return u.unioned }
+
+// Process implements stream.Processor on the first input; most callers
+// should use the explicit input ports instead. It exists so a two-input
+// Union can sit directly in a linear chain.
+func (u *Union) Process(b stream.Batch) error { return u.receive(0, b) }
+
+func (u *Union) receive(idx int, b stream.Batch) error {
+	u.RecordIn(b)
+	key := timeKey{t0: b.Window.T0, t1: b.Window.T1}
+	u.mu.Lock()
+	pm, ok := u.pending[key]
+	if !ok {
+		pm = &pendingMerge{got: make([]bool, len(u.inputs)), attr: b.Attr}
+		u.pending[key] = pm
+	}
+	if pm.got[idx] {
+		// Duplicate delivery for this slice: fold it in without double
+		// counting the completion.
+		pm.tuples = append(pm.tuples, b.Tuples...)
+		u.mu.Unlock()
+		return nil
+	}
+	pm.got[idx] = true
+	pm.nGot++
+	pm.tuples = append(pm.tuples, b.Tuples...)
+	complete := pm.nGot == len(u.inputs)
+	if complete {
+		delete(u.pending, key)
+	}
+	u.mu.Unlock()
+	if !complete {
+		return nil
+	}
+	merged := stream.Batch{
+		Attr:   pm.attr,
+		Window: geom.Window{T0: key.t0, T1: key.t1, Rect: u.unioned},
+		Tuples: pm.tuples,
+	}
+	sort.Slice(merged.Tuples, func(i, j int) bool { return merged.Tuples[i].T < merged.Tuples[j].T })
+	return u.Emit(merged)
+}
+
+// PendingSlices returns the number of time slices awaiting completion —
+// useful for diagnosing stalled merge phases.
+func (u *Union) PendingSlices() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.pending)
+}
+
+// Flush force-emits every incomplete slice (e.g. at shutdown when an input
+// ended early). Slices are emitted in time order.
+func (u *Union) Flush() error {
+	u.mu.Lock()
+	keys := make([]timeKey, 0, len(u.pending))
+	for k := range u.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].t0 < keys[j].t0 })
+	merges := make([]*pendingMerge, len(keys))
+	for i, k := range keys {
+		merges[i] = u.pending[k]
+		delete(u.pending, k)
+	}
+	u.mu.Unlock()
+	for i, k := range keys {
+		b := stream.Batch{
+			Attr:   merges[i].attr,
+			Window: geom.Window{T0: k.t0, T1: k.t1, Rect: u.unioned},
+			Tuples: merges[i].tuples,
+		}
+		if err := u.Emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testGrid(t *testing.T) *geom.Grid {
+	t.Helper()
+	g, err := geom.NewGrid(geom.NewRect(0, 0, 6, 6), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func validQuery() Query {
+	return Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 10}
+}
+
+func TestValidate(t *testing.T) {
+	g := testGrid(t)
+	if err := validQuery().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Query{
+		{Attr: "", Region: geom.NewRect(0, 0, 4, 4), Rate: 10},
+		{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 0},
+		{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: -2},
+		{Attr: "rain", Region: geom.Rect{}, Rate: 10},
+		{Attr: "rain", Region: geom.NewRect(10, 10, 14, 14), Rate: 10}, // off grid
+		{Attr: "rain", Region: geom.NewRect(0, 0, 1, 1), Rate: 10},     // below one-cell minimum (cell area 4)
+	}
+	for i, q := range cases {
+		if q.Validate(g) == nil {
+			t.Errorf("case %d should be invalid: %v", i, q)
+		}
+	}
+	if err := validQuery().Validate(nil); err == nil {
+		t.Error("nil grid should error")
+	}
+}
+
+func TestMinimumAreaIsExactlyOneCell(t *testing.T) {
+	g := testGrid(t) // cell area 4
+	q := Query{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 1}
+	if err := q.Validate(g); err != nil {
+		t.Fatalf("exactly-one-cell query rejected: %v", err)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := validQuery()
+	q.ID = "Q1"
+	if q.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestRegistryAddAssignsIDs(t *testing.T) {
+	g := testGrid(t)
+	r := NewRegistry()
+	q1, err := r.Add(validQuery(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := r.Add(validQuery(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.ID != "Q1" || q2.ID != "Q2" {
+		t.Fatalf("ids = %s, %s", q1.ID, q2.ID)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRegistryAddValidates(t *testing.T) {
+	g := testGrid(t)
+	r := NewRegistry()
+	if _, err := r.Add(Query{Attr: "x", Rate: -1}, g); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed add left state")
+	}
+}
+
+func TestRegistryGetRemoveList(t *testing.T) {
+	g := testGrid(t)
+	r := NewRegistry()
+	q, _ := r.Add(validQuery(), g)
+	got, ok := r.Get(q.ID)
+	if !ok || got.Attr != "rain" {
+		t.Fatal("Get failed")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+	list := r.List()
+	if len(list) != 1 || list[0].ID != q.ID {
+		t.Fatal("List wrong")
+	}
+	if !r.Remove(q.ID) {
+		t.Fatal("Remove failed")
+	}
+	if r.Remove(q.ID) {
+		t.Fatal("double Remove succeeded")
+	}
+	if r.Len() != 0 {
+		t.Fatal("registry not empty")
+	}
+}
+
+func TestRegistryIDsNeverReused(t *testing.T) {
+	g := testGrid(t)
+	r := NewRegistry()
+	q1, _ := r.Add(validQuery(), g)
+	r.Remove(q1.ID)
+	q2, _ := r.Add(validQuery(), g)
+	if q2.ID == q1.ID {
+		t.Fatal("id reused after deletion")
+	}
+}
+
+func TestRegistryListSorted(t *testing.T) {
+	g := testGrid(t)
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		if _, err := r.Add(validQuery(), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := r.List()
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatal("list not sorted")
+		}
+	}
+}

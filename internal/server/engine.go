@@ -1,0 +1,270 @@
+// Package server wires the full CrAQR architecture of Fig. 1: mobile
+// sensors → request/response handler → crowdsensed stream fabricator →
+// acquired crowdsensed streams, with query input feeding the fabricator and
+// the F-operators' rate violations feeding budget tuning. The Engine runs
+// the loop in-process; an optional net/http façade (http.go) exposes query
+// registration and results over JSON.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/craql"
+	"repro/internal/geom"
+	"repro/internal/handler"
+	"repro/internal/incentive"
+	"repro/internal/query"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// Region is the geographical area of interest R.
+	Region geom.Rect
+	// GridCells is h, the number of grid cells (a perfect square).
+	GridCells int
+	// Epoch is the acquisition epoch length in time units.
+	Epoch float64
+	// Budget configures the tuning controller.
+	Budget budget.Config
+	// Fabricator configures pipelines and merge topology.
+	Fabricator topology.Config
+	// Fleet describes the synthetic sensor fleet.
+	Fleet sensors.FleetConfig
+	// Seed drives all randomness; equal seeds give equal runs.
+	Seed int64
+	// Incentives, when non-nil, enables the Section VI incentive extension:
+	// the allocator is fed violation pressure and the handler consults it.
+	Incentives *incentive.Allocator
+}
+
+// Engine is a running CrAQR instance.
+type Engine struct {
+	cfg     Config
+	grid    *geom.Grid
+	fleet   *sensors.Fleet
+	fields  map[string]sensors.Field
+	budgets *budget.Controller
+	handler *handler.Handler
+	fab     *topology.Fabricator
+	rng     *stats.RNG
+
+	mu      sync.Mutex
+	stepMu  sync.Mutex // serializes epochs across callers (HTTP, tickers)
+	now     float64
+	epochs  int
+	results map[string]*stream.Collector
+}
+
+// New assembles an engine from the config and ground-truth fields.
+func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("server: New requires at least one field")
+	}
+	if cfg.Epoch <= 0 {
+		return nil, errors.New("server: Epoch must be positive")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	grid, err := geom.NewGrid(cfg.Region, cfg.GridCells)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	fleet, err := sensors.BuildFleet(cfg.Region, cfg.Fleet, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	budgets, err := budget.NewController(cfg.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	h, err := handler.New(handler.Config{EpochLength: cfg.Epoch}, grid, fleet, fields, budgets, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	fab, err := topology.New(grid, cfg.Fabricator, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	fab.AttachBudgets(budgets)
+	if cfg.Incentives != nil {
+		alloc := cfg.Incentives
+		h.SetIncentive(func(k budget.Key) float64 { return alloc.Incentive(k) })
+	}
+	return &Engine{
+		cfg:     cfg,
+		grid:    grid,
+		fleet:   fleet,
+		fields:  fields,
+		budgets: budgets,
+		handler: h,
+		fab:     fab,
+		rng:     rng,
+		results: make(map[string]*stream.Collector),
+	}, nil
+}
+
+// Grid returns the engine's grid.
+func (e *Engine) Grid() *geom.Grid { return e.grid }
+
+// Fleet returns the sensor fleet.
+func (e *Engine) Fleet() *sensors.Fleet { return e.fleet }
+
+// Budgets returns the budget controller.
+func (e *Engine) Budgets() *budget.Controller { return e.budgets }
+
+// Handler returns the request/response handler.
+func (e *Engine) Handler() *handler.Handler { return e.handler }
+
+// Fabricator returns the stream fabricator.
+func (e *Engine) Fabricator() *topology.Fabricator { return e.fab }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Epochs returns the number of completed epochs.
+func (e *Engine) Epochs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epochs
+}
+
+// Submit registers an acquisitional query and returns its stored form. The
+// query's fabricated stream accumulates in a collector readable via
+// Results.
+func (e *Engine) Submit(q query.Query) (query.Query, error) {
+	col := stream.NewCollector()
+	stored, err := e.fab.InsertQuery(q, col)
+	if err != nil {
+		return query.Query{}, err
+	}
+	e.mu.Lock()
+	e.results[stored.ID] = col
+	e.mu.Unlock()
+	return stored, nil
+}
+
+// SubmitCRAQL parses a CrAQL statement and submits it.
+func (e *Engine) SubmitCRAQL(src string) (query.Query, error) {
+	q, err := craql.Parse(src)
+	if err != nil {
+		return query.Query{}, err
+	}
+	return e.Submit(q)
+}
+
+// SubmitScript parses a multi-statement CrAQL script (";"-separated, "--"
+// comments) and submits every query, returning the stored queries in
+// script order. On a mid-script failure the already-inserted queries are
+// rolled back so the script is all-or-nothing.
+func (e *Engine) SubmitScript(src string) ([]query.Query, error) {
+	qs, err := craql.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	stored := make([]query.Query, 0, len(qs))
+	for _, q := range qs {
+		s, err := e.Submit(q)
+		if err != nil {
+			for _, prev := range stored {
+				_ = e.Delete(prev.ID)
+			}
+			return nil, fmt.Errorf("server: script query %q: %w", craql.Format(q), err)
+		}
+		stored = append(stored, s)
+	}
+	return stored, nil
+}
+
+// SubmitWithSink registers a query whose stream is delivered to a custom
+// processor instead of an internal collector.
+func (e *Engine) SubmitWithSink(q query.Query, sink stream.Processor) (query.Query, error) {
+	return e.fab.InsertQuery(q, sink)
+}
+
+// Delete removes a live query and its collector.
+func (e *Engine) Delete(id string) error {
+	if err := e.fab.DeleteQuery(id); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.results, id)
+	e.mu.Unlock()
+	return nil
+}
+
+// Results returns the tuples fabricated so far for a query submitted via
+// Submit.
+func (e *Engine) Results(id string) ([]stream.Tuple, error) {
+	e.mu.Lock()
+	col, ok := e.results[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no collector for query %q", id)
+	}
+	return col.Tuples(), nil
+}
+
+// Queries lists the live queries.
+func (e *Engine) Queries() []query.Query { return e.fab.Registry().List() }
+
+// Step runs one acquisition epoch: the handler spends its budgets on
+// requests, the responses are ingested through the fabricator, violations
+// tune the budgets (wired via AttachBudgets), and — when enabled — the
+// incentive allocator reallocates from fresh pressure.
+func (e *Engine) Step() error {
+	e.stepMu.Lock()
+	defer e.stepMu.Unlock()
+	e.mu.Lock()
+	t0 := e.now
+	e.now += e.cfg.Epoch
+	e.epochs++
+	e.mu.Unlock()
+	batches, err := e.handler.RunEpoch(t0)
+	if err != nil {
+		return fmt.Errorf("server: epoch at t=%g: %w", t0, err)
+	}
+	// Ingest every attribute that has live pipelines, including attributes
+	// with no responses this epoch (empty batch → violation pressure).
+	window := geom.Window{T0: t0, T1: t0 + e.cfg.Epoch, Rect: e.grid.Region()}
+	seen := make(map[string]bool, len(batches))
+	for attr, b := range batches {
+		seen[attr] = true
+		if err := e.fab.Ingest(b); err != nil {
+			return fmt.Errorf("server: ingest %s: %w", attr, err)
+		}
+	}
+	for attr := range e.fields {
+		if !seen[attr] {
+			if err := e.fab.Ingest(stream.Batch{Attr: attr, Window: window}); err != nil {
+				return fmt.Errorf("server: ingest empty %s: %w", attr, err)
+			}
+		}
+	}
+	if e.cfg.Incentives != nil {
+		for _, snap := range e.budgets.Snapshots() {
+			e.cfg.Incentives.ObservePressure(snap.Key, snap.LastNv)
+		}
+		e.cfg.Incentives.Reallocate()
+	}
+	return nil
+}
+
+// Run executes n epochs.
+func (e *Engine) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// HTTPServer exposes an Engine over JSON/HTTP:
+//
+//	POST /queries        body: CrAQL text        → {"id": "Q1", ...}
+//	POST /script         body: CrAQL script (";"-separated, atomic)
+//	GET  /queries        → list of live queries
+//	DELETE /queries/{id} → remove a query
+//	GET  /results/{id}?limit=n → fabricated tuples for the query
+//	POST /step?n=k       → advance k acquisition epochs
+//	GET  /status         → engine status (time, epochs, budgets, operators)
+//
+// The server serializes Step calls so epochs never interleave.
+type HTTPServer struct {
+	engine *Engine
+	mux    *http.ServeMux
+	stepMu sync.Mutex
+}
+
+// NewHTTPServer wraps an engine.
+func NewHTTPServer(e *Engine) (*HTTPServer, error) {
+	if e == nil {
+		return nil, errors.New("server: NewHTTPServer requires an engine")
+	}
+	s := &HTTPServer{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/queries", s.handleQueries)
+	s.mux.HandleFunc("/queries/", s.handleQueryByID)
+	s.mux.HandleFunc("/script", s.handleScript)
+	s.mux.HandleFunc("/results/", s.handleResults)
+	s.mux.HandleFunc("/step", s.handleStep)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// queryJSON is the wire form of a query.
+type queryJSON struct {
+	ID    string  `json:"id"`
+	Attr  string  `json:"attr"`
+	MinX  float64 `json:"minX"`
+	MinY  float64 `json:"minY"`
+	MaxX  float64 `json:"maxX"`
+	MaxY  float64 `json:"maxY"`
+	Rate  float64 `json:"rate"`
+	CRAQL string  `json:"craql,omitempty"`
+}
+
+func (s *HTTPServer) handleQueries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q, err := s.engine.SubmitCRAQL(string(body))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, queryJSON{
+			ID: q.ID, Attr: q.Attr,
+			MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
+			Rate: q.Rate,
+		})
+	case http.MethodGet:
+		var out []queryJSON
+		for _, q := range s.engine.Queries() {
+			out = append(out, queryJSON{
+				ID: q.ID, Attr: q.Attr,
+				MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
+				Rate: q.Rate,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (s *HTTPServer) handleQueryByID(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Path[len("/queries/"):]
+	if id == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query id"))
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		if err := s.engine.Delete(id); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleScript accepts a multi-statement CrAQL script (";"-separated, "--"
+// comments) and submits it atomically.
+func (s *HTTPServer) handleScript(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	qs, err := s.engine.SubmitScript(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]queryJSON, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, queryJSON{
+			ID: q.ID, Attr: q.Attr,
+			MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
+			Rate: q.Rate,
+		})
+	}
+	writeJSON(w, http.StatusCreated, out)
+}
+
+// tupleJSON is the wire form of one fabricated tuple.
+type tupleJSON struct {
+	ID    uint64  `json:"id"`
+	T     float64 `json:"t"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Value float64 `json:"value"`
+}
+
+func (s *HTTPServer) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	id := r.URL.Path[len("/results/"):]
+	tuples, err := s.engine.Results(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	limit := len(tuples)
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", lv))
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	out := make([]tupleJSON, 0, limit)
+	for _, tp := range tuples[:limit] {
+		out = append(out, tupleJSON{ID: tp.ID, T: tp.T, X: tp.X, Y: tp.Y, Value: tp.Value})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"count": len(tuples), "tuples": out})
+}
+
+func (s *HTTPServer) handleStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	n := 1
+	if nv := r.URL.Query().Get("n"); nv != "" {
+		parsed, err := strconv.Atoi(nv)
+		if err != nil || parsed <= 0 || parsed > 100000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", nv))
+			return
+		}
+		n = parsed
+	}
+	s.stepMu.Lock()
+	err := s.engine.Run(n)
+	s.stepMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"epochs": s.engine.Epochs(), "now": s.engine.Now()})
+}
+
+func (s *HTTPServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	budgets := s.engine.Budgets().Snapshots()
+	type budgetJSON struct {
+		Attr       string  `json:"attr"`
+		Q          int     `json:"q"`
+		R          int     `json:"r"`
+		Budget     float64 `json:"budget"`
+		LastNv     float64 `json:"lastNv"`
+		Infeasible bool    `json:"infeasible"`
+	}
+	bj := make([]budgetJSON, 0, len(budgets))
+	for _, b := range budgets {
+		bj = append(bj, budgetJSON{
+			Attr: b.Key.Attr, Q: b.Key.Cell.Q, R: b.Key.Cell.R,
+			Budget: b.Budget, LastNv: b.LastNv, Infeasible: b.Infeasible,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"now":       s.engine.Now(),
+		"epochs":    s.engine.Epochs(),
+		"queries":   len(s.engine.Queries()),
+		"pipelines": s.engine.Fabricator().NumPipelines(),
+		"operators": s.engine.Fabricator().OperatorCounts(),
+		"requests":  s.engine.Handler().RequestsSent(),
+		"responses": s.engine.Handler().ResponsesReceived(),
+		"budgets":   bj,
+	})
+}

@@ -1,0 +1,550 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/geom"
+	"repro/internal/incentive"
+	"repro/internal/pmat"
+	"repro/internal/query"
+	"repro/internal/sensors"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+func testConfig() Config {
+	return Config{
+		Region:    geom.NewRect(0, 0, 8, 8),
+		GridCells: 16,
+		Epoch:     1,
+		Budget:    budget.Config{Initial: 20, Delta: 5, Min: 5, Max: 200, ViolationThreshold: 10},
+		Fleet: sensors.FleetConfig{
+			N:        300,
+			Response: sensors.ResponseModel{BaseProb: 0.7, MaxProb: 0.95, IncentiveScale: 1, MeanLatency: 0.02},
+		},
+		Seed: 1,
+	}
+}
+
+func testFields(t *testing.T) map[string]sensors.Field {
+	t.Helper()
+	rain, err := sensors.NewRainField(geom.NewRect(0, 0, 8, 8), []sensors.Storm{{X0: 2, Y0: 2, VX: 0.1, VY: 0, Radius: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp, err := sensors.NewTempField(20, 0.2, 0, 3, 24, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]sensors.Field{"rain": rain, "temp": temp}
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(testConfig(), testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig(), nil); err == nil {
+		t.Error("no fields should error")
+	}
+	cfg := testConfig()
+	cfg.Epoch = 0
+	if _, err := New(cfg, testFields(t)); err == nil {
+		t.Error("zero epoch should error")
+	}
+	cfg = testConfig()
+	cfg.GridCells = 7
+	if _, err := New(cfg, testFields(t)); err == nil {
+		t.Error("non-square grid should error")
+	}
+	cfg = testConfig()
+	cfg.Budget = budget.Config{}
+	if _, err := New(cfg, testFields(t)); err == nil {
+		t.Error("bad budget config should error")
+	}
+	cfg = testConfig()
+	cfg.Fleet.N = 0
+	if _, err := New(cfg, testFields(t)); err == nil {
+		t.Error("empty fleet should error")
+	}
+}
+
+func TestSubmitAndRun(t *testing.T) {
+	e := newEngine(t)
+	q, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != "Q1" {
+		t.Fatalf("id = %s", q.ID)
+	}
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if e.Epochs() != 20 || e.Now() != 20 {
+		t.Fatalf("epochs=%d now=%g", e.Epochs(), e.Now())
+	}
+	tuples, err := e.Results(q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) == 0 {
+		t.Fatal("no tuples fabricated")
+	}
+	for _, tp := range tuples {
+		if tp.Attr != "rain" {
+			t.Fatal("wrong attribute in results")
+		}
+		if !geom.NewRect(0, 0, 4, 4).Contains(geom.Point{X: tp.X, Y: tp.Y}) {
+			t.Fatalf("tuple outside query region: %v", tp)
+		}
+		if tp.Value != 0 && tp.Value != 1 {
+			t.Fatalf("rain value = %g", tp.Value)
+		}
+	}
+}
+
+func TestRateTracksRequest(t *testing.T) {
+	e := newEngine(t)
+	q, err := e.Submit(query.Query{Attr: "temp", Region: geom.NewRect(0, 0, 4, 4), Rate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := 10
+	if err := e.Run(warmup); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := e.Results(q.ID)
+	measured := 40
+	if err := e.Run(measured); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := e.Results(q.ID)
+	got := float64(len(after)-len(before)) / (float64(measured) * 16)
+	if math.Abs(got-2) > 1 {
+		t.Fatalf("delivered rate %g, want ≈2", got)
+	}
+}
+
+func TestSubmitCRAQL(t *testing.T) {
+	e := newEngine(t)
+	q, err := e.SubmitCRAQL("ACQUIRE temp FROM RECT(0, 0, 4, 4) RATE 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Attr != "temp" {
+		t.Fatal("CRAQL submit wrong")
+	}
+	if _, err := e.SubmitCRAQL("garbage"); err == nil {
+		t.Fatal("bad CRAQL accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := newEngine(t)
+	q, _ := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 3})
+	if err := e.Delete(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Results(q.ID); err == nil {
+		t.Fatal("results survive deletion")
+	}
+	if err := e.Delete(q.ID); err == nil {
+		t.Fatal("double delete should error")
+	}
+	if len(e.Queries()) != 0 {
+		t.Fatal("query list not empty")
+	}
+}
+
+func TestBudgetsReactToStarvation(t *testing.T) {
+	// A tiny fleet cannot satisfy an aggressive rate: budgets must climb.
+	cfg := testConfig()
+	cfg.Fleet.N = 10
+	e, err := New(cfg, testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	total := e.Budgets().TotalBudget()
+	initial := 20.0 * float64(len(e.Budgets().Snapshots()))
+	if total <= initial {
+		t.Fatalf("budgets did not climb under starvation: %g <= %g", total, initial)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() int {
+		e := newEngine(t)
+		q, _ := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 3})
+		_ = e.Run(10)
+		tuples, _ := e.Results(q.ID)
+		return len(tuples)
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestEngineWithIncentives(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fleet.Response = sensors.ResponseModel{BaseProb: 0.1, MaxProb: 0.9, IncentiveScale: 1, MeanLatency: 0.02}
+	alloc, err := incentive.NewAllocator(cfg.Fleet.Response, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Incentives = alloc
+	e, err := New(cfg, testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalAllocated() == 0 {
+		t.Fatal("incentives never allocated despite starvation")
+	}
+}
+
+func TestSubmitWithSink(t *testing.T) {
+	e := newEngine(t)
+	var got int
+	sink := sinkFunc(func(n int) { got += n })
+	if _, err := e.SubmitWithSink(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 3}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Fatal("custom sink never fed")
+	}
+}
+
+// sinkFunc adapts a counting func to stream.Processor.
+type sinkFunc func(n int)
+
+// Process implements stream.Processor.
+func (f sinkFunc) Process(b stream.Batch) error {
+	f(b.Len())
+	return nil
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	e := newEngine(t)
+	s, err := NewHTTPServer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Submit a query.
+	resp, err := ts.Client().Post(ts.URL+"/queries", "text/plain", strings.NewReader("ACQUIRE rain FROM RECT(0,0,4,4) RATE 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 201 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qj struct {
+		ID   string  `json:"id"`
+		Rate float64 `json:"rate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qj); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qj.ID != "Q1" || qj.Rate != 3 {
+		t.Fatalf("query json = %+v", qj)
+	}
+
+	// Step 10 epochs.
+	resp, err = ts.Client().Post(ts.URL+"/step?n=10", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("step status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Results.
+	resp, err = ts.Client().Get(ts.URL + "/results/Q1?limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rj struct {
+		Count  int `json:"count"`
+		Tuples []struct {
+			T float64 `json:"t"`
+		} `json:"tuples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rj); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rj.Count == 0 {
+		t.Fatal("no results over HTTP")
+	}
+	if len(rj.Tuples) > 5 {
+		t.Fatal("limit ignored")
+	}
+
+	// Status.
+	resp, err = ts.Client().Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st["queries"].(float64) != 1 {
+		t.Fatalf("status queries = %v", st["queries"])
+	}
+
+	// List queries.
+	resp, err = ts.Client().Get(ts.URL + "/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Delete.
+	delReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/queries/Q1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Errors.
+	resp, _ = ts.Client().Get(ts.URL + "/results/QX")
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing results status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = ts.Client().Post(ts.URL+"/queries", "text/plain", strings.NewReader("bad"))
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad query status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = ts.Client().Post(ts.URL+"/step?n=abc", "", nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad step status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = ts.Client().Get(ts.URL + "/step")
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET step status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestFabricatorConfigPlumbed(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fabricator = topology.Config{Merge: topology.MergeTree}
+	e, err := New(cfg, testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 2), Rate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := e.Fabricator().QueryPlan(q.ID)
+	if plan == nil || plan.Depth != 2 {
+		t.Fatalf("tree merge not used: depth = %v", plan)
+	}
+}
+
+func TestInfeasibleQueryFlagged(t *testing.T) {
+	// Failure injection: a near-silent fleet with a tight budget cap cannot
+	// serve an aggressive rate; the paper says the user must then "either
+	// accept the feasible rate or pay more" — the slot is flagged.
+	cfg := testConfig()
+	cfg.Fleet.N = 30
+	cfg.Fleet.Response = sensors.ResponseModel{BaseProb: 0.05, MaxProb: 0.2, IncentiveScale: 1}
+	cfg.Budget = budget.Config{Initial: 5, Delta: 5, Min: 1, Max: 20, ViolationThreshold: 5}
+	e, err := New(cfg, testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	infeasible := 0
+	for _, s := range e.Budgets().Snapshots() {
+		if s.Infeasible {
+			infeasible++
+		}
+	}
+	if infeasible == 0 {
+		t.Fatal("no slot flagged infeasible despite impossible rate and capped budget")
+	}
+}
+
+func TestMultiAttributeEnginesIsolateStreams(t *testing.T) {
+	e := newEngine(t)
+	qRain, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qTemp, err := e.Submit(query.Query{Attr: "temp", Region: geom.NewRect(0, 0, 4, 4), Rate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	rain, _ := e.Results(qRain.ID)
+	temp, _ := e.Results(qTemp.ID)
+	if len(rain) == 0 || len(temp) == 0 {
+		t.Fatal("one attribute starved")
+	}
+	for _, tp := range rain {
+		if tp.Attr != "rain" {
+			t.Fatal("cross-attribute leakage into rain stream")
+		}
+	}
+	for _, tp := range temp {
+		if tp.Attr != "temp" {
+			t.Fatal("cross-attribute leakage into temp stream")
+		}
+		if tp.Value == 0 || tp.Value == 1 {
+			continue // temperatures can coincidentally be 0/1; no assert
+		}
+	}
+}
+
+func TestSubmitScript(t *testing.T) {
+	e := newEngine(t)
+	qs, err := e.SubmitScript(`
+-- two queries
+ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 3;
+ACQUIRE temp FROM RECT(4, 0, 8, 4) RATE 2;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0].ID != "Q1" || qs[1].ID != "Q2" {
+		t.Fatalf("script queries = %+v", qs)
+	}
+	if len(e.Queries()) != 2 {
+		t.Fatal("queries not live")
+	}
+}
+
+func TestSubmitScriptRollsBack(t *testing.T) {
+	e := newEngine(t)
+	// Second statement is parseable but invalid (region off grid).
+	_, err := e.SubmitScript(`
+ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 3;
+ACQUIRE temp FROM RECT(100, 100, 104, 104) RATE 2;
+`)
+	if err == nil {
+		t.Fatal("invalid script accepted")
+	}
+	if len(e.Queries()) != 0 {
+		t.Fatal("partial script not rolled back")
+	}
+}
+
+func TestEngineWithSGDFlatten(t *testing.T) {
+	// The fabricator's flatten mode is configurable end to end; SGD mode
+	// must deliver comparable rates after warm-up.
+	cfg := testConfig()
+	cfg.Fabricator.Pipeline.Flatten.Mode = pmat.EstimatorSGD
+	e, err := New(cfg, testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Submit(query.Query{Attr: "temp", Region: geom.NewRect(0, 0, 4, 4), Rate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	tuples, _ := e.Results(q.ID)
+	rate := float64(len(tuples)) / (40 * 16)
+	if rate < 0.5 || rate > 4 {
+		t.Fatalf("SGD-mode delivered rate %g, want near 2", rate)
+	}
+}
+
+func TestHTTPScriptEndpoint(t *testing.T) {
+	e := newEngine(t)
+	s, err := NewHTTPServer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	script := "ACQUIRE rain FROM RECT(0,0,4,4) RATE 3;\n-- comment\nACQUIRE temp FROM RECT(4,0,8,4) RATE 2;"
+	resp, err := ts.Client().Post(ts.URL+"/script", "text/plain", strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 201 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out) != 2 {
+		t.Fatalf("submitted %d queries", len(out))
+	}
+	// Atomic failure: bad script leaves nothing behind.
+	resp, _ = ts.Client().Post(ts.URL+"/script", "text/plain", strings.NewReader("ACQUIRE x FROM RECT(0,0,4,4) RATE 3; garbage"))
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad script status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if len(e.Queries()) != 2 {
+		t.Fatalf("queries after failed script = %d", len(e.Queries()))
+	}
+	// Method check.
+	resp, _ = ts.Client().Get(ts.URL + "/script")
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET script status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,178 @@
+// Package stats provides the statistical substrate for CrAQR: seeded random
+// number generation, samplers for the distributions used by point-process
+// simulation (Bernoulli, Poisson, exponential, normal), histograms,
+// goodness-of-fit tests (chi-square, Kolmogorov–Smirnov) and streaming
+// summaries. Everything is deterministic given a seed, so experiments and
+// tests are reproducible.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// RNG is a seeded source of random variates. It wraps math/rand with the
+// samplers needed by the point-process layer. RNG is not safe for concurrent
+// use; use Fork to derive independent generators for concurrent components,
+// or LockedRNG for a mutex-guarded variant.
+type RNG struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed the generator was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Fork derives a new independent generator from g. The derived stream is a
+// deterministic function of g's current state, so forking at the same point
+// in a program always yields the same child stream.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Bernoulli returns true with probability p. Probabilities outside [0, 1]
+// are clamped, which matches the paper's treatment of rate violations where
+// retaining probabilities above one are rounded to one.
+func (g *RNG) Bernoulli(p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return g.r.Float64() < p
+}
+
+// Exponential returns an exponential variate with rate lambda (mean
+// 1/lambda). It panics if lambda <= 0.
+func (g *RNG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exponential requires lambda > 0")
+	}
+	return g.r.ExpFloat64() / lambda
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means it
+// uses Knuth's multiplication method; for large means it uses the PTRS
+// transformed-rejection sampler (Hörmann 1993), which is O(1) per variate.
+// A non-positive mean yields zero.
+func (g *RNG) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		return g.poissonKnuth(mean)
+	default:
+		return g.poissonPTRS(mean)
+	}
+}
+
+func (g *RNG) poissonKnuth(mean float64) int {
+	limit := math.Exp(-mean)
+	k := 0
+	p := g.r.Float64()
+	for p > limit {
+		k++
+		p *= g.r.Float64()
+	}
+	return k
+}
+
+// poissonPTRS implements the transformed rejection sampler with squeeze.
+func (g *RNG) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMu := math.Log(mean)
+	for {
+		u := g.r.Float64() - 0.5
+		v := g.r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMu-mean-lg {
+			return int(k)
+		}
+	}
+}
+
+// LockedRNG is a mutex-guarded RNG safe for concurrent use. It is intended
+// for components, like the HTTP server, that may be driven from multiple
+// goroutines; hot loops should use per-goroutine forks instead.
+type LockedRNG struct {
+	mu sync.Mutex
+	g  *RNG
+}
+
+// NewLockedRNG returns a concurrency-safe generator seeded with seed.
+func NewLockedRNG(seed int64) *LockedRNG {
+	return &LockedRNG{g: NewRNG(seed)}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (l *LockedRNG) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.g.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (l *LockedRNG) Bernoulli(p float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.g.Bernoulli(p)
+}
+
+// Poisson returns a Poisson variate with the given mean.
+func (l *LockedRNG) Poisson(mean float64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.g.Poisson(mean)
+}
+
+// Fork derives an independent single-goroutine RNG.
+func (l *LockedRNG) Fork() *RNG {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.g.Fork()
+}

@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedAccessor(t *testing.T) {
+	if got := NewRNG(7).Seed(); got != 7 {
+		t.Fatalf("Seed() = %d, want 7", got)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	equal := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if c1.Float64() == c2.Float64() {
+			equal++
+		}
+	}
+	if equal > n/100 {
+		t.Fatalf("forked streams coincide on %d/%d draws", equal, n)
+	}
+}
+
+func TestForkDeterminism(t *testing.T) {
+	f1 := NewRNG(5).Fork()
+	f2 := NewRNG(5).Fork()
+	for i := 0; i < 100; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("fork of identical parents diverged")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform(-2,5) produced %g", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	g := NewRNG(4)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(g.Uniform(0, 10))
+	}
+	if math.Abs(s.Mean()-5) > 0.1 {
+		t.Fatalf("Uniform(0,10) mean = %g, want ≈5", s.Mean())
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if !g.Bernoulli(1.0) || !g.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(p>=1) must always be true")
+		}
+		if g.Bernoulli(0.0) || g.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(p<=0) must always be false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	g := NewRNG(6)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if g.Bernoulli(p) {
+				hits++
+			}
+		}
+		freq := float64(hits) / n
+		if math.Abs(freq-p) > 0.01 {
+			t.Errorf("Bernoulli(%g) frequency = %g", p, freq)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(7)
+	for _, lambda := range []float64{0.5, 2, 10} {
+		var s Summary
+		for i := 0; i < 50000; i++ {
+			s.Add(g.Exponential(lambda))
+		}
+		want := 1 / lambda
+		if math.Abs(s.Mean()-want) > 0.05*want {
+			t.Errorf("Exponential(%g) mean = %g, want ≈%g", lambda, s.Mean(), want)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	NewRNG(1).Exponential(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(8)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(g.Normal(3, 2))
+	}
+	if math.Abs(s.Mean()-3) > 0.05 {
+		t.Errorf("Normal(3,2) mean = %g", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 0.05 {
+		t.Errorf("Normal(3,2) stddev = %g", s.StdDev())
+	}
+}
+
+func TestPoissonZeroAndNegativeMean(t *testing.T) {
+	g := NewRNG(9)
+	if g.Poisson(0) != 0 || g.Poisson(-3) != 0 {
+		t.Fatal("Poisson of non-positive mean must be 0")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	g := NewRNG(10)
+	// Covers both the Knuth (<30) and PTRS (>=30) branches.
+	for _, mean := range []float64{0.5, 3, 12, 29.9, 30, 80, 400, 5000} {
+		var s Summary
+		n := 20000
+		for i := 0; i < n; i++ {
+			s.Add(float64(g.Poisson(mean)))
+		}
+		tol := 4 * math.Sqrt(mean/float64(n)) // 4 standard errors
+		if math.Abs(s.Mean()-mean) > tol {
+			t.Errorf("Poisson(%g) mean = %g (tol %g)", mean, s.Mean(), tol)
+		}
+		// Variance should also be ≈ mean.
+		if math.Abs(s.Variance()-mean) > 0.1*mean+1 {
+			t.Errorf("Poisson(%g) variance = %g", mean, s.Variance())
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	g := NewRNG(11)
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(mean float64) bool {
+		m := math.Abs(math.Mod(mean, 1000))
+		return g.Poisson(m) >= 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnAndPerm(t *testing.T) {
+	g := NewRNG(12)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := g.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values", len(seen))
+	}
+	p := g.Perm(100)
+	mark := make([]bool, 100)
+	for _, v := range p {
+		if mark[v] {
+			t.Fatal("Perm produced duplicate")
+		}
+		mark[v] = true
+	}
+}
+
+func TestLockedRNG(t *testing.T) {
+	l := NewLockedRNG(13)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				_ = l.Float64()
+				_ = l.Bernoulli(0.5)
+				_ = l.Poisson(5)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	child := l.Fork()
+	if child == nil {
+		t.Fatal("LockedRNG.Fork returned nil")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	g := NewRNG(14)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	g.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	mark := make([]bool, 8)
+	for _, v := range vals {
+		mark[v] = true
+	}
+	for i, m := range mark {
+		if !m {
+			t.Fatalf("value %d lost in shuffle", i)
+		}
+	}
+}

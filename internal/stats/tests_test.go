@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	g := NewRNG(100)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[g.Intn(10)]++
+	}
+	res, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("uniform data rejected: p = %g, X2 = %g", res.PValue, res.Statistic)
+	}
+	if res.DF != 9 {
+		t.Errorf("DF = %d, want 9", res.DF)
+	}
+	if res.N != 100000 {
+		t.Errorf("N = %d", res.N)
+	}
+}
+
+func TestChiSquareUniformRejectsSkew(t *testing.T) {
+	counts := []int{1000, 10, 10, 10, 10}
+	res, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("heavily skewed data accepted: p = %g", res.PValue)
+	}
+}
+
+func TestChiSquareUniformErrors(t *testing.T) {
+	if _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single bin should error")
+	}
+	if _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("zero observations should error")
+	}
+	if _, err := ChiSquareUniform([]int{3, -1}); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestChiSquareExpected(t *testing.T) {
+	obs := []int{52, 48}
+	exp := []float64{50, 50}
+	res, err := ChiSquareExpected(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0*2.0)/50 + (2.0*2.0)/50
+	if math.Abs(res.Statistic-want) > 1e-12 {
+		t.Errorf("X2 = %g, want %g", res.Statistic, want)
+	}
+	if _, err := ChiSquareExpected([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ChiSquareExpected([]int{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("non-positive expected should error")
+	}
+}
+
+func TestKSUniformAcceptsUniform(t *testing.T) {
+	g := NewRNG(101)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = g.Uniform(2, 7)
+	}
+	res, err := KSUniform(sample, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("uniform sample rejected: p = %g, D = %g", res.PValue, res.Statistic)
+	}
+}
+
+func TestKSUniformRejectsNonUniform(t *testing.T) {
+	g := NewRNG(102)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		// Quadratic CDF: density rising to the right.
+		u := g.Float64()
+		sample[i] = math.Sqrt(u)
+	}
+	res, err := KSUniform(sample, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("quadratic sample accepted as uniform: p = %g", res.PValue)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSUniform(nil, 0, 1); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, err := KSUniform([]float64{1}, 1, 1); err == nil {
+		t.Error("degenerate range should error")
+	}
+}
+
+func TestKSTestDoesNotMutateInput(t *testing.T) {
+	sample := []float64{0.9, 0.1, 0.5}
+	_, err := KSUniform(sample, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample[0] != 0.9 || sample[1] != 0.1 {
+		t.Error("KSUniform sorted the caller's slice")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %g", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema = [%g, %g]", s.Min(), s.Max())
+	}
+	lo, hi := s.CI95()
+	if lo >= s.Mean() || hi <= s.Mean() {
+		t.Errorf("CI [%g, %g] does not bracket the mean", lo, hi)
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 || Quantile(xs, 0.5) != 2 {
+		t.Error("Quantile endpoints or median wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) should be 0")
+	}
+	// Interpolation: quantile 0.25 of [1,2,3] is 1.5.
+	if got := Quantile(xs, 0.25); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Quantile(0.25) = %g", got)
+	}
+	// Out-of-range q is clamped.
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
+		t.Error("Quantile clamp failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 11} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.String() == "" {
+		t.Error("String() empty")
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHistogramUniformityPValue(t *testing.T) {
+	g := NewRNG(103)
+	h, _ := NewHistogram(0, 1, 10)
+	for i := 0; i < 50000; i++ {
+		h.Add(g.Float64())
+	}
+	p, err := h.UniformityPValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("uniform histogram rejected: p = %g", p)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := NewGrid2D(0, 4, 0, 2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Add(0.5, 0.5) // cell (0,0)
+	g.Add(3.9, 1.9) // cell (3,1)
+	g.Add(-1, 0)    // outside
+	if g.N() != 2 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.Outside != 1 {
+		t.Errorf("Outside = %d", g.Outside)
+	}
+	if g.Counts[0] != 1 {
+		t.Error("cell (0,0) not counted")
+	}
+	if g.Counts[1*4+3] != 1 {
+		t.Error("cell (3,1) not counted")
+	}
+	if _, err := NewGrid2D(0, 1, 0, 1, 0, 2); err == nil {
+		t.Error("zero nx should error")
+	}
+	if _, err := NewGrid2D(1, 1, 0, 1, 2, 2); err == nil {
+		t.Error("empty extent should error")
+	}
+}
+
+func TestReservoir(t *testing.T) {
+	g := NewRNG(104)
+	r, err := NewReservoir(100, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 10000 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+	if len(r.Sample()) != 100 {
+		t.Fatalf("sample size = %d", len(r.Sample()))
+	}
+	// The sample mean should be near the stream mean (≈ 4999.5).
+	if m := Mean(r.Sample()); math.Abs(m-4999.5) > 1500 {
+		t.Errorf("reservoir mean = %g, badly skewed", m)
+	}
+	if _, err := NewReservoir(0, g); err == nil {
+		t.Error("capacity 0 should error")
+	}
+	if _, err := NewReservoir(5, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+}

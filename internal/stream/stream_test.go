@@ -1,0 +1,236 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testWindow() geom.Window {
+	return geom.Window{T0: 0, T1: 2, Rect: geom.NewRect(0, 0, 4, 4)}
+}
+
+func makeBatch(n int) Batch {
+	b := Batch{Attr: "temp", Window: testWindow()}
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		b.Tuples = append(b.Tuples, Tuple{
+			ID: uint64(i), Attr: "temp",
+			T: 2 * f, X: 4 * f, Y: 4 * (1 - f), Value: f, Sensor: i % 7,
+		})
+	}
+	return b
+}
+
+func TestTupleEventAndString(t *testing.T) {
+	tp := Tuple{ID: 3, Attr: "rain", T: 1, X: 2, Y: 3, Value: 1}
+	e := tp.Event()
+	if e.T != 1 || e.X != 2 || e.Y != 3 {
+		t.Fatalf("event = %+v", e)
+	}
+	if tp.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestBatchBasics(t *testing.T) {
+	b := makeBatch(32)
+	if b.Len() != 32 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	ev := b.Events()
+	if len(ev) != 32 || ev[5].T != b.Tuples[5].T {
+		t.Fatal("Events projection wrong")
+	}
+	// volume = 2·16 = 32; rate = 1.
+	if got := b.MeasuredRate(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rate = %g", got)
+	}
+	empty := Batch{}
+	if empty.MeasuredRate() != 0 {
+		t.Fatal("empty batch rate must be 0")
+	}
+}
+
+func TestBatchClip(t *testing.T) {
+	b := makeBatch(100)
+	sub := geom.NewRect(0, 0, 2, 2)
+	clipped, ok := b.Clip(sub)
+	if !ok {
+		t.Fatal("clip to overlapping rect failed")
+	}
+	if !clipped.Window.Rect.Equal(sub) {
+		t.Fatalf("clipped window = %v", clipped.Window.Rect)
+	}
+	for _, tp := range clipped.Tuples {
+		if !sub.Contains(geom.Point{X: tp.X, Y: tp.Y}) {
+			t.Fatal("clipped batch kept outside tuple")
+		}
+	}
+	if _, ok := b.Clip(geom.NewRect(10, 10, 11, 11)); ok {
+		t.Fatal("clip to disjoint rect should fail")
+	}
+}
+
+func TestBaseEmitAndCounters(t *testing.T) {
+	base := NewBase("op", "X")
+	col := NewCollector()
+	base.AddDownstream(col)
+	b := makeBatch(10)
+	base.RecordIn(b)
+	if err := base.Emit(b); err != nil {
+		t.Fatal(err)
+	}
+	s := base.Stats()
+	if s.BatchesIn != 1 || s.TuplesIn != 10 || s.TuplesOut != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if col.Len() != 10 || col.Batches() != 1 {
+		t.Fatal("collector missed the batch")
+	}
+	if base.Name() != "op" || base.Kind() != "X" {
+		t.Fatal("identity wrong")
+	}
+	if got := s.Selectivity(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("selectivity = %g", got)
+	}
+	if (FlowStats{}).Selectivity() != 0 {
+		t.Fatal("empty selectivity must be 0")
+	}
+}
+
+func TestBaseFanOutAndRemove(t *testing.T) {
+	base := NewBase("op", "X")
+	c1, c2 := NewCollector(), NewCollector()
+	base.AddDownstream(c1)
+	base.AddDownstream(c2)
+	base.AddDownstream(nil) // ignored
+	if base.NumDownstreams() != 2 {
+		t.Fatalf("downstreams = %d", base.NumDownstreams())
+	}
+	if err := base.Emit(makeBatch(5)); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Len() != 5 || c2.Len() != 5 {
+		t.Fatal("fan-out failed")
+	}
+	if !base.RemoveDownstream(c1) {
+		t.Fatal("remove failed")
+	}
+	if base.RemoveDownstream(c1) {
+		t.Fatal("double remove succeeded")
+	}
+	if err := base.Emit(makeBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Len() != 5 || c2.Len() != 8 {
+		t.Fatal("removed consumer still fed")
+	}
+	if len(base.Downstreams()) != 1 {
+		t.Fatal("Downstreams snapshot wrong")
+	}
+}
+
+func TestEmitPropagatesErrors(t *testing.T) {
+	base := NewBase("op", "X")
+	sentinel := errors.New("boom")
+	base.AddDownstream(FuncSink(func(Batch) error { return sentinel }))
+	err := base.Emit(makeBatch(1))
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollectorResetAndCopy(t *testing.T) {
+	c := NewCollector()
+	_ = c.Process(makeBatch(4))
+	tuples := c.Tuples()
+	tuples[0].ID = 999
+	if c.Tuples()[0].ID == 999 {
+		t.Fatal("Tuples did not copy")
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Batches() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	_ = c.Process(makeBatch(7))
+	_ = c.Process(makeBatch(3))
+	if c.N() != 10 {
+		t.Fatalf("N = %d", c.N())
+	}
+	c.Reset()
+	if c.N() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTee(t *testing.T) {
+	c1, c2 := NewCollector(), NewCollector()
+	tee := &Tee{Children: []Processor{c1, c2}}
+	if err := tee.Process(makeBatch(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Len() != 2 || c2.Len() != 2 {
+		t.Fatal("tee failed")
+	}
+	sentinel := errors.New("x")
+	tee2 := &Tee{Children: []Processor{FuncSink(func(Batch) error { return sentinel })}}
+	if err := tee2.Process(makeBatch(1)); !errors.Is(err, sentinel) {
+		t.Fatal("tee did not propagate error")
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	w, err := NewSlidingWindow(10, geom.NewRect(0, 0, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w.Add(Tuple{T: float64(i), X: 1, Y: 1})
+	}
+	// Latest = 19; span 10 ⇒ keep (9, 19].
+	if w.Len() != 10 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if w.Seen() != 20 {
+		t.Fatalf("seen = %d", w.Seen())
+	}
+	win := w.Window()
+	if win.T0 != 9 || win.T1 != 19 {
+		t.Fatalf("window = %v", win)
+	}
+	snap := w.Snapshot("temp")
+	if snap.Attr != "temp" || snap.Len() != 10 {
+		t.Fatal("snapshot wrong")
+	}
+	// Late tuple older than the window is dropped immediately.
+	w.Add(Tuple{T: 2})
+	if w.Len() != 10 {
+		t.Fatal("stale tuple was buffered")
+	}
+}
+
+func TestSlidingWindowValidation(t *testing.T) {
+	if _, err := NewSlidingWindow(0, geom.NewRect(0, 0, 1, 1)); err == nil {
+		t.Error("zero span should error")
+	}
+	if _, err := NewSlidingWindow(1, geom.Rect{}); err == nil {
+		t.Error("empty rect should error")
+	}
+}
+
+func TestSlidingWindowSnapshotIsCopy(t *testing.T) {
+	w, _ := NewSlidingWindow(100, geom.NewRect(0, 0, 4, 4))
+	w.Add(Tuple{T: 1, X: 1, Y: 1, Value: 5})
+	snap := w.Snapshot("a")
+	snap.Tuples[0].Value = 99
+	if w.Snapshot("a").Tuples[0].Value == 99 {
+		t.Fatal("snapshot aliases the buffer")
+	}
+}

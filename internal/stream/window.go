@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"errors"
+
+	"repro/internal/geom"
+)
+
+// SlidingWindow buffers tuples for the trailing Span time units over a fixed
+// spatial rectangle. The Flatten operator's sliding-window mode maintains its
+// retaining probabilities and rate-violation statistics over such a window,
+// as described in the paper ("the flattening operation can also be performed
+// over sliding windows, as opposed to batches").
+type SlidingWindow struct {
+	span   float64
+	rect   geom.Rect
+	tuples []Tuple
+	latest float64
+	seen   uint64
+}
+
+// NewSlidingWindow creates a sliding window with the given temporal span
+// over the given rectangle.
+func NewSlidingWindow(span float64, rect geom.Rect) (*SlidingWindow, error) {
+	if span <= 0 {
+		return nil, errors.New("stream: sliding window span must be positive")
+	}
+	if rect.IsEmpty() {
+		return nil, errors.New("stream: sliding window rect must be non-empty")
+	}
+	return &SlidingWindow{span: span, rect: rect}, nil
+}
+
+// Add inserts a tuple and evicts tuples older than Span behind the newest
+// timestamp seen. Time is assumed approximately monotone per stream; late
+// tuples older than the window are dropped immediately.
+func (w *SlidingWindow) Add(tp Tuple) {
+	w.seen++
+	if tp.T > w.latest {
+		w.latest = tp.T
+	}
+	if tp.T <= w.latest-w.span {
+		return
+	}
+	w.tuples = append(w.tuples, tp)
+	w.evict()
+}
+
+func (w *SlidingWindow) evict() {
+	cutoff := w.latest - w.span
+	// Tuples are mostly time-ordered; compact in place.
+	keep := w.tuples[:0]
+	for _, tp := range w.tuples {
+		if tp.T > cutoff {
+			keep = append(keep, tp)
+		}
+	}
+	w.tuples = keep
+}
+
+// Len returns the number of buffered tuples.
+func (w *SlidingWindow) Len() int { return len(w.tuples) }
+
+// Seen returns the total number of tuples offered.
+func (w *SlidingWindow) Seen() uint64 { return w.seen }
+
+// Window returns the spatio-temporal window currently covered: the trailing
+// span ending at the newest timestamp.
+func (w *SlidingWindow) Window() geom.Window {
+	return geom.Window{T0: w.latest - w.span, T1: w.latest, Rect: w.rect}
+}
+
+// Snapshot returns the buffered tuples as a batch over the current window.
+func (w *SlidingWindow) Snapshot(attr string) Batch {
+	out := make([]Tuple, len(w.tuples))
+	copy(out, w.tuples)
+	return Batch{Attr: attr, Window: w.Window(), Tuples: out}
+}

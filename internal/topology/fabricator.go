@@ -1,0 +1,400 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/geom"
+	"repro/internal/pmat"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Config parameterizes the fabricator.
+type Config struct {
+	// Pipeline configures every cell pipeline (headroom, flatten mode).
+	Pipeline PipelineConfig
+	// Merge selects the merge-phase topology (default MergeFlat).
+	Merge MergeMode
+}
+
+// Fabricator is the crowdsensed stream fabricator of Fig. 1: it owns the
+// hashmap from grid cells to execution topologies, inserts and deletes
+// queries per the paper's rules, runs the map phase (assign tuples to their
+// cell's topology), the process phase (the per-cell PMAT chains), and the
+// merge phase (U-operators assembling the final streams). Budgets, when a
+// controller is attached, are registered per materialized (attribute, cell)
+// slot and tuned from the F-operators' N_v reports.
+type Fabricator struct {
+	grid *geom.Grid
+	cfg  Config
+	rng  *stats.RNG
+
+	mu       sync.Mutex
+	cells    map[Key]*CellPipeline
+	queries  map[string]*queryState
+	budgets  *budget.Controller
+	registry *query.Registry
+}
+
+// queryState tracks one inserted query's wiring.
+type queryState struct {
+	q     query.Query
+	plan  *MergePlan
+	sink  stream.Processor
+	keys  []Key // pipelines this query taps
+	rects []geom.Rect
+}
+
+// New creates a fabricator over the grid. rng seeds the per-operator
+// generators.
+func New(grid *geom.Grid, cfg Config, rng *stats.RNG) (*Fabricator, error) {
+	if grid == nil {
+		return nil, errors.New("topology: fabricator requires a grid")
+	}
+	if rng == nil {
+		return nil, errors.New("topology: fabricator requires an RNG")
+	}
+	return &Fabricator{
+		grid:     grid,
+		cfg:      cfg,
+		rng:      rng,
+		cells:    make(map[Key]*CellPipeline),
+		queries:  make(map[string]*queryState),
+		registry: query.NewRegistry(),
+	}, nil
+}
+
+// Grid returns the fabricator's grid.
+func (f *Fabricator) Grid() *geom.Grid { return f.grid }
+
+// Registry returns the fabricator's query registry.
+func (f *Fabricator) Registry() *query.Registry { return f.registry }
+
+// AttachBudgets connects a budget controller: every materialized
+// (attribute, cell) slot is registered with it and each F-operator's
+// violation reports are forwarded as observations.
+func (f *Fabricator) AttachBudgets(c *budget.Controller) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budgets = c
+	for key, p := range f.cells {
+		f.wireBudget(key, p)
+	}
+}
+
+func (f *Fabricator) wireBudget(key Key, p *CellPipeline) {
+	if f.budgets == nil {
+		return
+	}
+	bk := budget.Key{Attr: key.Attr, Cell: key.Cell}
+	f.budgets.Register(bk)
+	ctrl := f.budgets
+	p.Flatten().OnReport(func(rep pmat.ViolationReport) {
+		ctrl.Observe(bk, rep.Percent)
+	})
+}
+
+// InsertQuery validates and registers q, builds its merge plan, and taps
+// every overlapped cell pipeline, creating pipelines (and the F-operator
+// first) for cells not yet materialized. It returns the stored query with
+// its assigned id. The sink receives the query's fabricated MCDS.
+func (f *Fabricator) InsertQuery(q query.Query, sink stream.Processor) (query.Query, error) {
+	if sink == nil {
+		return query.Query{}, errors.New("topology: InsertQuery requires a sink")
+	}
+	stored, err := f.registry.Add(q, f.grid)
+	if err != nil {
+		return query.Query{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	overlaps := f.grid.Overlapping(stored.Region)
+	if len(overlaps) == 0 {
+		f.registry.Remove(stored.ID)
+		return query.Query{}, fmt.Errorf("topology: query %s overlaps no grid cells", stored.ID)
+	}
+	plan, err := BuildMergePlan(stored.ID, overlaps, f.cfg.Merge)
+	if err != nil {
+		f.registry.Remove(stored.ID)
+		return query.Query{}, err
+	}
+	plan.AttachSink(sink)
+	st := &queryState{q: stored, plan: plan, sink: sink}
+	// Re-derive the overlap order used by the plan (row-major).
+	ordered := append([]geom.Overlap(nil), overlaps...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i].Cell, ordered[j].Cell
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.Q < b.Q
+	})
+	for i, ov := range ordered {
+		key := Key{Cell: ov.Cell, Attr: stored.Attr}
+		p, ok := f.cells[key]
+		if !ok {
+			cellRect, cellErr := f.grid.Cell(ov.Cell)
+			if cellErr != nil {
+				f.rollbackInsert(st)
+				return query.Query{}, cellErr
+			}
+			p, cellErr = NewCellPipeline(key, cellRect, f.cfg.Pipeline, f.rng.Fork())
+			if cellErr != nil {
+				f.rollbackInsert(st)
+				return query.Query{}, cellErr
+			}
+			f.cells[key] = p
+			f.wireBudget(key, p)
+		}
+		if err := p.AddTap(stored, ov.Rect, plan.Inputs[i]); err != nil {
+			f.rollbackInsert(st)
+			return query.Query{}, err
+		}
+		st.keys = append(st.keys, key)
+		st.rects = append(st.rects, ov.Rect)
+	}
+	f.queries[stored.ID] = st
+	return stored, nil
+}
+
+// rollbackInsert undoes a partially applied insertion.
+func (f *Fabricator) rollbackInsert(st *queryState) {
+	for _, key := range st.keys {
+		if p, ok := f.cells[key]; ok {
+			_, _ = p.RemoveTap(st.q.ID)
+			if p.Empty() {
+				f.dropPipeline(key)
+			}
+		}
+	}
+	f.registry.Remove(st.q.ID)
+}
+
+// DeleteQuery removes a query: its taps are detached right-to-left in every
+// cell, T-operators left consecutive are merged, emptied pipelines (and
+// their hashmap keys) are deleted, and the budget slot is unregistered when
+// the cell no longer serves any query.
+func (f *Fabricator) DeleteQuery(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.queries[id]
+	if !ok {
+		return fmt.Errorf("topology: DeleteQuery: unknown query %q", id)
+	}
+	for _, key := range st.keys {
+		p, ok := f.cells[key]
+		if !ok {
+			continue
+		}
+		found, err := p.RemoveTap(id)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("topology: DeleteQuery: query %q not tapped in %v", id, key)
+		}
+		if p.Empty() {
+			f.dropPipeline(key)
+		}
+	}
+	delete(f.queries, id)
+	f.registry.Remove(id)
+	return nil
+}
+
+func (f *Fabricator) dropPipeline(key Key) {
+	delete(f.cells, key)
+	if f.budgets != nil {
+		f.budgets.Unregister(budget.Key{Attr: key.Attr, Cell: key.Cell})
+	}
+}
+
+// Ingest runs the map phase on one raw attribute batch: tuples are assigned
+// to their grid cell and pushed into the corresponding topology. Cells
+// without a materialized pipeline discard their tuples (only useful grid
+// cells are materialized). Every live pipeline of the batch's attribute
+// receives a batch — possibly empty — so merge slices complete and
+// F-operators report violations for starved cells.
+func (f *Fabricator) Ingest(b stream.Batch) error {
+	f.mu.Lock()
+	pipes := make(map[Key]*CellPipeline, len(f.cells))
+	for k, p := range f.cells {
+		if k.Attr == b.Attr {
+			pipes[k] = p
+		}
+	}
+	f.mu.Unlock()
+	if len(pipes) == 0 {
+		return nil
+	}
+	// Map phase: group tuples by destination cell.
+	byCell := make(map[geom.CellID][]stream.Tuple)
+	for _, tp := range b.Tuples {
+		cell, ok := f.grid.CellAt(geom.Point{X: tp.X, Y: tp.Y})
+		if !ok {
+			continue
+		}
+		byCell[cell] = append(byCell[cell], tp)
+	}
+	// Process phase: stable order for determinism.
+	keys := make([]Key, 0, len(pipes))
+	for k := range pipes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Cell.R != b.Cell.R {
+			return a.Cell.R < b.Cell.R
+		}
+		if a.Cell.Q != b.Cell.Q {
+			return a.Cell.Q < b.Cell.Q
+		}
+		return a.Attr < b.Attr
+	})
+	for _, k := range keys {
+		p := pipes[k]
+		cb := stream.Batch{
+			Attr:   b.Attr,
+			Window: b.Window.WithRect(p.CellRect()),
+			Tuples: byCell[k.Cell],
+		}
+		if err := p.Process(cb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumPipelines returns the number of materialized (cell, attribute) keys.
+func (f *Fabricator) NumPipelines() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cells)
+}
+
+// Pipeline returns the topology for a key, when materialized.
+func (f *Fabricator) Pipeline(k Key) (*CellPipeline, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.cells[k]
+	return p, ok
+}
+
+// QueryPlan returns a query's merge plan (nil when unknown).
+func (f *Fabricator) QueryPlan(id string) *MergePlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.queries[id]
+	if !ok {
+		return nil
+	}
+	return st.plan
+}
+
+// OperatorCounts tallies live operators by kind ("F", "T", "P", "U").
+func (f *Fabricator) OperatorCounts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int)
+	for _, p := range f.cells {
+		for _, op := range p.Operators() {
+			out[op.Kind()]++
+		}
+	}
+	for _, st := range f.queries {
+		out["U"] += st.plan.NumUnions()
+	}
+	return out
+}
+
+// TotalFlow aggregates flow statistics across every live operator — the
+// cost metric of the shared-vs-naive experiment.
+func (f *Fabricator) TotalFlow() stream.FlowStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total stream.FlowStats
+	add := func(s stream.FlowStats) {
+		total.BatchesIn += s.BatchesIn
+		total.TuplesIn += s.TuplesIn
+		total.TuplesOut += s.TuplesOut
+		total.RandomDraws += s.RandomDraws
+	}
+	for _, p := range f.cells {
+		for _, op := range p.Operators() {
+			add(op.Stats())
+		}
+	}
+	for _, st := range f.queries {
+		for _, u := range st.plan.Unions {
+			add(u.Stats())
+		}
+	}
+	return total
+}
+
+// CheckInvariants verifies every pipeline's structural invariants plus the
+// cross-cutting ones (each query taps exactly its overlapped cells).
+func (f *Fabricator) CheckInvariants() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, p := range f.cells {
+		if err := p.Invariants(); err != nil {
+			return err
+		}
+	}
+	for id, st := range f.queries {
+		want := len(f.grid.Overlapping(st.q.Region))
+		if len(st.keys) != want {
+			return fmt.Errorf("topology: query %s taps %d cells, expected %d", id, len(st.keys), want)
+		}
+		for _, key := range st.keys {
+			p, ok := f.cells[key]
+			if !ok {
+				return fmt.Errorf("topology: query %s taps missing pipeline %v", id, key)
+			}
+			found := false
+			for _, qid := range p.QueryIDs() {
+				if qid == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("topology: query %s not subscribed in pipeline %v", id, key)
+			}
+		}
+	}
+	return nil
+}
+
+// Render draws every cell topology, sorted by key, one per line.
+func (f *Fabricator) Render() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]Key, 0, len(f.cells))
+	for k := range f.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.Cell.R != b.Cell.R {
+			return a.Cell.R < b.Cell.R
+		}
+		return a.Cell.Q < b.Cell.Q
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(f.cells[k].Render())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,249 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/pmat"
+	"repro/internal/stream"
+)
+
+// MergeMode selects how the merge phase assembles per-cell streams into the
+// query's final stream. The paper's Fig. 2(c) cascades U-operators; Section
+// VI's "alternative topologies" extension motivates the tree variant, which
+// experiment E12 ablates against the chain.
+type MergeMode int
+
+const (
+	// MergeFlat uses a single n-ary U-operator (the generalization the
+	// paper mentions: "this operator can be easily extended to union
+	// multiple MDPPs at once").
+	MergeFlat MergeMode = iota
+	// MergeChain cascades binary U-operators left-deep within each row and
+	// then across rows, as drawn in Fig. 2(c).
+	MergeChain
+	// MergeTree builds balanced binary U-operator trees (logarithmic
+	// depth), the Section VI alternative topology.
+	MergeTree
+)
+
+// String names the mode.
+func (m MergeMode) String() string {
+	switch m {
+	case MergeFlat:
+		return "flat"
+	case MergeChain:
+		return "chain"
+	case MergeTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("MergeMode(%d)", int(m))
+	}
+}
+
+// MergePlan is the constructed merge phase of one query: for every overlap
+// rectangle an input Processor to feed, and a single output attachment
+// point. Depth counts the longest chain of U-operators a tuple traverses.
+type MergePlan struct {
+	// Inputs[i] consumes the per-cell stream of Rects[i].
+	Inputs []stream.Processor
+	// Rects are the leaf regions, in the same order as Inputs.
+	Rects []geom.Rect
+	// Region is the union of all leaves.
+	Region geom.Rect
+	// Unions lists every U-operator created, root last.
+	Unions []*pmat.Union
+	// Depth is the U-operator depth (0 when a single leaf needs no merge).
+	Depth int
+
+	sink stream.Processor
+}
+
+// AttachSink connects the plan's output to the query's consumer. For a
+// single-leaf plan the leaf input forwards straight to the sink.
+func (mp *MergePlan) AttachSink(sink stream.Processor) {
+	mp.sink = sink
+	if len(mp.Unions) == 0 {
+		// Single leaf: input forwards directly.
+		mp.Inputs[0] = sink
+		return
+	}
+	mp.Unions[len(mp.Unions)-1].AddDownstream(sink)
+}
+
+// NumUnions returns the number of U-operators in the plan.
+func (mp *MergePlan) NumUnions() int { return len(mp.Unions) }
+
+// buildResult is the recursive helper's product over an ordered strip of
+// adjacent rectangles.
+type buildResult struct {
+	region geom.Rect
+	inputs []stream.Processor
+	root   *pmat.Union // nil for a single leaf
+	unions []*pmat.Union
+	depth  int
+}
+
+// buildStrip merges an ordered list of pairwise-adjacent rectangles with
+// binary U-operators, either left-deep (chain) or balanced (tree).
+func buildStrip(name string, rects []geom.Rect, tree bool, seq *int) (buildResult, error) {
+	if len(rects) == 0 {
+		return buildResult{}, errors.New("topology: buildStrip requires at least one rect")
+	}
+	if len(rects) == 1 {
+		return buildResult{region: rects[0], inputs: make([]stream.Processor, 1), depth: 0}, nil
+	}
+	split := len(rects) - 1 // chain: left-deep
+	if tree {
+		split = len(rects) / 2
+	}
+	left, err := buildStrip(name, rects[:split], tree, seq)
+	if err != nil {
+		return buildResult{}, err
+	}
+	right, err := buildStrip(name, rects[split:], tree, seq)
+	if err != nil {
+		return buildResult{}, err
+	}
+	*seq++
+	u, err := pmat.NewUnion(fmt.Sprintf("%s/U%d", name, *seq), left.region, right.region)
+	if err != nil {
+		return buildResult{}, err
+	}
+	in0, err := u.Input(0)
+	if err != nil {
+		return buildResult{}, err
+	}
+	in1, err := u.Input(1)
+	if err != nil {
+		return buildResult{}, err
+	}
+	connect := func(r *buildResult, in *pmat.UnionInput) {
+		if r.root != nil {
+			r.root.AddDownstream(in)
+			return
+		}
+		r.inputs[0] = in
+	}
+	connect(&left, in0)
+	connect(&right, in1)
+	depth := left.depth
+	if right.depth > depth {
+		depth = right.depth
+	}
+	return buildResult{
+		region: u.Region(),
+		inputs: append(left.inputs, right.inputs...),
+		root:   u,
+		unions: append(append(left.unions, right.unions...), u),
+		depth:  depth + 1,
+	}, nil
+}
+
+// BuildMergePlan constructs the merge phase for the given cell overlaps.
+// Overlaps must be the output of geom.Grid.Overlapping for a rectangular
+// query region, so the rectangles tile a rectangle. The name prefixes
+// U-operator names (typically the query id).
+func BuildMergePlan(name string, overlaps []geom.Overlap, mode MergeMode) (*MergePlan, error) {
+	if len(overlaps) == 0 {
+		return nil, errors.New("topology: BuildMergePlan requires at least one overlap")
+	}
+	// Order row-major (by cell r, then q) so strips are adjacent.
+	ordered := append([]geom.Overlap(nil), overlaps...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i].Cell, ordered[j].Cell
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.Q < b.Q
+	})
+	rects := make([]geom.Rect, len(ordered))
+	for i, ov := range ordered {
+		rects[i] = ov.Rect
+	}
+	if len(rects) == 1 {
+		return &MergePlan{Inputs: make([]stream.Processor, 1), Rects: rects, Region: rects[0]}, nil
+	}
+	if mode == MergeFlat {
+		u, err := pmat.NewUnion(name+"/U", rects...)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]stream.Processor, len(rects))
+		for i := range rects {
+			in, err := u.Input(i)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = in
+		}
+		return &MergePlan{Inputs: inputs, Rects: rects, Region: u.Region(), Unions: []*pmat.Union{u}, Depth: 1}, nil
+	}
+	// Group into rows, merge each row, then merge row regions.
+	tree := mode == MergeTree
+	var rows [][]geom.Rect
+	var rowStart []int // index of each row's first leaf in rects
+	lastR := ordered[0].Cell.R - 1
+	for i, ov := range ordered {
+		if ov.Cell.R != lastR {
+			rows = append(rows, nil)
+			rowStart = append(rowStart, i)
+			lastR = ov.Cell.R
+		}
+		rows[len(rows)-1] = append(rows[len(rows)-1], ov.Rect)
+	}
+	seq := 0
+	rowResults := make([]buildResult, len(rows))
+	rowRegions := make([]geom.Rect, len(rows))
+	for i, row := range rows {
+		res, err := buildStrip(name, row, tree, &seq)
+		if err != nil {
+			return nil, err
+		}
+		rowResults[i] = res
+		rowRegions[i] = res.region
+	}
+	if len(rows) == 1 {
+		res := rowResults[0]
+		return &MergePlan{Inputs: res.inputs, Rects: rects, Region: res.region, Unions: res.unions, Depth: res.depth}, nil
+	}
+	across, err := buildStrip(name, rowRegions, tree, &seq)
+	if err != nil {
+		return nil, err
+	}
+	// Wire row roots (or single-leaf rows) into the across-strip inputs, and
+	// assemble leaf inputs in the original row-major order.
+	inputs := make([]stream.Processor, len(rects))
+	unions := across.unions
+	maxRowDepth := 0
+	for i, res := range rowResults {
+		if res.root != nil {
+			res.root.AddDownstream(across.inputs[i].(*pmat.UnionInput))
+			unions = append(unions, res.unions...)
+		} else {
+			res.inputs[0] = across.inputs[i]
+		}
+		copy(inputs[rowStart[i]:], res.inputs)
+		if res.depth > maxRowDepth {
+			maxRowDepth = res.depth
+		}
+	}
+	// Keep the root last for AttachSink.
+	root := across.root
+	for i, u := range unions {
+		if u == root {
+			unions = append(unions[:i], unions[i+1:]...)
+			break
+		}
+	}
+	unions = append(unions, root)
+	return &MergePlan{
+		Inputs: inputs,
+		Rects:  rects,
+		Region: across.region,
+		Unions: unions,
+		Depth:  maxRowDepth + across.depth,
+	}, nil
+}
