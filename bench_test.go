@@ -283,12 +283,12 @@ func BenchmarkSharedVsNaive(b *testing.B) {
 
 // --- E8: end-to-end throughput ----------------------------------------------
 
-func BenchmarkEndToEnd(b *testing.B) {
+func benchEndToEnd(b *testing.B, workers int) {
 	grid, err := geom.NewGrid(geom.NewRect(0, 0, 12, 12), 36)
 	if err != nil {
 		b.Fatal(err)
 	}
-	fab, err := topology.New(grid, topology.Config{}, stats.NewRNG(1))
+	fab, err := topology.New(grid, topology.Config{Workers: workers}, stats.NewRNG(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -314,6 +314,54 @@ func BenchmarkEndToEnd(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(batch.Len()))
+}
+
+func BenchmarkEndToEnd(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchEndToEnd(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchEndToEnd(b, 0) })
+}
+
+// BenchmarkSharded measures the sharded epoch executor across worker-pool
+// sizes on a wide topology (256 cells, 64 queries): the per-cell
+// independence of the paper's Section V topologies is the shard boundary.
+func BenchmarkSharded(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			grid, err := geom.NewGrid(geom.NewRect(0, 0, 32, 32), 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fab, err := topology.New(grid, topology.Config{Workers: workers}, stats.NewRNG(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := stats.NewRNG(2)
+			for i := 0; i < 64; i++ {
+				q0, r0 := rng.Intn(15), rng.Intn(15)
+				region := geom.NewRect(float64(q0)*2, float64(r0)*2, float64(q0+2)*2, float64(r0+2)*2)
+				if _, err := fab.InsertQuery(query.Query{Attr: "rain", Region: region, Rate: 1 + rng.Float64()*20}, stream.NewCollector()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch := benchBatch(20000, 3)
+			batch.Attr = "rain"
+			batch.Window.Rect = grid.Region()
+			for i := range batch.Tuples {
+				batch.Tuples[i].X = rng.Uniform(0, 32)
+				batch.Tuples[i].Y = rng.Uniform(0, 32)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Window.T0 = float64(i)
+				batch.Window.T1 = float64(i + 1)
+				if err := fab.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(batch.Len()))
+		})
+	}
 }
 
 // --- E9: estimation ------------------------------------------------------------

@@ -32,6 +32,7 @@ func main() {
 	interval := flag.Duration("interval", 0, "auto-step interval (0 disables; use POST /step)")
 	nSensors := flag.Int("sensors", 500, "mobile sensors in the fleet")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "epoch worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	region := geom.NewRect(0, 0, 8, 8)
@@ -60,6 +61,7 @@ func main() {
 		},
 		Seed: *seed,
 	}
+	cfg.Fabricator.Workers = *workers
 	engine, err := server.New(cfg, map[string]sensors.Field{"rain": rain, "temp": temp})
 	if err != nil {
 		log.Fatal(err)

@@ -18,7 +18,12 @@
 //	_ = engine.Run(100)
 //	tuples, _ := engine.Results(q.ID)
 //
-// See examples/ for runnable programs and DESIGN.md for the architecture.
+// Epochs execute cell pipelines on a sharded worker pool sized by
+// EngineConfig.Fabricator.Workers (0 = GOMAXPROCS, 1 = serial); per-cell
+// keyed RNG forks and a deterministic merge phase make serial and parallel
+// runs of the same Seed fabricate byte-identical streams, and queries may
+// be submitted concurrently with Run. See examples/ for runnable programs
+// and DESIGN.md for the architecture and concurrency model.
 package craqr
 
 import (
@@ -124,6 +129,11 @@ type (
 	Processor = stream.Processor
 	// Collector accumulates a fabricated stream.
 	Collector = stream.Collector
+	// Counter is an allocation-free tuple-counting sink.
+	Counter = stream.Counter
+	// TupleBuffer is a reusable tuple slice borrowed from the stream arena;
+	// custom operators use it to keep the batch hot path allocation-free.
+	TupleBuffer = stream.TupleBuffer
 	// Flatten is the F PMAT operator.
 	Flatten = pmat.Flatten
 	// FlattenConfig parameterizes Flatten.
@@ -140,6 +150,11 @@ type (
 
 // NewCollector returns an empty stream collector.
 func NewCollector() *Collector { return stream.NewCollector() }
+
+// BorrowTuples borrows an empty tuple buffer with capacity for at least n
+// tuples from the stream arena; release it after the batch built on it has
+// been fully emitted (see DESIGN.md, "The batch hot path").
+func BorrowTuples(n int) *TupleBuffer { return stream.BorrowTuples(n) }
 
 // NewFlatten constructs an F-operator.
 func NewFlatten(name string, cfg FlattenConfig, rng *RNG) (*Flatten, error) {

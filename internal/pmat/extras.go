@@ -3,7 +3,6 @@ package pmat
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/stream"
@@ -59,26 +58,42 @@ func (s *Superpose) receive(idx int, b stream.Batch) error {
 	s.mu.Lock()
 	pm, ok := s.pending[key]
 	if !ok {
-		pm = &pendingMerge{got: make([]bool, s.nInputs), attr: b.Attr}
+		pm = newPendingMerge(s.nInputs, b)
 		s.pending[key] = pm
 	}
-	if !pm.got[idx] {
-		pm.got[idx] = true
-		pm.nGot++
-	}
-	pm.tuples = append(pm.tuples, b.Tuples...)
+	pm.add(idx, b.Tuples)
 	complete := pm.nGot == s.nInputs
-	var window = b.Window
+	var stale []staleSlice
 	if complete {
 		delete(s.pending, key)
+		stale = takeStale(s.pending, key.t0)
+	} else if len(s.pending) > maxPendingSlices {
+		stale = takeOldest(s.pending, len(s.pending)-maxPendingSlices)
 	}
 	s.mu.Unlock()
-	if !complete {
-		return nil
+	// As in Union.receive: every detached slice is emitted even when one
+	// errors, so no tuples are dropped and no borrowed runs leak.
+	var firstErr error
+	for _, st := range stale {
+		if err := s.emitSlice(st.key, st.pm); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	out := stream.Batch{Attr: pm.attr, Window: window, Tuples: pm.tuples}
-	sort.Slice(out.Tuples, func(i, j int) bool { return out.Tuples[i].T < out.Tuples[j].T })
-	return s.Emit(out)
+	if complete {
+		if err := s.emitSlice(key, pm); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// emitSlice merges one slice's runs and emits the merged batch on the
+// slice's own window.
+func (s *Superpose) emitSlice(_ timeKey, pm *pendingMerge) error {
+	out := pm.merged()
+	err := s.Emit(stream.Batch{Attr: pm.attr, Window: pm.window, Tuples: out.Tuples})
+	out.Release()
+	return err
 }
 
 // Delay shifts every tuple's timestamp by a constant offset, modeling

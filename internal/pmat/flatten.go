@@ -72,7 +72,11 @@ type FlattenConfig struct {
 	// batches fall back to the homogeneous estimate (default 8).
 	MinBatchForFit int
 	// DiscardSink, when non-nil, receives the tuples Flatten drops — the
-	// paper notes "the discarded tuples can be stored separately".
+	// paper notes "the discarded tuples can be stored separately". A sink
+	// shared by several F-operators (e.g. via a fabricator-wide config) is
+	// invoked concurrently when epochs execute on a parallel worker pool,
+	// so it must be safe for concurrent use; discarded batches are freshly
+	// allocated and may be retained.
 	DiscardSink stream.Processor
 }
 
@@ -203,7 +207,14 @@ func (f *Flatten) estimateIntensity(b stream.Batch) intensity.Func {
 	}
 }
 
+// ratePool recycles the per-batch λ̃ scratch so steady-state flattening does
+// not allocate.
+var ratePool = sync.Pool{New: func() interface{} { s := make([]float64, 0, 256); return &s }}
+
 // Process implements stream.Processor: Eq. (3) with violation accounting.
+// The output batch is built on a borrowed arena buffer recycled after Emit
+// returns; downstream processors must not retain it (see the stream
+// package's ownership rule).
 func (f *Flatten) Process(b stream.Batch) error {
 	if err := b.Window.Validate(); err != nil {
 		return fmt.Errorf("pmat: flatten %q: %w", f.Name(), err)
@@ -225,37 +236,46 @@ func (f *Flatten) Process(b stream.Batch) error {
 		report.Percent = 100
 	}
 	out := stream.Batch{Attr: b.Attr, Window: b.Window}
+	buf := stream.BorrowTuples(n)
+	defer buf.Release()
+	// Discarded tuples go to a plain allocation, not the arena: the discard
+	// path is cold and its sink may legitimately retain the slice.
 	var discarded []stream.Tuple
 	if n > 0 {
 		// λc = Σ 1/λ̃_i (constant over the batch).
-		rates := make([]float64, n)
+		ratesPtr := ratePool.Get().(*[]float64)
+		rates := (*ratesPtr)[:0]
 		lambdaC := 0.0
-		for i, tp := range b.Tuples {
+		for _, tp := range b.Tuples {
 			r := lam.Eval(tp.T, tp.X, tp.Y)
 			if r < intensity.DefaultFloor {
 				r = intensity.DefaultFloor
 			}
-			rates[i] = r
+			rates = append(rates, r)
 			lambdaC += 1 / r
 		}
 		targetCount := target * b.Window.Volume()
+		keepDiscards := f.cfg.DiscardSink != nil
 		f.mu.Lock()
+		f.RecordDraws(n)
 		for i, tp := range b.Tuples {
 			p := targetCount / (rates[i] * lambdaC)
 			if p > 1 {
 				report.Violations++
 				p = 1
 			}
-			f.RecordDraws(1)
 			if f.rng.Bernoulli(p) {
-				out.Tuples = append(out.Tuples, tp)
-			} else if f.cfg.DiscardSink != nil {
+				buf.Tuples = append(buf.Tuples, tp)
+			} else if keepDiscards {
 				discarded = append(discarded, tp)
 			}
 		}
 		f.mu.Unlock()
+		*ratesPtr = rates
+		ratePool.Put(ratesPtr)
 		report.Percent = 100 * float64(report.Violations) / float64(n)
 	}
+	out.Tuples = buf.Tuples
 	report.OutputRate = out.MeasuredRate()
 
 	f.mu.Lock()
@@ -266,7 +286,7 @@ func (f *Flatten) Process(b stream.Batch) error {
 	if cb != nil {
 		cb(report)
 	}
-	if f.cfg.DiscardSink != nil && len(discarded) > 0 {
+	if len(discarded) > 0 {
 		if err := f.cfg.DiscardSink.Process(stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: discarded}); err != nil {
 			return fmt.Errorf("pmat: flatten %q: discard sink: %w", f.Name(), err)
 		}

@@ -147,7 +147,9 @@ func (p *Partition) NumBranches() int {
 }
 
 // Process implements stream.Processor: route each tuple to the branch whose
-// region contains it.
+// region contains it. Branch batches are built on borrowed arena buffers
+// recycled after the pushes return; downstream processors must not retain
+// them (see the stream package's ownership rule).
 func (p *Partition) Process(b stream.Batch) error {
 	p.RecordIn(b)
 	p.mu.RLock()
@@ -157,24 +159,32 @@ func (p *Partition) Process(b stream.Batch) error {
 		return nil
 	}
 	outs := make([]stream.Batch, len(ports))
+	bufs := make([]*stream.TupleBuffer, len(ports))
+	defer func() {
+		for _, buf := range bufs {
+			buf.Release()
+		}
+	}()
 	for i, port := range ports {
 		win, ok := b.Window.Rect.Intersect(port.region)
 		if !ok {
 			win = port.region // branch region disjoint from batch window: empty share
 		}
 		outs[i] = stream.Batch{Attr: b.Attr, Window: b.Window.WithRect(win)}
+		bufs[i] = stream.BorrowTuples(0)
 	}
 	for _, tp := range b.Tuples {
 		pt := geom.Point{X: tp.X, Y: tp.Y}
 		for i, port := range ports {
 			if port.region.Contains(pt) {
-				outs[i].Tuples = append(outs[i].Tuples, tp)
+				bufs[i].Tuples = append(bufs[i].Tuples, tp)
 				break // branches are disjoint; at most one match
 			}
 		}
 	}
 	forwarded := 0
 	for i, port := range ports {
+		outs[i].Tuples = bufs[i].Tuples
 		forwarded += len(outs[i].Tuples)
 		if err := port.push(outs[i]); err != nil {
 			return fmt.Errorf("pmat: partition %q: branch %q: %w", p.Name(), port.label, err)

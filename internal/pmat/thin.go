@@ -80,18 +80,22 @@ func (t *Thin) SetRates(lambda1, lambda2 float64) error {
 	return nil
 }
 
-// Process implements stream.Processor.
+// Process implements stream.Processor. The output batch is built on a
+// borrowed arena buffer that is recycled after Emit returns; downstream
+// processors must not retain it (see the stream package's ownership rule).
 func (t *Thin) Process(b stream.Batch) error {
 	t.RecordIn(b)
+	buf := stream.BorrowTuples(len(b.Tuples))
 	t.mu.Lock()
 	p := t.out / t.inRate
-	out := stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: make([]stream.Tuple, 0, int(float64(len(b.Tuples))*p)+1)}
+	t.RecordDraws(len(b.Tuples))
 	for _, tp := range b.Tuples {
-		t.RecordDraws(1)
 		if t.rng.Bernoulli(p) {
-			out.Tuples = append(out.Tuples, tp)
+			buf.Tuples = append(buf.Tuples, tp)
 		}
 	}
 	t.mu.Unlock()
-	return t.Emit(out)
+	err := t.Emit(stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: buf.Tuples})
+	buf.Release()
+	return err
 }

@@ -19,7 +19,12 @@ import (
 // Batches from different inputs that cover the same time slice are aligned
 // on their [T0, T1) interval and emitted as a single merged batch once every
 // input has delivered its share — the synchronous merge used in the paper's
-// Fig. 2(c) merge phase.
+// Fig. 2(c) merge phase. Each input's share is kept as its own run; on
+// completion the runs are sorted and k-way merged under the deterministic
+// (T, ID) order, so the merged stream is byte-identical no matter in which
+// order — or from which goroutines — the inputs delivered. This is what
+// lets the fabricator execute cell pipelines on a parallel worker pool while
+// preserving serial-equivalent output.
 type Union struct {
 	stream.Base
 
@@ -47,11 +52,63 @@ func (in *UnionInput) Process(b stream.Batch) error { return in.u.receive(in.idx
 
 type timeKey struct{ t0, t1 float64 }
 
+// pendingMerge accumulates one time slice's per-input runs on borrowed arena
+// buffers until every input has delivered (or the slice is evicted as
+// stale). runs[i] == nil means input i has not delivered yet. The window is
+// the first delivery's, kept so evicted slices can still be emitted.
 type pendingMerge struct {
-	got    []bool
+	runs   []*stream.TupleBuffer
 	nGot   int
 	attr   string
-	tuples []stream.Tuple
+	window geom.Window
+}
+
+func newPendingMerge(n int, b stream.Batch) *pendingMerge {
+	return &pendingMerge{runs: make([]*stream.TupleBuffer, n), attr: b.Attr, window: b.Window}
+}
+
+// add folds one delivery into the slice; it reports whether this was the
+// input's first delivery for the slice.
+func (pm *pendingMerge) add(idx int, tuples []stream.Tuple) bool {
+	first := pm.runs[idx] == nil
+	if first {
+		pm.runs[idx] = stream.BorrowTuples(len(tuples))
+		pm.nGot++
+	}
+	pm.runs[idx].Tuples = append(pm.runs[idx].Tuples, tuples...)
+	return first
+}
+
+// merged sorts each run, k-way merges them into a borrowed output buffer and
+// releases the runs. The caller must Release the returned buffer after use.
+func (pm *pendingMerge) merged() *stream.TupleBuffer {
+	total := 0
+	runs := make([][]stream.Tuple, 0, len(pm.runs))
+	for _, rb := range pm.runs {
+		if rb == nil {
+			continue
+		}
+		stream.SortTuples(rb.Tuples)
+		runs = append(runs, rb.Tuples)
+		total += len(rb.Tuples)
+	}
+	out := stream.BorrowTuples(total)
+	out.Tuples = stream.MergeSortedRuns(out.Tuples, runs)
+	for _, rb := range pm.runs {
+		rb.Release()
+	}
+	return out
+}
+
+// maxPendingSlices bounds the pending-merge map: inserting beyond this limit
+// force-emits the oldest incomplete slices so a long-running engine whose
+// inputs occasionally skip a slice cannot leak memory.
+const maxPendingSlices = 1024
+
+// staleSlice pairs an evicted slice with its key, oldest first.
+type staleSlice struct {
+	key timeKey
+	pm  *pendingMerge
 }
 
 // NewUnion constructs a union over the given input regions. The regions
@@ -118,34 +175,84 @@ func (u *Union) receive(idx int, b stream.Batch) error {
 	u.mu.Lock()
 	pm, ok := u.pending[key]
 	if !ok {
-		pm = &pendingMerge{got: make([]bool, len(u.inputs)), attr: b.Attr}
+		pm = newPendingMerge(len(u.inputs), b)
 		u.pending[key] = pm
 	}
-	if pm.got[idx] {
-		// Duplicate delivery for this slice: fold it in without double
+	if !pm.add(idx, b.Tuples) {
+		// Duplicate delivery for this slice: folded in without double
 		// counting the completion.
-		pm.tuples = append(pm.tuples, b.Tuples...)
 		u.mu.Unlock()
 		return nil
 	}
-	pm.got[idx] = true
-	pm.nGot++
-	pm.tuples = append(pm.tuples, b.Tuples...)
 	complete := pm.nGot == len(u.inputs)
+	var stale []staleSlice
 	if complete {
 		delete(u.pending, key)
+		// Slices strictly older than a completed one can no longer complete
+		// in a forward-moving stream: evict them so the map stays bounded.
+		stale = takeStale(u.pending, key.t0)
+	} else if len(u.pending) > maxPendingSlices {
+		stale = takeOldest(u.pending, len(u.pending)-maxPendingSlices)
 	}
 	u.mu.Unlock()
-	if !complete {
-		return nil
+	// Emit every detached slice even when one errors: they are already out
+	// of the pending map, so skipping any would silently drop tuples and
+	// leak their borrowed runs. The first error is reported.
+	var firstErr error
+	for _, s := range stale {
+		if err := u.emitSlice(s.key, s.pm); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	merged := stream.Batch{
+	if complete {
+		if err := u.emitSlice(key, pm); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// emitSlice merges one slice's runs and emits the merged batch.
+func (u *Union) emitSlice(key timeKey, pm *pendingMerge) error {
+	out := pm.merged()
+	err := u.Emit(stream.Batch{
 		Attr:   pm.attr,
 		Window: geom.Window{T0: key.t0, T1: key.t1, Rect: u.unioned},
-		Tuples: pm.tuples,
+		Tuples: out.Tuples,
+	})
+	out.Release()
+	return err
+}
+
+// takeStale removes and returns (oldest first) every pending slice that ends
+// at or before horizon. Callers hold the owning mutex.
+func takeStale(pending map[timeKey]*pendingMerge, horizon float64) []staleSlice {
+	var out []staleSlice
+	for k, pm := range pending {
+		if k.t1 <= horizon {
+			out = append(out, staleSlice{key: k, pm: pm})
+			delete(pending, k)
+		}
 	}
-	sort.Slice(merged.Tuples, func(i, j int) bool { return merged.Tuples[i].T < merged.Tuples[j].T })
-	return u.Emit(merged)
+	sort.Slice(out, func(i, j int) bool { return out[i].key.t0 < out[j].key.t0 })
+	return out
+}
+
+// takeOldest removes and returns the n oldest pending slices, oldest first.
+// Callers hold the owning mutex.
+func takeOldest(pending map[timeKey]*pendingMerge, n int) []staleSlice {
+	all := make([]staleSlice, 0, len(pending))
+	for k, pm := range pending {
+		all = append(all, staleSlice{key: k, pm: pm})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key.t0 < all[j].key.t0 })
+	if n > len(all) {
+		n = len(all)
+	}
+	for _, s := range all[:n] {
+		delete(pending, s.key)
+	}
+	return all[:n]
 }
 
 // PendingSlices returns the number of time slices awaiting completion —
@@ -160,26 +267,13 @@ func (u *Union) PendingSlices() int {
 // ended early). Slices are emitted in time order.
 func (u *Union) Flush() error {
 	u.mu.Lock()
-	keys := make([]timeKey, 0, len(u.pending))
-	for k := range u.pending {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].t0 < keys[j].t0 })
-	merges := make([]*pendingMerge, len(keys))
-	for i, k := range keys {
-		merges[i] = u.pending[k]
-		delete(u.pending, k)
-	}
+	stale := takeOldest(u.pending, len(u.pending))
 	u.mu.Unlock()
-	for i, k := range keys {
-		b := stream.Batch{
-			Attr:   merges[i].attr,
-			Window: geom.Window{T0: k.t0, T1: k.t1, Rect: u.unioned},
-			Tuples: merges[i].tuples,
-		}
-		if err := u.Emit(b); err != nil {
-			return err
+	var firstErr error
+	for _, s := range stale {
+		if err := u.emitSlice(s.key, s.pm); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }

@@ -33,7 +33,9 @@ type Config struct {
 	Epoch float64
 	// Budget configures the tuning controller.
 	Budget budget.Config
-	// Fabricator configures pipelines and merge topology.
+	// Fabricator configures pipelines, merge topology and the epoch worker
+	// pool (Fabricator.Workers: 0 = GOMAXPROCS, 1 = serial). Serial and
+	// parallel runs of the same Seed fabricate byte-identical streams.
 	Fabricator topology.Config
 	// Fleet describes the synthetic sensor fleet.
 	Fleet sensors.FleetConfig
@@ -123,6 +125,10 @@ func (e *Engine) Handler() *handler.Handler { return e.handler }
 
 // Fabricator returns the stream fabricator.
 func (e *Engine) Fabricator() *topology.Fabricator { return e.fab }
+
+// Workers returns the effective size of the per-epoch worker pool that
+// executes cell pipelines.
+func (e *Engine) Workers() int { return e.fab.Workers() }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 {
@@ -218,9 +224,11 @@ func (e *Engine) Results(id string) ([]stream.Tuple, error) {
 func (e *Engine) Queries() []query.Query { return e.fab.Registry().List() }
 
 // Step runs one acquisition epoch: the handler spends its budgets on
-// requests, the responses are ingested through the fabricator, violations
-// tune the budgets (wired via AttachBudgets), and — when enabled — the
-// incentive allocator reallocates from fresh pressure.
+// requests, the responses are ingested through the fabricator — cell
+// pipelines executing on the fabricator's worker pool — violations tune the
+// budgets (wired via AttachBudgets), and — when enabled — the incentive
+// allocator reallocates from fresh pressure. Epochs are serialized; queries
+// submitted concurrently with Step take effect at the next epoch boundary.
 func (e *Engine) Step() error {
 	e.stepMu.Lock()
 	defer e.stepMu.Unlock()

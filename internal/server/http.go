@@ -235,6 +235,7 @@ func (s *HTTPServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"queries":   len(s.engine.Queries()),
 		"pipelines": s.engine.Fabricator().NumPipelines(),
 		"operators": s.engine.Fabricator().OperatorCounts(),
+		"workers":   s.engine.Workers(),
 		"requests":  s.engine.Handler().RequestsSent(),
 		"responses": s.engine.Handler().ResponsesReceived(),
 		"budgets":   bj,

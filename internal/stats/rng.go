@@ -36,6 +36,25 @@ func (g *RNG) Fork() *RNG {
 	return NewRNG(g.r.Int63())
 }
 
+// ForkKeyed derives an independent generator from g's seed and a caller
+// chosen key, without consuming g's stream: the same (seed, key) pair always
+// yields the same child, no matter how much of g's stream has been used or
+// in which order forks happen. Concurrent shards use it to obtain stable
+// per-shard streams, so serial and parallel executions of the same program
+// draw identical variates (the fabricator keys cell pipelines this way).
+func (g *RNG) ForkKeyed(key uint64) *RNG {
+	return NewRNG(int64(splitmix64(uint64(g.seed)^splitmix64(key))) & (1<<63 - 1))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong 64-bit
+// mixer used to decorrelate keyed fork seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Float64 returns a uniform variate in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

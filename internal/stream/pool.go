@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+)
+
+// The batch hot path recycles tuple storage through a package-level arena so
+// steady-state operator execution performs no heap allocation. The ownership
+// rule, which every Processor must observe, is:
+//
+//   - a Batch passed to Process is only valid for the duration of the call;
+//   - a Processor that retains tuples beyond the call must copy them (the
+//     built-in sinks — Collector, Counter, the export sinks — all do);
+//   - the producer that borrowed a buffer releases it after its Emit returns.
+//
+// Emit is synchronous, so by the time a producer releases its buffer every
+// downstream Process has completed.
+
+// TupleBuffer is a reusable tuple slice borrowed from the package arena with
+// BorrowTuples and returned with Release. Append to Tuples as usual; the
+// grown slice is what returns to the arena, so buffers converge on the hot
+// path's working-set size.
+type TupleBuffer struct {
+	Tuples []Tuple
+}
+
+// defaultBufferCap sizes freshly allocated arena buffers; borrowers asking
+// for more get an exact-sized allocation that then recycles at its larger
+// capacity.
+const defaultBufferCap = 256
+
+var tuplePool = sync.Pool{
+	New: func() interface{} {
+		return &TupleBuffer{Tuples: make([]Tuple, 0, defaultBufferCap)}
+	},
+}
+
+// BorrowTuples returns an empty buffer with capacity for at least n tuples.
+func BorrowTuples(n int) *TupleBuffer {
+	b := tuplePool.Get().(*TupleBuffer)
+	if cap(b.Tuples) < n {
+		b.Tuples = make([]Tuple, 0, n)
+	} else {
+		b.Tuples = b.Tuples[:0]
+	}
+	return b
+}
+
+// Release returns the buffer to the arena. The buffer (and any Batch built
+// on its Tuples) must not be used afterwards.
+func (b *TupleBuffer) Release() {
+	if b == nil {
+		return
+	}
+	tuplePool.Put(b)
+}
+
+// TupleLess is the total order used by deterministic merges: time first,
+// then the unique tuple id as the tie-breaker. Because IDs are unique per
+// source stream, any set of tuples has exactly one sorted order, making
+// merge output independent of arrival order.
+func TupleLess(a, b Tuple) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.ID < b.ID
+}
+
+// SortTuples sorts tuples by the deterministic (T, ID) order.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return TupleLess(ts[i], ts[j]) })
+}
+
+// linearMergeMaxRuns is the fan-in up to which the per-tuple linear scan of
+// run heads beats a heap; wider merges (e.g. a flat Union over a whole
+// region's cells) switch to the O(n log k) heap.
+const linearMergeMaxRuns = 8
+
+// MergeSortedRuns k-way merges runs (each already sorted by TupleLess) into
+// dst and returns the extended slice. Ties across runs resolve by run index,
+// so the merge is deterministic for any arrival order of the runs' batches.
+// dst should have capacity for the total length to stay allocation-free.
+func MergeSortedRuns(dst []Tuple, runs [][]Tuple) []Tuple {
+	live := runs[:0:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+		}
+	}
+	switch {
+	case len(live) == 0:
+		return dst
+	case len(live) == 1:
+		return append(dst, live[0]...)
+	case len(live) <= linearMergeMaxRuns:
+		return mergeLinear(dst, live)
+	default:
+		return mergeHeap(dst, live)
+	}
+}
+
+// mergeLinear picks the minimum head by scanning every run — optimal for
+// the common narrow case (binary U-operator trees).
+func mergeLinear(dst []Tuple, runs [][]Tuple) []Tuple {
+	heads := make([]int, len(runs))
+	for {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if best < 0 || TupleLess(r[heads[i]], runs[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, runs[best][heads[best]])
+		heads[best]++
+	}
+}
+
+// mergeHeap maintains a binary min-heap of run indices ordered by each
+// run's head tuple (ties by run index, keeping the merge deterministic) —
+// O(n log k) for wide flat unions.
+func mergeHeap(dst []Tuple, runs [][]Tuple) []Tuple {
+	heads := make([]int, len(runs))
+	heap := make([]int, len(runs))
+	for i := range heap {
+		heap[i] = i
+	}
+	// less orders heap entries by head tuple, then run index.
+	less := func(a, b int) bool {
+		ta, tb := runs[a][heads[a]], runs[b][heads[b]]
+		if ta.T != tb.T || ta.ID != tb.ID {
+			return TupleLess(ta, tb)
+		}
+		return a < b
+	}
+	var siftDown func(i int)
+	siftDown = func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heap) > 0 {
+		run := heap[0]
+		dst = append(dst, runs[run][heads[run]])
+		heads[run]++
+		if heads[run] >= len(runs[run]) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			siftDown(0)
+		}
+	}
+	return dst
+}

@@ -3,9 +3,11 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/budget"
 	"repro/internal/geom"
@@ -21,6 +23,12 @@ type Config struct {
 	Pipeline PipelineConfig
 	// Merge selects the merge-phase topology (default MergeFlat).
 	Merge MergeMode
+	// Workers bounds the worker pool that executes cell pipelines within an
+	// epoch. 0 means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	// Because every cell pipeline draws from its own keyed RNG fork and the
+	// merge phase orders tuples deterministically, serial and parallel runs
+	// of the same seed produce identical fabricated streams.
+	Workers int
 }
 
 // Fabricator is the crowdsensed stream fabricator of Fig. 1: it owns the
@@ -35,7 +43,11 @@ type Fabricator struct {
 	cfg  Config
 	rng  *stats.RNG
 
-	mu       sync.Mutex
+	// mu is held for writing by structural mutations (query insertion and
+	// deletion, budget attachment) and for reading by epoch execution, so a
+	// topology never changes shape under a running epoch; multiple Ingest
+	// calls (for different attributes) may execute concurrently.
+	mu       sync.RWMutex
 	cells    map[Key]*CellPipeline
 	queries  map[string]*queryState
 	budgets  *budget.Controller
@@ -144,7 +156,10 @@ func (f *Fabricator) InsertQuery(q query.Query, sink stream.Processor) (query.Qu
 				f.rollbackInsert(st)
 				return query.Query{}, cellErr
 			}
-			p, cellErr = NewCellPipeline(key, cellRect, f.cfg.Pipeline, f.rng.Fork())
+			// Keyed forking gives every cell a stable RNG stream that is a
+			// function of (seed, cell, attr) alone — independent of query
+			// insertion order and of which worker executes the cell.
+			p, cellErr = NewCellPipeline(key, cellRect, f.cfg.Pipeline, f.rng.ForkKeyed(key.rngKey()))
 			if cellErr != nil {
 				f.rollbackInsert(st)
 				return query.Query{}, cellErr
@@ -221,15 +236,24 @@ func (f *Fabricator) dropPipeline(key Key) {
 // cells are materialized). Every live pipeline of the batch's attribute
 // receives a batch — possibly empty — so merge slices complete and
 // F-operators report violations for starved cells.
+//
+// The process phase (F → T… → P per cell) executes on a bounded worker pool
+// of Config.Workers goroutines; cells are the shard boundary, exploiting the
+// paper's per-cell independence of Section V topologies. Each cell draws
+// from its own keyed RNG fork and the merge phase (U-operators) reduces
+// per-cell runs under a deterministic total order, so the fabricated
+// streams are identical to a serial run of the same seed. Ingest holds the
+// fabricator's read lock for the whole epoch, so concurrent query insertion
+// or deletion waits for the epoch boundary instead of racing the topology.
 func (f *Fabricator) Ingest(b stream.Batch) error {
-	f.mu.Lock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	pipes := make(map[Key]*CellPipeline, len(f.cells))
 	for k, p := range f.cells {
 		if k.Attr == b.Attr {
 			pipes[k] = p
 		}
 	}
-	f.mu.Unlock()
 	if len(pipes) == 0 {
 		return nil
 	}
@@ -242,7 +266,8 @@ func (f *Fabricator) Ingest(b stream.Batch) error {
 		}
 		byCell[cell] = append(byCell[cell], tp)
 	}
-	// Process phase: stable order for determinism.
+	// Process phase: stable shard order so errors (and the serial path) are
+	// deterministic.
 	keys := make([]Key, 0, len(pipes))
 	for k := range pipes {
 		keys = append(keys, k)
@@ -257,39 +282,89 @@ func (f *Fabricator) Ingest(b stream.Batch) error {
 		}
 		return a.Attr < b.Attr
 	})
-	for _, k := range keys {
+	run := func(k Key) error {
 		p := pipes[k]
 		cb := stream.Batch{
 			Attr:   b.Attr,
 			Window: b.Window.WithRect(p.CellRect()),
 			Tuples: byCell[k.Cell],
 		}
-		if err := p.Process(cb); err != nil {
+		return p.Process(cb)
+	}
+	workers := f.Workers()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 {
+		for _, k := range keys {
+			if err := run(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Shards are claimed from a shared cursor so fast workers steal the
+	// slack of slow ones (cells differ widely in tuple count). After a
+	// failure no new shards are claimed; shards already in flight complete,
+	// so — unlike the serial path, which stops at the failing cell — a few
+	// later cells may still have executed when an error is returned.
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				if err := run(keys[i]); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the first error in shard order.
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// Workers returns the effective size of the epoch worker pool.
+func (f *Fabricator) Workers() int {
+	if f.cfg.Workers > 0 {
+		return f.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // NumPipelines returns the number of materialized (cell, attribute) keys.
 func (f *Fabricator) NumPipelines() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return len(f.cells)
 }
 
 // Pipeline returns the topology for a key, when materialized.
 func (f *Fabricator) Pipeline(k Key) (*CellPipeline, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	p, ok := f.cells[k]
 	return p, ok
 }
 
 // QueryPlan returns a query's merge plan (nil when unknown).
 func (f *Fabricator) QueryPlan(id string) *MergePlan {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	st, ok := f.queries[id]
 	if !ok {
 		return nil
@@ -299,8 +374,8 @@ func (f *Fabricator) QueryPlan(id string) *MergePlan {
 
 // OperatorCounts tallies live operators by kind ("F", "T", "P", "U").
 func (f *Fabricator) OperatorCounts() map[string]int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	out := make(map[string]int)
 	for _, p := range f.cells {
 		for _, op := range p.Operators() {
@@ -316,8 +391,8 @@ func (f *Fabricator) OperatorCounts() map[string]int {
 // TotalFlow aggregates flow statistics across every live operator — the
 // cost metric of the shared-vs-naive experiment.
 func (f *Fabricator) TotalFlow() stream.FlowStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	var total stream.FlowStats
 	add := func(s stream.FlowStats) {
 		total.BatchesIn += s.BatchesIn
@@ -341,8 +416,8 @@ func (f *Fabricator) TotalFlow() stream.FlowStats {
 // CheckInvariants verifies every pipeline's structural invariants plus the
 // cross-cutting ones (each query taps exactly its overlapped cells).
 func (f *Fabricator) CheckInvariants() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	for _, p := range f.cells {
 		if err := p.Invariants(); err != nil {
 			return err
@@ -375,8 +450,8 @@ func (f *Fabricator) CheckInvariants() error {
 
 // Render draws every cell topology, sorted by key, one per line.
 func (f *Fabricator) Render() string {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	keys := make([]Key, 0, len(f.cells))
 	for k := range f.cells {
 		keys = append(keys, k)

@@ -48,6 +48,24 @@ type Key struct {
 // String renders the key.
 func (k Key) String() string { return fmt.Sprintf("%v/%s", k.Cell, k.Attr) }
 
+// rngKey hashes the key (FNV-1a) into the stable identifier used to fork
+// the per-cell RNG stream, so a cell's randomness depends only on the
+// engine seed and the key — not on insertion order or worker scheduling.
+func (k Key) rngKey() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(int64(k.Cell.Q)))
+	mix(uint64(int64(k.Cell.R)))
+	for i := 0; i < len(k.Attr); i++ {
+		mix(uint64(k.Attr[i]))
+	}
+	return h
+}
+
 // tap is one query's subscription at a rate node: either the whole cell
 // (direct connection) or a partition branch for a partial overlap.
 type tap struct {
@@ -222,7 +240,10 @@ func (p *CellPipeline) ensureNode(rate float64) (*rateNode, error) {
 		}
 		inRate = p.flatten.TargetRate()
 	}
-	thin, err := pmat.NewThin(p.nextName("T"), inRate, rate, p.rng.Fork())
+	// Fork the T-operator's RNG keyed by its output rate (unique within the
+	// chain), so a rate node's stream does not depend on the order queries
+	// were inserted — only (seed, cell, attr, rate) matter.
+	thin, err := pmat.NewThin(p.nextName("T"), inRate, rate, p.rng.ForkKeyed(math.Float64bits(rate)))
 	if err != nil {
 		return nil, err
 	}

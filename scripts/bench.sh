@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and emits BENCH_<date>.json in the repo root so
+# the performance trajectory is trackable across PRs.
+#
+#   BENCH='BenchmarkSharded' BENCHTIME=2s scripts/bench.sh
+#
+# BENCH filters benchmarks (default: all), BENCHTIME sets -benchtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y-%m-%d).json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "${BENCH:-.}" -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"; mbs = "null"
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "MB/s") mbs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"mb_per_s\": %s}", name, iters, ns, bytes, allocs, mbs
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"
