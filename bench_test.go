@@ -1,5 +1,5 @@
 // Benchmarks regenerating the reproduction's experiment suite (DESIGN.md
-// section 5): one benchmark per experiment E1–E14 plus micro-benchmarks of
+// section 7): one benchmark per experiment E1–E14 plus micro-benchmarks of
 // the hot paths (samplers, operators, estimation, ingestion). Run with
 //
 //	go test -bench=. -benchmem
@@ -449,6 +449,60 @@ func BenchmarkIncentives(b *testing.B)  { benchExperiment(b, experiments.E11Ince
 func BenchmarkChainVsTree(b *testing.B) { benchExperiment(b, experiments.E12ChainVsTree) }
 func BenchmarkTChainOrder(b *testing.B) { benchExperiment(b, experiments.E13TChainOrder) }
 func BenchmarkGPSError(b *testing.B)    { benchExperiment(b, experiments.E14GPSError) }
+
+// --- result store: bounded retention and cursor reads ------------------------
+
+// BenchmarkResultStore measures the serving-side result path: steady-state
+// ring writes (the wrap variant overwrites constantly, the roomy variant
+// never wraps) and cursor-paginated reads into borrowed buffers, which must
+// stay allocation-free.
+func BenchmarkResultStore(b *testing.B) {
+	batch := benchBatch(512, 14)
+	b.Run("write/retention=65536", func(b *testing.B) {
+		store := stream.NewResultStore(1 << 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.Process(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(batch.Len()))
+	})
+	b.Run("write/wrap/retention=1024", func(b *testing.B) {
+		store := stream.NewResultStore(1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.Process(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(batch.Len()))
+	})
+	b.Run("read/cursor", func(b *testing.B) {
+		store := stream.NewResultStore(1 << 14)
+		for i := 0; i < 32; i++ {
+			if err := store.Process(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		buf := stream.BorrowTuples(512)
+		defer buf.Release()
+		var cursor uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, next, _ := store.ReadFrom(cursor, 512, buf.Tuples[:0])
+			if len(out) == 0 {
+				cursor = 0 // wrapped past the end; restart the scan
+				continue
+			}
+			cursor = next
+		}
+		b.SetBytes(512)
+	})
+}
 
 // --- substrate micro-benchmarks ---------------------------------------------
 

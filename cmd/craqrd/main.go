@@ -1,16 +1,23 @@
-// Command craqrd serves a CrAQR engine over HTTP: clients submit CrAQL
-// queries, the simulated crowdsensing world advances automatically in the
-// background, and fabricated streams are read back as JSON.
+// Command craqrd serves CrAQR engines over HTTP as a multi-session service:
+// each session is an independently clocked engine with its own seed and
+// bounded per-query result retention; clients page fabricated streams with
+// cursors or subscribe to live push delivery.
 //
-//	craqrd -addr :8080 -interval 200ms
+//	craqrd -addr :8080 -tick 200ms -retention 65536 -sessions 64
 //
-//	POST /queries        (CrAQL text body)      submit a query
-//	POST /script         (CrAQL script body)    submit several queries atomically
-//	GET  /queries                               list queries
-//	DELETE /queries/{id}                        delete a query
-//	GET  /results/{id}?limit=n                  read a fabricated stream
-//	POST /step?n=k                              advance k epochs manually
-//	GET  /status                                engine status
+//	GET    /v1/healthz                                liveness probe
+//	POST   /v1/sessions                               create a session ({"name","seed","tick","simulated","retention"})
+//	GET    /v1/sessions                               list sessions
+//	GET    /v1/sessions/{s}/status                    session status (epochs, now, drops, budgets)
+//	DELETE /v1/sessions/{s}                           destroy a session
+//	POST   /v1/sessions/{s}/queries                   submit a CrAQL query
+//	POST   /v1/sessions/{s}/script                    submit a CrAQL script atomically
+//	POST   /v1/sessions/{s}/step?n=k                  advance k epochs manually
+//	GET    /v1/sessions/{s}/results/{q}?cursor=&limit=  cursor-paginated results
+//	GET    /v1/sessions/{s}/results/{q}/stream        live ndjson (?sse=1 for SSE)
+//
+// The pre-session routes (POST /queries, GET /results/{id}, POST /step,
+// GET /status, …) keep working against the pinned "default" session.
 package main
 
 import (
@@ -18,7 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"time"
+	"strings"
 
 	"repro/internal/budget"
 	"repro/internal/geom"
@@ -29,22 +36,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	interval := flag.Duration("interval", 0, "auto-step interval (0 disables; use POST /step)")
-	nSensors := flag.Int("sensors", 500, "mobile sensors in the fleet")
-	seed := flag.Int64("seed", 1, "random seed")
+	tick := flag.Duration("tick", 0, "default session epoch tick (0 disables; use POST /step)")
+	retention := flag.Int("retention", 0, "per-query result retention in tuples (0 = default)")
+	maxSessions := flag.Int("sessions", server.DefaultMaxSessions, "maximum concurrently hosted sessions")
+	idleTTL := flag.Duration("idle-ttl", 0, "destroy unpinned sessions idle this long (0 disables)")
+	nSensors := flag.Int("sensors", 500, "mobile sensors per session fleet")
+	seed := flag.Int64("seed", 1, "default session random seed")
 	workers := flag.Int("workers", 0, "epoch worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	region := geom.NewRect(0, 0, 8, 8)
-	rain, err := sensors.NewRainField(region, []sensors.Storm{{X0: 2, Y0: 2, VX: 0.15, VY: 0.05, Radius: 2}})
-	if err != nil {
-		log.Fatal(err)
-	}
-	temp, err := sensors.NewTempField(20, 0.3, -0.2, 4, 24, 0, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := server.Config{
+	template := server.Config{
 		Region:    region,
 		GridCells: 16,
 		Epoch:     1,
@@ -59,29 +61,60 @@ func main() {
 			Dwell:           3,
 			Response:        sensors.ResponseModel{BaseProb: 0.5, MaxProb: 0.95, IncentiveScale: 1, MeanLatency: 0.05},
 		},
-		Seed: *seed,
+		Seed:      *seed,
+		Retention: *retention,
 	}
-	cfg.Fabricator.Workers = *workers
-	engine, err := server.New(cfg, map[string]sensors.Field{"rain": rain, "temp": temp})
+	template.Fabricator.Workers = *workers
+
+	// Every session gets its own ground-truth world: a drifting storm and a
+	// smooth temperature field.
+	fields := func() (map[string]sensors.Field, error) {
+		rain, err := sensors.NewRainField(region, []sensors.Storm{{X0: 2, Y0: 2, VX: 0.15, VY: 0.05, Radius: 2}})
+		if err != nil {
+			return nil, err
+		}
+		temp, err := sensors.NewTempField(20, 0.3, -0.2, 4, 24, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]sensors.Field{"rain": rain, "temp": temp}, nil
+	}
+
+	manager, err := server.NewManager(server.ManagerConfig{
+		NewEngine:   server.NewEngineFactory(template, fields),
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idleTTL,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpServer, err := server.NewHTTPServer(engine)
+
+	// The pinned default session backs the legacy single-session routes.
+	if _, err := manager.Create(server.SessionSpec{
+		Name:   server.DefaultSessionName,
+		Seed:   *seed,
+		Clock:  server.ClockConfig{Interval: *tick},
+		Pinned: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	httpServer, err := server.NewManagerHTTPServer(manager, server.DefaultSessionName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *interval > 0 {
-		go func() {
-			ticker := time.NewTicker(*interval)
-			defer ticker.Stop()
-			for range ticker.C {
-				if err := engine.Step(); err != nil {
-					log.Printf("craqrd: step: %v", err)
-				}
-			}
-		}()
-		fmt.Printf("craqrd: auto-stepping every %v\n", *interval)
+	if *tick > 0 {
+		fmt.Printf("craqrd: default session ticking every %v\n", *tick)
 	}
-	fmt.Printf("craqrd: listening on %s (try: curl -X POST -d 'ACQUIRE rain FROM RECT(0,0,4,4) RATE 3' localhost%s/queries)\n", *addr, *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpServer))
+	hint := *addr
+	if strings.HasPrefix(hint, ":") {
+		hint = "localhost" + hint
+	}
+	fmt.Printf("craqrd: listening on %s (try: curl -X POST -d 'ACQUIRE rain FROM RECT(0,0,4,4) RATE 3' %s/v1/sessions/default/queries)\n", *addr, hint)
+	serveErr := http.ListenAndServe(*addr, httpServer)
+	// log.Fatal would skip deferred calls; drain the sessions first.
+	if err := manager.Close(); err != nil {
+		log.Printf("craqrd: shutdown: %v", err)
+	}
+	log.Fatal(serveErr)
 }

@@ -15,15 +15,29 @@
 //
 //	engine, _ := craqr.NewEngine(cfg, fields)
 //	q, _ := engine.SubmitCRAQL("ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10")
-//	_ = engine.Run(100)
-//	tuples, _ := engine.Results(q.ID)
+//	_ = engine.Run(100)                            // or engine.Start(ctx) for a clocked engine
+//	tuples, next, dropped, _ := engine.ReadResults(q.ID, 0, 0)
+//	// … later: resume from `next`; `dropped` counts tuples evicted from
+//	// the query's bounded ResultStore before this reader arrived.
+//
+// Every query's fabricated stream lands in a bounded ring-buffer
+// ResultStore (EngineConfig.Retention tuples) addressed by monotonic
+// cursors, so a never-read query costs O(retention) memory while epochs
+// keep running. Engines advance either manually (Step/Run) or on their own
+// clock (EngineConfig.Clock + Start/Stop: wall-clock ticks or back-to-back
+// simulated epochs, with a graceful drain on cancellation). A Manager hosts
+// many named engine sessions behind one process — create/get/list/destroy,
+// per-session seeds and clocks, lazy idle GC — and NewManagerHTTPServer
+// serves it over JSON/HTTP with cursor-paginated reads and push delivery
+// (ndjson or SSE); cmd/craqrd is the ready-made daemon.
 //
 // Epochs execute cell pipelines on a sharded worker pool sized by
 // EngineConfig.Fabricator.Workers (0 = GOMAXPROCS, 1 = serial); per-cell
 // keyed RNG forks and a deterministic merge phase make serial and parallel
 // runs of the same Seed fabricate byte-identical streams, and queries may
 // be submitted concurrently with Run. See examples/ for runnable programs
-// and DESIGN.md for the architecture and concurrency model.
+// (examples/sessiondemo drives the session API) and DESIGN.md for the
+// architecture, concurrency model, and result-retention contract.
 package craqr
 
 import (
@@ -127,8 +141,12 @@ type (
 	Batch = stream.Batch
 	// Processor consumes batches.
 	Processor = stream.Processor
-	// Collector accumulates a fabricated stream.
+	// Collector accumulates a fabricated stream without bound (tests and
+	// experiments); serving paths use the bounded ResultStore instead.
 	Collector = stream.Collector
+	// ResultStore is the bounded, cursor-addressable ring buffer that holds
+	// a query's most recent tuples and accounts evictions as drops.
+	ResultStore = stream.ResultStore
 	// Counter is an allocation-free tuple-counting sink.
 	Counter = stream.Counter
 	// TupleBuffer is a reusable tuple slice borrowed from the stream arena;
@@ -150,6 +168,13 @@ type (
 
 // NewCollector returns an empty stream collector.
 func NewCollector() *Collector { return stream.NewCollector() }
+
+// NewResultStore returns an empty bounded result store retaining up to
+// `retention` tuples (0 = DefaultRetention).
+func NewResultStore(retention int) *ResultStore { return stream.NewResultStore(retention) }
+
+// DefaultRetention is the per-query retention used when none is configured.
+const DefaultRetention = stream.DefaultRetention
 
 // BorrowTuples borrows an empty tuple buffer with capacity for at least n
 // tuples from the stream arena; release it after the batch built on it has
@@ -227,8 +252,20 @@ type (
 	Engine = server.Engine
 	// EngineConfig assembles an engine.
 	EngineConfig = server.Config
-	// HTTPServer exposes an engine over JSON/HTTP.
+	// HTTPServer exposes a session manager (or single engine) over JSON/HTTP.
 	HTTPServer = server.HTTPServer
+	// ClockConfig selects how a started engine advances epochs.
+	ClockConfig = server.ClockConfig
+	// Manager hosts many named engine sessions behind one process.
+	Manager = server.Manager
+	// ManagerConfig assembles a session manager.
+	ManagerConfig = server.ManagerConfig
+	// Session is one named engine hosted by a Manager.
+	Session = server.Session
+	// SessionSpec is the per-session configuration for Manager.Create.
+	SessionSpec = server.SessionSpec
+	// EngineFactory builds a session's engine from its spec.
+	EngineFactory = server.EngineFactory
 	// BudgetConfig parameterizes budget tuning.
 	BudgetConfig = budget.Config
 	// FabricatorConfig parameterizes the stream fabricator.
@@ -255,8 +292,24 @@ func NewEngine(cfg EngineConfig, fields map[string]Field) (*Engine, error) {
 	return server.New(cfg, fields)
 }
 
-// NewHTTPServer wraps an engine in the JSON/HTTP façade.
+// NewHTTPServer wraps a single engine in the JSON/HTTP façade (it becomes
+// the pinned "default" session).
 func NewHTTPServer(e *Engine) (*HTTPServer, error) { return server.NewHTTPServer(e) }
+
+// NewManager builds a session manager hosting many named engines.
+func NewManager(cfg ManagerConfig) (*Manager, error) { return server.NewManager(cfg) }
+
+// NewManagerHTTPServer exposes a session manager over JSON/HTTP; the
+// legacy single-session routes resolve to defaultSession.
+func NewManagerHTTPServer(m *Manager, defaultSession string) (*HTTPServer, error) {
+	return server.NewManagerHTTPServer(m, defaultSession)
+}
+
+// NewEngineFactory adapts a template EngineConfig and per-session field
+// builder into the factory a Manager uses to build session engines.
+func NewEngineFactory(template EngineConfig, fields func() (map[string]Field, error)) EngineFactory {
+	return server.NewEngineFactory(template, fields)
+}
 
 // NewIncentiveAllocator creates a Section VI incentive allocator with the
 // given per-epoch incentive budget and greedy step.

@@ -128,17 +128,26 @@ func (s *JSONLinesSink) Rows() int {
 }
 
 // ReadJSONLines parses tuples back from ndjson produced by JSONLinesSink —
-// the round trip used by tests and by replaying recorded streams.
+// the round trip used by tests and by replaying recorded streams. Metadata
+// records interleaved by streaming producers ({"dropped":n} drop markers
+// from the HTTP result streams) are recognized and skipped, never decoded
+// as phantom tuples.
 func ReadJSONLines(r io.Reader) ([]stream.Tuple, error) {
 	dec := json.NewDecoder(r)
 	var out []stream.Tuple
 	for {
-		var rec tupleJSON
+		var rec struct {
+			tupleJSON
+			Dropped *uint64 `json:"dropped"`
+		}
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				return out, nil
 			}
 			return nil, fmt.Errorf("export: json decode: %w", err)
+		}
+		if rec.Dropped != nil {
+			continue
 		}
 		out = append(out, stream.Tuple{ID: rec.ID, Attr: rec.Attr, T: rec.T, X: rec.X, Y: rec.Y, Value: rec.Value, Sensor: rec.Sensor})
 	}

@@ -110,6 +110,23 @@ func TestReadJSONLinesGarbage(t *testing.T) {
 	}
 }
 
+func TestReadJSONLinesSkipsDropMarkers(t *testing.T) {
+	// The HTTP result stream interleaves {"dropped":n} metadata with tuple
+	// records; readers must not decode markers as phantom tuples.
+	src := `{"dropped":12}
+{"id":7,"attr":"rain","t":1,"x":2,"y":3,"value":1,"sensor":4}
+{"dropped":1}
+{"id":8,"attr":"rain","t":2,"x":2,"y":3,"value":0,"sensor":5}
+`
+	out, err := ReadJSONLines(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].ID != 7 || out[1].ID != 8 {
+		t.Fatalf("read with drop markers = %+v", out)
+	}
+}
+
 func TestSinksAsQueryTerminals(t *testing.T) {
 	// Sinks satisfy stream.Processor and can terminate operator chains.
 	var _ stream.Processor = (*CSVSink)(nil)

@@ -44,6 +44,14 @@ type Config struct {
 	// Incentives, when non-nil, enables the Section VI incentive extension:
 	// the allocator is fed violation pressure and the handler consults it.
 	Incentives *incentive.Allocator
+	// Retention bounds the per-query result store: each query keeps its most
+	// recent Retention tuples and accounts older ones as drops
+	// (0 = stream.DefaultRetention). See DESIGN.md, "Result retention and
+	// delivery".
+	Retention int
+	// Clock configures the engine's own epoch driver used by Start; Step/Run
+	// remain available for manual driving.
+	Clock ClockConfig
 }
 
 // Engine is a running CrAQR instance.
@@ -61,7 +69,9 @@ type Engine struct {
 	stepMu  sync.Mutex // serializes epochs across callers (HTTP, tickers)
 	now     float64
 	epochs  int
-	results map[string]*stream.Collector
+	results map[string]*stream.ResultStore
+
+	clock clockState // Start/Stop lifecycle (lifecycle.go)
 }
 
 // New assembles an engine from the config and ground-truth fields.
@@ -107,7 +117,7 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 		handler: h,
 		fab:     fab,
 		rng:     rng,
-		results: make(map[string]*stream.Collector),
+		results: make(map[string]*stream.ResultStore),
 	}, nil
 }
 
@@ -145,16 +155,16 @@ func (e *Engine) Epochs() int {
 }
 
 // Submit registers an acquisitional query and returns its stored form. The
-// query's fabricated stream accumulates in a collector readable via
-// Results.
+// query's fabricated stream lands in a bounded ResultStore (Config.Retention
+// tuples) readable incrementally via ReadResults or wholesale via Results.
 func (e *Engine) Submit(q query.Query) (query.Query, error) {
-	col := stream.NewCollector()
-	stored, err := e.fab.InsertQuery(q, col)
+	store := stream.NewResultStore(e.cfg.Retention)
+	stored, err := e.fab.InsertQuery(q, store)
 	if err != nil {
 		return query.Query{}, err
 	}
 	e.mu.Lock()
-	e.results[stored.ID] = col
+	e.results[stored.ID] = store
 	e.mu.Unlock()
 	return stored, nil
 }
@@ -181,10 +191,13 @@ func (e *Engine) SubmitScript(src string) ([]query.Query, error) {
 	for _, q := range qs {
 		s, err := e.Submit(q)
 		if err != nil {
+			err = fmt.Errorf("server: script query %q: %w", craql.Format(q), err)
 			for _, prev := range stored {
-				_ = e.Delete(prev.ID)
+				if derr := e.Delete(prev.ID); derr != nil {
+					err = errors.Join(err, fmt.Errorf("server: script rollback of %s: %w", prev.ID, derr))
+				}
 			}
-			return nil, fmt.Errorf("server: script query %q: %w", craql.Format(q), err)
+			return nil, err
 		}
 		stored = append(stored, s)
 	}
@@ -197,27 +210,56 @@ func (e *Engine) SubmitWithSink(q query.Query, sink stream.Processor) (query.Que
 	return e.fab.InsertQuery(q, sink)
 }
 
-// Delete removes a live query and its collector.
+// Delete removes a live query and closes its result store, unblocking any
+// streaming readers.
 func (e *Engine) Delete(id string) error {
 	if err := e.fab.DeleteQuery(id); err != nil {
 		return err
 	}
 	e.mu.Lock()
+	store := e.results[id]
 	delete(e.results, id)
 	e.mu.Unlock()
+	if store != nil {
+		store.Close()
+	}
 	return nil
 }
 
-// Results returns the tuples fabricated so far for a query submitted via
-// Submit.
-func (e *Engine) Results(id string) ([]stream.Tuple, error) {
+// ResultStore returns the bounded store backing a query submitted via
+// Submit; streaming readers use it directly (ReadFrom/Wait).
+func (e *Engine) ResultStore(id string) (*stream.ResultStore, error) {
 	e.mu.Lock()
-	col, ok := e.results[id]
+	store, ok := e.results[id]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("server: no collector for query %q", id)
+		return nil, fmt.Errorf("server: no result store for query %q", id)
 	}
-	return col.Tuples(), nil
+	return store, nil
+}
+
+// Results returns the retained tuples for a query submitted via Submit —
+// at most Config.Retention of the most recent ones. Readers that must not
+// miss tuples page with ReadResults instead.
+func (e *Engine) Results(id string) ([]stream.Tuple, error) {
+	store, err := e.ResultStore(id)
+	if err != nil {
+		return nil, err
+	}
+	return store.Tuples(), nil
+}
+
+// ReadResults reads up to limit tuples (limit ≤ 0 = all retained) at stream
+// positions ≥ cursor for the query, returning the tuples, the cursor to
+// resume from, and how many tuples were evicted before the reader got to
+// them (see stream.ResultStore.ReadFrom).
+func (e *Engine) ReadResults(id string, cursor uint64, limit int) ([]stream.Tuple, uint64, uint64, error) {
+	store, err := e.ResultStore(id)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	out, next, dropped := store.ReadFrom(cursor, limit, nil)
+	return out, next, dropped, nil
 }
 
 // Queries lists the live queries.

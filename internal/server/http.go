@@ -1,59 +1,164 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
-	"sync"
+	"strings"
+	"time"
+
+	"repro/internal/export"
+	"repro/internal/query"
+	"repro/internal/stream"
 )
 
-// HTTPServer exposes an Engine over JSON/HTTP:
+// HTTPServer exposes a session Manager over JSON/HTTP. Sessions are
+// independently clocked engines hosted by one process:
 //
-//	POST /queries        body: CrAQL text        → {"id": "Q1", ...}
-//	POST /script         body: CrAQL script (";"-separated, atomic)
-//	GET  /queries        → list of live queries
-//	DELETE /queries/{id} → remove a query
-//	GET  /results/{id}?limit=n → fabricated tuples for the query
-//	POST /step?n=k       → advance k acquisition epochs
-//	GET  /status         → engine status (time, epochs, budgets, operators)
+//	GET    /v1/healthz                                liveness + session count
+//	POST   /v1/sessions                               create a session (JSON spec)
+//	GET    /v1/sessions                               list sessions
+//	GET    /v1/sessions/{s}                           session info
+//	DELETE /v1/sessions/{s}                           destroy a session
+//	GET    /v1/sessions/{s}/status                    engine status (epochs, now, drops, budgets)
+//	POST   /v1/sessions/{s}/queries                   submit CrAQL text
+//	GET    /v1/sessions/{s}/queries                   list live queries
+//	DELETE /v1/sessions/{s}/queries/{id}              delete a query
+//	POST   /v1/sessions/{s}/script                    submit a CrAQL script atomically
+//	POST   /v1/sessions/{s}/step?n=k                  advance k epochs manually
+//	GET    /v1/sessions/{s}/results/{q}?cursor=&limit=  paginated cursor read
+//	GET    /v1/sessions/{s}/results/{q}/stream        push delivery (ndjson; ?sse=1 or
+//	                                                  Accept: text/event-stream for SSE)
 //
-// The server serializes Step calls so epochs never interleave.
+// The pre-session routes (POST /queries, GET /results/{id}, POST /step, …)
+// remain as thin wrappers over one designated default session.
+//
+// Results are served from each query's bounded ResultStore: a cursor read
+// returns the tuples at positions ≥ cursor still retained, the cursor to
+// resume from, and an explicit count of tuples evicted before the reader
+// arrived. Epoch serialization lives in Engine.Step; the HTTP layer adds no
+// locking of its own.
 type HTTPServer struct {
-	engine *Engine
-	mux    *http.ServeMux
-	stepMu sync.Mutex
+	manager *Manager
+	defName string
+	mux     *http.ServeMux
+	logf    func(format string, args ...interface{})
 }
 
-// NewHTTPServer wraps an engine.
+// DefaultSessionName is the session that backs the legacy single-session
+// routes.
+const DefaultSessionName = "default"
+
+// NewHTTPServer wraps a single hand-built engine: it is adopted into a
+// fresh manager as the pinned default session. POST /v1/sessions is refused
+// on such a server — construct it with NewManagerHTTPServer to host
+// dynamically created sessions.
 func NewHTTPServer(e *Engine) (*HTTPServer, error) {
 	if e == nil {
 		return nil, errors.New("server: NewHTTPServer requires an engine")
 	}
-	s := &HTTPServer{engine: e, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/queries", s.handleQueries)
-	s.mux.HandleFunc("/queries/", s.handleQueryByID)
-	s.mux.HandleFunc("/script", s.handleScript)
-	s.mux.HandleFunc("/results/", s.handleResults)
-	s.mux.HandleFunc("/step", s.handleStep)
-	s.mux.HandleFunc("/status", s.handleStatus)
+	m, err := NewManager(ManagerConfig{NewEngine: func(SessionSpec) (*Engine, error) {
+		return nil, errors.New("server: session creation not configured; build the server with NewManagerHTTPServer")
+	}})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Adopt(DefaultSessionName, e); err != nil {
+		return nil, err
+	}
+	return NewManagerHTTPServer(m, DefaultSessionName)
+}
+
+// NewManagerHTTPServer exposes a manager. defaultSession names the session
+// the legacy routes resolve to; it need not exist yet (legacy routes 404
+// until it does).
+func NewManagerHTTPServer(m *Manager, defaultSession string) (*HTTPServer, error) {
+	if m == nil {
+		return nil, errors.New("server: NewManagerHTTPServer requires a manager")
+	}
+	if defaultSession == "" {
+		defaultSession = DefaultSessionName
+	}
+	s := &HTTPServer{manager: m, defName: defaultSession, mux: http.NewServeMux(), logf: log.Printf}
+
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{session}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{session}", s.handleSessionDestroy)
+	s.mux.HandleFunc("GET /v1/sessions/{session}/status", s.handleSessionStatus)
+	s.mux.HandleFunc("POST /v1/sessions/{session}/queries", s.handleSessionQuerySubmit)
+	s.mux.HandleFunc("GET /v1/sessions/{session}/queries", s.handleSessionQueryList)
+	s.mux.HandleFunc("DELETE /v1/sessions/{session}/queries/{id}", s.handleSessionQueryDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{session}/script", s.handleSessionScript)
+	s.mux.HandleFunc("POST /v1/sessions/{session}/step", s.handleSessionStep)
+	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}", s.handleSessionResults)
+	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}/stream", s.handleSessionResultStream)
+
+	// Legacy single-session façade: thin wrappers resolving the default
+	// session and delegating to the session-scoped logic above.
+	s.mux.HandleFunc("/queries", s.handleLegacyQueries)
+	s.mux.HandleFunc("/queries/", s.handleLegacyQueryByID)
+	s.mux.HandleFunc("/script", s.handleLegacyScript)
+	s.mux.HandleFunc("/results/", s.handleLegacyResults)
+	s.mux.HandleFunc("/step", s.handleLegacyStep)
+	s.mux.HandleFunc("/status", s.handleLegacyStatus)
 	return s, nil
+}
+
+// Manager returns the session manager behind the façade.
+func (s *HTTPServer) Manager() *Manager { return s.manager }
+
+// SetLogf redirects the server's diagnostics (encode failures, stream
+// aborts); nil silences them.
+func (s *HTTPServer) SetLogf(f func(format string, args ...interface{})) {
+	if f == nil {
+		f = func(string, ...interface{}) {}
+	}
+	s.logf = f
 }
 
 // ServeHTTP implements http.Handler.
 func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// writeJSON encodes v; an encode failure after the header is committed can
+// only be logged, not reported to the client.
+func (s *HTTPServer) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("server: http: encoding %T response: %v", v, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *HTTPServer) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
+
+// errString renders an optional error for a JSON payload ("" = none).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// session resolves a session name, writing the 404 itself on a miss.
+func (s *HTTPServer) session(w http.ResponseWriter, name string) *Session {
+	sess, err := s.manager.Get(name)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return nil
+	}
+	return sess
+}
+
+// --- wire formats ---------------------------------------------------------
 
 // queryJSON is the wire form of a query.
 type queryJSON struct {
@@ -67,83 +172,12 @@ type queryJSON struct {
 	CRAQL string  `json:"craql,omitempty"`
 }
 
-func (s *HTTPServer) handleQueries(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		q, err := s.engine.SubmitCRAQL(string(body))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, queryJSON{
-			ID: q.ID, Attr: q.Attr,
-			MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
-			Rate: q.Rate,
-		})
-	case http.MethodGet:
-		var out []queryJSON
-		for _, q := range s.engine.Queries() {
-			out = append(out, queryJSON{
-				ID: q.ID, Attr: q.Attr,
-				MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
-				Rate: q.Rate,
-			})
-		}
-		writeJSON(w, http.StatusOK, out)
-	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+func toQueryJSON(q query.Query) queryJSON {
+	return queryJSON{
+		ID: q.ID, Attr: q.Attr,
+		MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
+		Rate: q.Rate,
 	}
-}
-
-func (s *HTTPServer) handleQueryByID(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Path[len("/queries/"):]
-	if id == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing query id"))
-		return
-	}
-	switch r.Method {
-	case http.MethodDelete:
-		if err := s.engine.Delete(id); err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
-	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
-	}
-}
-
-// handleScript accepts a multi-statement CrAQL script (";"-separated, "--"
-// comments) and submits it atomically.
-func (s *HTTPServer) handleScript(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	qs, err := s.engine.SubmitScript(string(body))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	out := make([]queryJSON, 0, len(qs))
-	for _, q := range qs {
-		out = append(out, queryJSON{
-			ID: q.ID, Attr: q.Attr,
-			MinX: q.Region.MinX, MinY: q.Region.MinY, MaxX: q.Region.MaxX, MaxY: q.Region.MaxY,
-			Rate: q.Rate,
-		})
-	}
-	writeJSON(w, http.StatusCreated, out)
 }
 
 // tupleJSON is the wire form of one fabricated tuple.
@@ -155,65 +189,450 @@ type tupleJSON struct {
 	Value float64 `json:"value"`
 }
 
-func (s *HTTPServer) handleResults(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
-		return
+func toTupleJSON(tuples []stream.Tuple) []tupleJSON {
+	out := make([]tupleJSON, len(tuples))
+	for i, tp := range tuples {
+		out[i] = tupleJSON{ID: tp.ID, T: tp.T, X: tp.X, Y: tp.Y, Value: tp.Value}
 	}
-	id := r.URL.Path[len("/results/"):]
-	tuples, err := s.engine.Results(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	limit := len(tuples)
-	if lv := r.URL.Query().Get("limit"); lv != "" {
-		n, err := strconv.Atoi(lv)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", lv))
-			return
-		}
-		if n < limit {
-			limit = n
-		}
-	}
-	out := make([]tupleJSON, 0, limit)
-	for _, tp := range tuples[:limit] {
-		out = append(out, tupleJSON{ID: tp.ID, T: tp.T, X: tp.X, Y: tp.Y, Value: tp.Value})
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"count": len(tuples), "tuples": out})
+	return out
 }
 
-func (s *HTTPServer) handleStep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+// sessionJSON is the wire form of a session.
+type sessionJSON struct {
+	Name      string  `json:"name"`
+	Created   string  `json:"created"`
+	Running   bool    `json:"running"`
+	ClockErr  string  `json:"clockError,omitempty"`
+	Pinned    bool    `json:"pinned"`
+	Simulated bool    `json:"simulated"`
+	Tick      string  `json:"tick,omitempty"`
+	Retention int     `json:"retention,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	Epochs    int     `json:"epochs"`
+	Now       float64 `json:"now"`
+	Queries   int     `json:"queries"`
+}
+
+func toSessionJSON(sess *Session) sessionJSON {
+	sj := sessionJSON{
+		Name:      sess.Name,
+		Created:   sess.Created.UTC().Format(time.RFC3339Nano),
+		Running:   sess.Engine.Running(),
+		ClockErr:  errString(sess.Engine.ClockErr()),
+		Pinned:    sess.Spec.Pinned,
+		Simulated: sess.Spec.Clock.Simulated,
+		Retention: sess.Spec.Retention,
+		Seed:      sess.Spec.Seed,
+		Epochs:    sess.Engine.Epochs(),
+		Now:       sess.Engine.Now(),
+		Queries:   len(sess.Engine.Queries()),
+	}
+	if sess.Spec.Clock.Interval > 0 {
+		sj.Tick = sess.Spec.Clock.Interval.String()
+	}
+	return sj
+}
+
+// --- /v1 session lifecycle -------------------------------------------------
+
+func (s *HTTPServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   "ok",
+		"sessions": s.manager.Len(),
+	})
+}
+
+// sessionSpecJSON is the create-session request body; all fields optional.
+type sessionSpecJSON struct {
+	Name      string `json:"name"`
+	Seed      int64  `json:"seed"`
+	Retention int    `json:"retention"`
+	Tick      string `json:"tick"`      // duration, e.g. "200ms"; empty = manual stepping
+	Simulated bool   `json:"simulated"` // epochs back-to-back, no wall-clock pacing
+	Pinned    bool   `json:"pinned"`
+}
+
+func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var body sessionSpecJSON
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil && err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid session spec: %w", err))
 		return
 	}
+	spec := SessionSpec{
+		Name:      body.Name,
+		Seed:      body.Seed,
+		Retention: body.Retention,
+		Clock:     ClockConfig{Simulated: body.Simulated},
+		Pinned:    body.Pinned,
+	}
+	if body.Tick != "" {
+		d, err := time.ParseDuration(body.Tick)
+		if err != nil || d < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid tick %q", body.Tick))
+			return
+		}
+		spec.Clock.Interval = d
+	}
+	sess, err := s.manager.Create(spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrSessionExists):
+			status = http.StatusConflict
+		case errors.Is(err, ErrTooManySessions):
+			status = http.StatusTooManyRequests
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, toSessionJSON(sess))
+}
+
+func (s *HTTPServer) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.manager.List()
+	out := make([]sessionJSON, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, toSessionJSON(sess))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *HTTPServer) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r.PathValue("session")); sess != nil {
+		s.writeJSON(w, http.StatusOK, toSessionJSON(sess))
+	}
+}
+
+func (s *HTTPServer) handleSessionDestroy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("session")
+	if err := s.manager.Destroy(name); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSession) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"destroyed": name})
+}
+
+// --- /v1 session-scoped engine routes --------------------------------------
+
+func (s *HTTPServer) handleSessionQuerySubmit(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	s.submitQuery(w, r, sess.Engine)
+}
+
+func (s *HTTPServer) submitQuery(w http.ResponseWriter, r *http.Request, e *Engine) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := e.SubmitCRAQL(string(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, toQueryJSON(q))
+}
+
+func (s *HTTPServer) handleSessionQueryList(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	s.listQueries(w, sess.Engine)
+}
+
+func (s *HTTPServer) listQueries(w http.ResponseWriter, e *Engine) {
+	var out []queryJSON
+	for _, q := range e.Queries() {
+		out = append(out, toQueryJSON(q))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *HTTPServer) handleSessionQueryDelete(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	s.deleteQuery(w, sess.Engine, r.PathValue("id"))
+}
+
+func (s *HTTPServer) deleteQuery(w http.ResponseWriter, e *Engine, id string) {
+	if err := e.Delete(id); err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *HTTPServer) handleSessionScript(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	s.submitScript(w, r, sess.Engine)
+}
+
+func (s *HTTPServer) submitScript(w http.ResponseWriter, r *http.Request, e *Engine) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	qs, err := e.SubmitScript(string(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]queryJSON, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, toQueryJSON(q))
+	}
+	s.writeJSON(w, http.StatusCreated, out)
+}
+
+func (s *HTTPServer) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	s.step(w, r, sess.Engine)
+}
+
+// step advances the engine; epochs are serialized by Engine.stepMu, so
+// concurrent HTTP steps and a running clock interleave at epoch boundaries.
+func (s *HTTPServer) step(w http.ResponseWriter, r *http.Request, e *Engine) {
 	n := 1
 	if nv := r.URL.Query().Get("n"); nv != "" {
 		parsed, err := strconv.Atoi(nv)
 		if err != nil || parsed <= 0 || parsed > 100000 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", nv))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", nv))
 			return
 		}
 		n = parsed
 	}
-	s.stepMu.Lock()
-	err := s.engine.Run(n)
-	s.stepMu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	if err := e.Run(n); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"epochs": s.engine.Epochs(), "now": s.engine.Now()})
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{"epochs": e.Epochs(), "now": e.Now()})
 }
 
-func (s *HTTPServer) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+// --- results: cursor pagination and streaming -------------------------------
+
+func (s *HTTPServer) handleSessionResults(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
 		return
 	}
-	budgets := s.engine.Budgets().Snapshots()
+	s.readResults(w, r, sess.Engine, r.PathValue("id"))
+}
+
+// parseCursorLimit extracts the ?cursor= and ?limit= pagination parameters
+// shared by every result-reading route.
+func parseCursorLimit(r *http.Request) (cursor uint64, limit int, err error) {
+	if cv := r.URL.Query().Get("cursor"); cv != "" {
+		cursor, err = strconv.ParseUint(cv, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("invalid cursor %q", cv)
+		}
+	}
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		limit, err = strconv.Atoi(lv)
+		if err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("invalid limit %q", lv)
+		}
+	}
+	return cursor, limit, nil
+}
+
+// readResults serves one page of a query's bounded result store.
+func (s *HTTPServer) readResults(w http.ResponseWriter, r *http.Request, e *Engine, id string) {
+	store, err := e.ResultStore(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	cursor, limit, err := parseCursorLimit(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tuples, next, dropped := store.ReadFrom(cursor, limit, nil)
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"tuples":     toTupleJSON(tuples),
+		"nextCursor": next,
+		"dropped":    dropped,
+		"retained":   store.Len(),
+		"total":      store.Total(),
+		"retention":  store.Retention(),
+	})
+}
+
+// streamChunk bounds how many tuples one push writes before flushing.
+const streamChunk = 512
+
+// handleSessionResultStream pushes a query's stream to the client as it is
+// fabricated: ndjson by default (one tuple per line, reusing the
+// export.JSONLinesSink wire format), SSE with ?sse=1 or
+// Accept: text/event-stream. The connection stays open until the client
+// disconnects or the query is deleted. Tuples evicted before delivery are
+// reported as an explicit drop record ({"dropped":n} line / "drop" event),
+// never silently skipped.
+func (s *HTTPServer) handleSessionResultStream(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	store, err := sess.Engine.ResultStore(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	sse := r.URL.Query().Get("sse") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	cursor, limit, err := parseCursorLimit(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// ?limit= throttles the per-push chunk size (bounded by the default).
+	chunk := streamChunk
+	if limit > 0 && limit < streamChunk {
+		chunk = limit
+	}
+	if lv := r.Header.Get("Last-Event-ID"); sse && lv != "" && r.URL.Query().Get("cursor") == "" {
+		// SSE reconnects resume from the last delivered position.
+		if c, perr := strconv.ParseUint(lv, 10, 64); perr == nil {
+			cursor = c
+		}
+	}
+
+	var sink *export.JSONLinesSink
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if sink, err = export.NewJSONLinesSink(w); err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	buf := stream.BorrowTuples(chunk)
+	defer buf.Release()
+	for {
+		out, next, dropped := store.ReadFrom(cursor, chunk, buf.Tuples[:0])
+		if err := s.writeStreamChunk(w, sink, sse, out, next, dropped); err != nil {
+			return // client went away
+		}
+		if len(out) > 0 || dropped > 0 {
+			flusher.Flush()
+		}
+		cursor = next
+		if err := s.waitStream(r.Context(), sess.Name, store, cursor); err != nil {
+			return
+		}
+	}
+}
+
+// waitStream blocks until the store grows past cursor, the client
+// disconnects (ctx), or the query/session goes away (store closed — a
+// clean end of stream either way). While parked it periodically re-resolves
+// the session so an open stream counts as activity to the idle GC even
+// when the producer is slow.
+func (s *HTTPServer) waitStream(ctx context.Context, session string, store *stream.ResultStore, cursor uint64) error {
+	touch := s.manager.touchInterval()
+	for {
+		// Resolving refreshes the session's lastAccess; a reaped session
+		// ends the stream.
+		if _, err := s.manager.Get(session); err != nil {
+			return err
+		}
+		if touch <= 0 {
+			return store.Wait(ctx, cursor)
+		}
+		wctx, cancel := context.WithTimeout(ctx, touch)
+		err := store.Wait(wctx, cursor)
+		cancel()
+		if err == nil || ctx.Err() != nil || !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		// Touch-interval wakeup, not a real deadline: go around and park
+		// again.
+	}
+}
+
+// writeStreamChunk emits one read's worth of tuples (and its drop notice)
+// in the negotiated framing.
+func (s *HTTPServer) writeStreamChunk(w io.Writer, sink *export.JSONLinesSink, sse bool, out []stream.Tuple, next uint64, dropped uint64) error {
+	if sse {
+		if dropped > 0 {
+			if _, err := fmt.Fprintf(w, "event: drop\ndata: {\"dropped\":%d}\n\n", dropped); err != nil {
+				return err
+			}
+		}
+		base := next - uint64(len(out))
+		for i, tp := range out {
+			// Same record shape as the ndjson framing (attr and sensor
+			// included) so clients can switch framings losslessly.
+			data, err := json.Marshal(struct {
+				ID     uint64  `json:"id"`
+				Attr   string  `json:"attr"`
+				T      float64 `json:"t"`
+				X      float64 `json:"x"`
+				Y      float64 `json:"y"`
+				Value  float64 `json:"value"`
+				Sensor int     `json:"sensor"`
+			}{tp.ID, tp.Attr, tp.T, tp.X, tp.Y, tp.Value, tp.Sensor})
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", base+uint64(i)+1, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "{\"dropped\":%d}\n", dropped); err != nil {
+			return err
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return sink.Process(stream.Batch{Tuples: out})
+}
+
+// --- status -----------------------------------------------------------------
+
+func (s *HTTPServer) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	s.status(w, sess)
+}
+
+func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
+	e := sess.Engine
+	budgets := e.Budgets().Snapshots()
 	type budgetJSON struct {
 		Attr       string  `json:"attr"`
 		Q          int     `json:"q"`
@@ -229,15 +648,137 @@ func (s *HTTPServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Budget: b.Budget, LastNv: b.LastNv, Infeasible: b.Infeasible,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"now":       s.engine.Now(),
-		"epochs":    s.engine.Epochs(),
-		"queries":   len(s.engine.Queries()),
-		"pipelines": s.engine.Fabricator().NumPipelines(),
-		"operators": s.engine.Fabricator().OperatorCounts(),
-		"workers":   s.engine.Workers(),
-		"requests":  s.engine.Handler().RequestsSent(),
-		"responses": s.engine.Handler().ResponsesReceived(),
-		"budgets":   bj,
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"session":        sess.Name,
+		"running":        e.Running(),
+		"clockError":     errString(e.ClockErr()),
+		"now":            e.Now(),
+		"epochs":         e.Epochs(),
+		"queries":        len(e.Queries()),
+		"pipelines":      e.Fabricator().NumPipelines(),
+		"operators":      e.Fabricator().OperatorCounts(),
+		"workers":        e.Workers(),
+		"requests":       e.Handler().RequestsSent(),
+		"responses":      e.Handler().ResponsesReceived(),
+		"retentionDrops": e.RetentionDrops(),
+		"budgets":        bj,
 	})
+}
+
+// --- legacy single-session façade -------------------------------------------
+
+// defaultSession resolves the legacy routes' session.
+func (s *HTTPServer) defaultSession(w http.ResponseWriter) *Session {
+	return s.session(w, s.defName)
+}
+
+func (s *HTTPServer) handleLegacyQueries(w http.ResponseWriter, r *http.Request) {
+	sess := s.defaultSession(w)
+	if sess == nil {
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.submitQuery(w, r, sess.Engine)
+	case http.MethodGet:
+		s.listQueries(w, sess.Engine)
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (s *HTTPServer) handleLegacyQueryByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/queries/")
+	if id == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("missing query id"))
+		return
+	}
+	if r.Method != http.MethodDelete {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	sess := s.defaultSession(w)
+	if sess == nil {
+		return
+	}
+	s.deleteQuery(w, sess.Engine, id)
+}
+
+func (s *HTTPServer) handleLegacyScript(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	sess := s.defaultSession(w)
+	if sess == nil {
+		return
+	}
+	s.submitScript(w, r, sess.Engine)
+}
+
+// handleLegacyResults keeps the pre-cursor wire shape ({"count", "tuples"})
+// but now serves from the bounded store: count is the retained tuple count.
+// It also honors ?cursor= for clients migrating before switching to /v1.
+func (s *HTTPServer) handleLegacyResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	sess := s.defaultSession(w)
+	if sess == nil {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/results/")
+	store, err := sess.Engine.ResultStore(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	cursor, limit, err := parseCursorLimit(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Pre-cursor clients used ?limit=0 as a count-only probe; keep that
+	// reading here (the /v1 route gives limit 0 the "no limit" meaning).
+	if limit == 0 && r.URL.Query().Get("limit") != "" {
+		s.writeJSON(w, http.StatusOK, map[string]interface{}{
+			"count":      store.Len(),
+			"tuples":     []tupleJSON{},
+			"nextCursor": cursor,
+			"dropped":    uint64(0),
+		})
+		return
+	}
+	tuples, next, dropped := store.ReadFrom(cursor, limit, nil)
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":      store.Len(),
+		"tuples":     toTupleJSON(tuples),
+		"nextCursor": next,
+		"dropped":    dropped,
+	})
+}
+
+func (s *HTTPServer) handleLegacyStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	sess := s.defaultSession(w)
+	if sess == nil {
+		return
+	}
+	s.step(w, r, sess.Engine)
+}
+
+func (s *HTTPServer) handleLegacyStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	sess := s.defaultSession(w)
+	if sess == nil {
+		return
+	}
+	s.status(w, sess)
 }

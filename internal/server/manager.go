@@ -1,0 +1,325 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+// SessionSpec is the per-session configuration a client supplies when
+// creating a session; zero fields inherit the manager's template.
+type SessionSpec struct {
+	// Name identifies the session; empty auto-generates "s1", "s2", ….
+	Name string
+	// Seed overrides the template's seed when non-zero, so concurrent
+	// sessions fabricate independent worlds.
+	Seed int64
+	// Retention overrides the template's per-query result retention when
+	// positive.
+	Retention int
+	// Clock configures the session's epoch driver. Sessions with a positive
+	// Interval or Simulated set are started on creation; others are stepped
+	// manually.
+	Clock ClockConfig
+	// Pinned exempts the session from idle GC (the long-lived default
+	// session of a craqrd process is pinned).
+	Pinned bool
+}
+
+// Session is one named engine hosted by a Manager.
+type Session struct {
+	Name    string
+	Engine  *Engine
+	Spec    SessionSpec
+	Created time.Time
+
+	mu         sync.Mutex
+	lastAccess time.Time
+}
+
+// touch refreshes the idle-GC deadline.
+func (s *Session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastAccess = now
+	s.mu.Unlock()
+}
+
+// LastAccess returns when the session was last resolved through its manager.
+func (s *Session) LastAccess() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAccess
+}
+
+// EngineFactory builds a session's engine from its spec. The factory owns
+// applying Seed/Retention/Clock overrides onto whatever base config it
+// closes over (NewEngineFactory does this for the common case).
+type EngineFactory func(spec SessionSpec) (*Engine, error)
+
+// NewEngineFactory adapts a template Config and field builder into an
+// EngineFactory that applies the spec's overrides. The builder runs once
+// per session so each session owns its ground-truth fields.
+func NewEngineFactory(template Config, fields func() (map[string]sensors.Field, error)) EngineFactory {
+	return func(spec SessionSpec) (*Engine, error) {
+		cfg := template
+		if spec.Seed != 0 {
+			cfg.Seed = spec.Seed
+		}
+		if spec.Retention > 0 {
+			cfg.Retention = spec.Retention
+		}
+		cfg.Clock = spec.Clock
+		f, err := fields()
+		if err != nil {
+			return nil, err
+		}
+		return New(cfg, f)
+	}
+}
+
+// ManagerConfig assembles a session manager.
+type ManagerConfig struct {
+	// NewEngine builds an engine per session.
+	NewEngine EngineFactory
+	// MaxSessions caps concurrently hosted sessions (0 = DefaultMaxSessions).
+	MaxSessions int
+	// IdleTTL, when positive, enables lazy GC: an unpinned session not
+	// resolved for IdleTTL is destroyed on the next manager operation. There
+	// is no background sweeper; GC piggybacks on Create/Get/List.
+	IdleTTL time.Duration
+}
+
+// DefaultMaxSessions bounds a manager whose config leaves MaxSessions zero.
+const DefaultMaxSessions = 64
+
+// Manager hosts many named engine sessions behind one process — the
+// multi-tenant counterpart of a single Engine. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg ManagerConfig
+	now func() time.Time // injectable for GC tests
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+	closed   bool
+}
+
+// NewManager builds an empty manager.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.NewEngine == nil {
+		return nil, errors.New("server: NewManager requires an engine factory")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	return &Manager{cfg: cfg, now: time.Now, sessions: make(map[string]*Session)}, nil
+}
+
+// ErrSessionExists is returned when creating a session under a taken name.
+var ErrSessionExists = errors.New("server: session already exists")
+
+// ErrNoSession is returned when resolving an unknown session.
+var ErrNoSession = errors.New("server: no such session")
+
+// ErrTooManySessions is returned when the manager is at MaxSessions.
+var ErrTooManySessions = errors.New("server: session limit reached")
+
+// Create builds and registers a session from the spec, starting its clock
+// when the spec asks for one (positive Interval or Simulated).
+func (m *Manager) Create(spec SessionSpec) (*Session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("server: manager closed")
+	}
+	m.gcLocked()
+	if spec.Name == "" {
+		for {
+			m.seq++
+			spec.Name = fmt.Sprintf("s%d", m.seq)
+			if _, taken := m.sessions[spec.Name]; !taken {
+				break
+			}
+		}
+	} else if _, taken := m.sessions[spec.Name]; taken {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, spec.Name)
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	// Reserve the name while building outside the lock.
+	m.sessions[spec.Name] = nil
+	m.mu.Unlock()
+
+	engine, err := m.cfg.NewEngine(spec)
+	if err == nil && engine == nil {
+		err = errors.New("server: engine factory returned nil")
+	}
+	if err != nil {
+		m.mu.Lock()
+		delete(m.sessions, spec.Name)
+		m.mu.Unlock()
+		return nil, err
+	}
+	now := m.now()
+	sess := &Session{Name: spec.Name, Engine: engine, Spec: spec, Created: now, lastAccess: now}
+	if spec.Clock.Interval > 0 || spec.Clock.Simulated {
+		if err := engine.Start(context.Background()); err != nil {
+			m.mu.Lock()
+			delete(m.sessions, spec.Name)
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		// Close ran while the engine was being built: don't leak a running
+		// session into a closed manager.
+		delete(m.sessions, spec.Name)
+		m.mu.Unlock()
+		_ = engine.Shutdown()
+		return nil, errors.New("server: manager closed")
+	}
+	m.sessions[spec.Name] = sess
+	m.mu.Unlock()
+	return sess, nil
+}
+
+// Adopt registers a pre-built engine as a pinned session — the bridge for
+// the legacy single-engine façade and for engines assembled by hand.
+func (m *Manager) Adopt(name string, e *Engine) (*Session, error) {
+	if e == nil {
+		return nil, errors.New("server: Adopt requires an engine")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("server: manager closed")
+	}
+	if _, taken := m.sessions[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, name)
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	now := m.now()
+	sess := &Session{Name: name, Engine: e, Spec: SessionSpec{Name: name, Pinned: true}, Created: now, lastAccess: now}
+	m.sessions[name] = sess
+	return sess, nil
+}
+
+// Get resolves a session by name, refreshing its idle-GC deadline.
+func (m *Manager) Get(name string) (*Session, error) {
+	m.mu.Lock()
+	m.gcLocked()
+	sess := m.sessions[name]
+	m.mu.Unlock()
+	if sess == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, name)
+	}
+	sess.touch(m.now())
+	return sess, nil
+}
+
+// List returns the live sessions sorted by name.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	m.gcLocked()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, sess := range m.sessions {
+		if sess != nil { // skip reservations mid-Create
+			out = append(out, sess)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of live sessions (names reserved by an in-flight
+// Create are not counted, matching List).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, sess := range m.sessions {
+		if sess != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Destroy removes a session and shuts its engine down: the clock drains and
+// every query's result store is closed, so streaming readers see a clean
+// end of stream rather than hanging on a dead engine.
+func (m *Manager) Destroy(name string) error {
+	m.mu.Lock()
+	sess := m.sessions[name]
+	if sess != nil {
+		delete(m.sessions, name)
+	}
+	m.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("%w: %q", ErrNoSession, name)
+	}
+	return sess.Engine.Shutdown()
+}
+
+// gcLocked destroys unpinned sessions idle past IdleTTL. Callers hold m.mu;
+// engine shutdown happens asynchronously so a slow drain never blocks the
+// manager.
+func (m *Manager) gcLocked() {
+	if m.cfg.IdleTTL <= 0 {
+		return
+	}
+	deadline := m.now().Add(-m.cfg.IdleTTL)
+	for name, sess := range m.sessions {
+		if sess == nil || sess.Spec.Pinned {
+			continue
+		}
+		if sess.LastAccess().Before(deadline) {
+			delete(m.sessions, name)
+			go func(e *Engine) { _ = e.Shutdown() }(sess.Engine)
+		}
+	}
+}
+
+// touchInterval returns how often a long-lived consumer (an open stream)
+// must re-resolve its session to stay ahead of idle GC; zero when GC is
+// disabled.
+func (m *Manager) touchInterval() time.Duration {
+	if m.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	return m.cfg.IdleTTL / 2
+}
+
+// Close stops every session and refuses further use.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for name, sess := range m.sessions {
+		if sess != nil {
+			sessions = append(sessions, sess)
+		}
+		delete(m.sessions, name)
+	}
+	m.mu.Unlock()
+	var err error
+	for _, sess := range sessions {
+		if serr := sess.Engine.Shutdown(); serr != nil {
+			err = errors.Join(err, fmt.Errorf("server: stopping session %s: %w", sess.Name, serr))
+		}
+	}
+	return err
+}

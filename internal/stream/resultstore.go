@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// DefaultRetention is the per-query tuple retention used when a ResultStore
+// is built with a non-positive capacity.
+const DefaultRetention = 1 << 16
+
+// ResultStore is the bounded, cursor-addressable sink that terminates every
+// query pipeline in the serving engine. It retains the most recent
+// `retention` tuples of the fabricated stream in a ring buffer; older tuples
+// are overwritten and accounted as drops rather than accumulated without
+// bound, so a query nobody reads costs O(retention) memory no matter how
+// long its engine keeps ticking.
+//
+// Positions in the stream are monotonic cursors: the i-th tuple ever
+// appended lives at cursor i (zero-based). Readers own their cursors and
+// page forward with ReadFrom; a reader that falls more than `retention`
+// tuples behind observes an explicit drop count instead of silently missing
+// data. Writers never block on readers.
+//
+// ResultStore is safe for concurrent use by one or more writers and any
+// number of readers.
+type ResultStore struct {
+	mu      sync.Mutex
+	buf     []Tuple // ring storage, cap == retention
+	head    int     // buf index of the oldest retained tuple
+	size    int     // retained tuples (≤ len(buf))
+	first   uint64  // cursor of the oldest retained tuple == total dropped
+	total   uint64  // cursor one past the newest tuple == total appended
+	batches uint64
+	closed  bool
+	notify  chan struct{} // lazily created by Wait, closed on append / Close
+}
+
+// NewResultStore returns an empty store retaining up to `retention` tuples
+// (DefaultRetention when retention ≤ 0).
+func NewResultStore(retention int) *ResultStore {
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	return &ResultStore{buf: make([]Tuple, retention)}
+}
+
+// Retention returns the store's capacity in tuples.
+func (s *ResultStore) Retention() int { return len(s.buf) }
+
+// Process implements Processor: the batch's tuples are copied into the ring
+// (the batch may be built on an arena buffer that is recycled after the
+// call), evicting the oldest tuples when full.
+func (s *ResultStore) Process(b Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	in := b.Tuples
+	s.batches++
+	s.total += uint64(len(in))
+	// A batch larger than the whole ring: only its tail survives.
+	if overflow := len(in) - len(s.buf); overflow > 0 {
+		in = in[overflow:]
+	}
+	// Bulk-copy into at most two contiguous runs around the wrap point
+	// (epoch workers hold s.mu here, so the write path stays tight).
+	if n := len(in); n > 0 {
+		idx := s.head + s.size
+		if idx >= len(s.buf) {
+			idx -= len(s.buf)
+		}
+		run := copy(s.buf[idx:], in)
+		copy(s.buf, in[run:])
+		if s.size+n <= len(s.buf) {
+			s.size += n
+		} else {
+			s.head += s.size + n - len(s.buf)
+			if s.head >= len(s.buf) {
+				s.head -= len(s.buf)
+			}
+			s.size = len(s.buf)
+		}
+	}
+	s.first = s.total - uint64(s.size)
+	// Release parked waiters; the channel only exists while someone waits,
+	// keeping the unwatched write path allocation-free.
+	if s.notify != nil && len(b.Tuples) > 0 {
+		close(s.notify)
+		s.notify = nil
+	}
+	return nil
+}
+
+// ReadFrom returns the retained tuples at cursor positions ≥ cursor, up to
+// `limit` of them (limit ≤ 0 means all retained), copied into dst's storage
+// — pass a buffer borrowed from the arena (BorrowTuples) to keep reads
+// allocation-free. It returns the filled slice, the cursor to resume from,
+// and how many tuples the reader missed because they were evicted before it
+// arrived (cursor < oldest retained). A cursor beyond the end of the stream
+// is clamped: the read is empty and next is the end cursor.
+//
+// The returned slice aliases dst's storage, not the ring, so it stays valid
+// while the writer keeps appending.
+func (s *ResultStore) ReadFrom(cursor uint64, limit int, dst []Tuple) (out []Tuple, next uint64, dropped uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < s.first {
+		dropped = s.first - cursor
+		cursor = s.first
+	}
+	if cursor > s.total {
+		cursor = s.total
+	}
+	avail := int(s.total - cursor)
+	if limit <= 0 || limit > avail {
+		limit = avail
+	}
+	out = dst[:0]
+	// Ring offset of the first requested tuple.
+	off := s.head + int(cursor-s.first)
+	if off >= len(s.buf) {
+		off -= len(s.buf)
+	}
+	// Copy in at most two contiguous runs around the wrap point.
+	n := limit
+	if run := len(s.buf) - off; n > run {
+		out = append(out, s.buf[off:]...)
+		out = append(out, s.buf[:n-run]...)
+	} else {
+		out = append(out, s.buf[off:off+n]...)
+	}
+	return out, cursor + uint64(limit), dropped
+}
+
+// Tuples returns a copy of every retained tuple, oldest first. It is the
+// bounded replacement for Collector.Tuples: the slice holds at most
+// Retention() tuples regardless of how many were fabricated.
+func (s *ResultStore) Tuples() []Tuple {
+	out, _, _ := s.ReadFrom(0, 0, nil)
+	return out
+}
+
+// Len returns the number of retained tuples.
+func (s *ResultStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Total returns the number of tuples ever appended; it is also the cursor
+// one past the newest tuple.
+func (s *ResultStore) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Dropped returns how many tuples have been evicted from the ring over the
+// store's lifetime; it is also the cursor of the oldest retained tuple.
+func (s *ResultStore) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.first
+}
+
+// Batches returns the number of batches received.
+func (s *ResultStore) Batches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches
+}
+
+// ErrStoreClosed is returned by Wait when the store was closed.
+var ErrStoreClosed = errors.New("stream: result store closed")
+
+// Wait blocks until the stream has grown past cursor (a tuple at position
+// cursor exists, possibly already evicted), the store is closed
+// (ErrStoreClosed), or ctx is done (its error). It is the push primitive
+// under streaming delivery: a streamer alternates ReadFrom and Wait.
+func (s *ResultStore) Wait(ctx context.Context, cursor uint64) error {
+	for {
+		s.mu.Lock()
+		if s.total > cursor {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return ErrStoreClosed
+		}
+		if s.notify == nil {
+			s.notify = make(chan struct{})
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close marks the store finished: subsequent Process calls fail with
+// ErrClosed and blocked Wait calls return ErrStoreClosed. Reads remain
+// valid. Closing an already-closed store is a no-op.
+func (s *ResultStore) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.notify != nil {
+		close(s.notify)
+		s.notify = nil
+	}
+}

@@ -3,8 +3,10 @@
 # the performance trajectory is trackable across PRs.
 #
 #   BENCH='BenchmarkSharded' BENCHTIME=2s scripts/bench.sh
+#   BENCH='BenchmarkResultStore' scripts/bench.sh   # bounded result-store path
 #
-# BENCH filters benchmarks (default: all), BENCHTIME sets -benchtime.
+# BENCH filters benchmarks (default: all, including BenchmarkResultStore's
+# ring write/wraparound/cursor-read suite), BENCHTIME sets -benchtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
