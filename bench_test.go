@@ -1,5 +1,5 @@
 // Benchmarks regenerating the reproduction's experiment suite (DESIGN.md
-// section 7): one benchmark per experiment E1–E14 plus micro-benchmarks of
+// section 8): one benchmark per experiment E1–E14 plus micro-benchmarks of
 // the hot paths (samplers, operators, estimation, ingestion). Run with
 //
 //	go test -bench=. -benchmem
@@ -27,6 +27,28 @@ import (
 	"repro/internal/stream"
 	"repro/internal/topology"
 )
+
+// retime slides a batch's window to [t0, t0+1] and re-stamps every tuple's
+// time inside it (preserving each tuple's fractional offset), the way real
+// epochs arrive: estimators fit the window the events actually occupy.
+// Iterating benchmarks previously slid the window while leaving tuple times
+// at their original values, which puts every event outside the window's time
+// range and makes the Poisson MLE degenerate (unbounded likelihood).
+func retime(b *stream.Batch, frac []float64, t0 float64) {
+	b.Window.T0, b.Window.T1 = t0, t0+1
+	for i := range b.Tuples {
+		b.Tuples[i].T = t0 + frac[i]
+	}
+}
+
+// fracs captures each tuple's within-window time offset for retime.
+func fracs(b stream.Batch) []float64 {
+	out := make([]float64, len(b.Tuples))
+	for i, tp := range b.Tuples {
+		out[i] = tp.T - b.Window.T0
+	}
+	return out
+}
 
 // benchBatch builds a homogeneous batch of roughly n tuples on a 4×4 region.
 func benchBatch(n int, seed int64) stream.Batch {
@@ -261,11 +283,11 @@ func benchFabricator(b *testing.B, shared bool, k int) {
 	batch := benchBatch(3000, 9)
 	batch.Attr = "rain"
 	batch.Window.Rect = grid.Region()
+	fr := fracs(batch)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		batch.Window.T0 = float64(i)
-		batch.Window.T1 = float64(i + 1)
+		retime(&batch, fr, float64(i))
 		for _, f := range fabs {
 			if err := f.Ingest(batch); err != nil {
 				b.Fatal(err)
@@ -304,11 +326,11 @@ func benchEndToEnd(b *testing.B, workers int) {
 	batch := benchBatch(10000, 3)
 	batch.Attr = "rain"
 	batch.Window.Rect = grid.Region()
+	fr := fracs(batch)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		batch.Window.T0 = float64(i)
-		batch.Window.T1 = float64(i + 1)
+		retime(&batch, fr, float64(i))
 		if err := fab.Ingest(batch); err != nil {
 			b.Fatal(err)
 		}
@@ -319,6 +341,59 @@ func benchEndToEnd(b *testing.B, workers int) {
 func BenchmarkEndToEnd(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchEndToEnd(b, 1) })
 	b.Run("parallel", func(b *testing.B) { benchEndToEnd(b, 0) })
+}
+
+// BenchmarkFusedPipeline measures compiled fused execution against the
+// unfused operator-graph walk on a single cell pipeline across Thin-chain
+// depths and batch sizes. Both modes fabricate byte-identical streams; the
+// delta is pure execution overhead (intermediate batches, per-stage locking
+// and dispatch), so the F-operator uses a known intensity — an MLE fit
+// would dominate both modes identically and drown the signal. Wired into
+// scripts/bench.sh via the default -bench '.'.
+func BenchmarkFusedPipeline(b *testing.B) {
+	cellRect := geom.NewRect(0, 0, 4, 4)
+	for _, depth := range []int{1, 2, 4} {
+		for _, n := range []int{256, 4096} {
+			for _, mode := range []string{"fused", "unfused"} {
+				b.Run(fmt.Sprintf("depth=%d/n=%d/%s", depth, n, mode), func(b *testing.B) {
+					rng := stats.NewRNG(11)
+					p, err := topology.NewCellPipeline(
+						topology.Key{Attr: "temp"}, cellRect,
+						topology.PipelineConfig{
+							DisableFused: mode == "unfused",
+							Flatten: pmat.FlattenConfig{
+								Mode:  pmat.EstimatorKnown,
+								Known: intensity.NewLinear(intensity.Theta{60, 0, 1.5, -1}),
+							},
+						}, rng.Fork())
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Rates 40, 20, 10, 5 → a strictly descending chain of
+					// the requested depth, one counter sink per level.
+					rate := 40.0
+					for i := 0; i < depth; i++ {
+						q := query.Query{ID: fmt.Sprintf("q%d", i), Rate: rate}
+						if err := p.AddTap(q, cellRect, &stream.Counter{}); err != nil {
+							b.Fatal(err)
+						}
+						rate /= 2
+					}
+					batch := benchBatch(n, 21)
+					fr := fracs(batch)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						retime(&batch, fr, float64(i))
+						if err := p.Process(batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.SetBytes(int64(n))
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkSharded measures the sharded epoch executor across worker-pool
@@ -350,11 +425,11 @@ func BenchmarkSharded(b *testing.B) {
 				batch.Tuples[i].X = rng.Uniform(0, 32)
 				batch.Tuples[i].Y = rng.Uniform(0, 32)
 			}
+			fr := fracs(batch)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				batch.Window.T0 = float64(i)
-				batch.Window.T1 = float64(i + 1)
+				retime(&batch, fr, float64(i))
 				if err := fab.Ingest(batch); err != nil {
 					b.Fatal(err)
 				}

@@ -330,3 +330,59 @@ func TestGradHessSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFitMLEWarmstart(t *testing.T) {
+	truth := intensity.Theta{10, 0.4, -0.3, 0.2}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 31)
+	cold, err := FitMLE(ev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-starting from the converged optimum must pass the gradient test
+	// immediately — zero iterations — and return the same θ.
+	warm, err := FitMLE(ev, w, Options{Warmstart: &cold.Theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged || warm.Iterations != 0 {
+		t.Fatalf("warm restart: converged=%v iterations=%d, want immediate convergence", warm.Converged, warm.Iterations)
+	}
+	if warm.Theta != cold.Theta {
+		t.Fatalf("warm restart moved θ: %v vs %v", warm.Theta, cold.Theta)
+	}
+	// A stale warm start (perturbed θ, or a fit from different data) must
+	// not end worse than the cold fit: the likelihood at the warm result has
+	// to match the cold optimum within tolerance.
+	stale := intensity.Theta{3, -2, 1, 5}
+	fromStale, err := FitMLE(ev, w, Options{Warmstart: &stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromStale.Converged {
+		t.Fatal("fit from stale warm start did not converge")
+	}
+	if fromStale.LogLik < cold.LogLik-1e-3*math.Abs(cold.LogLik) {
+		t.Fatalf("stale warm start hurt the fit: ll %g vs cold %g", fromStale.LogLik, cold.LogLik)
+	}
+}
+
+func TestFitMLENoLogLik(t *testing.T) {
+	truth := intensity.Theta{12, 0, 0, 0}
+	w := bigWindow()
+	ev := sampleLinear(t, truth, w, 33)
+	cold, err := FitMLE(ev, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FitMLE(ev, w, Options{Warmstart: &cold.Theta, NoLogLik: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta != cold.Theta {
+		t.Fatalf("NoLogLik changed θ: %v vs %v", res.Theta, cold.Theta)
+	}
+	if !math.IsNaN(res.LogLik) {
+		t.Fatalf("NoLogLik fast path should return NaN log-likelihood, got %g", res.LogLik)
+	}
+}

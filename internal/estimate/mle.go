@@ -22,6 +22,18 @@ type Options struct {
 	MaxIter   int     // maximum Newton iterations (default 50)
 	Tol       float64 // convergence tolerance on the gradient norm (default 1e-8)
 	RateFloor float64 // positivity clamp on per-event rates (default intensity.DefaultFloor)
+	// Warmstart, when non-nil, replaces the homogeneous initializer as the
+	// Newton starting point. The log-likelihood is concave (with rates
+	// clamped at RateFloor), so damped Newton converges from any start; from
+	// the previous epoch's optimum on a slowly drifting stream the gradient
+	// test typically passes within an iteration or two. The pointee is only
+	// read.
+	Warmstart *intensity.Theta
+	// NoLogLik skips the Σ log λ_i evaluation when the solver never needs it
+	// (a warm start that passes the gradient test immediately): Result.LogLik
+	// is NaN unless a line search forced the computation. Hot callers that
+	// only consume θ (the F-operator) save n log evaluations per fit.
+	NoLogLik bool
 }
 
 func (o Options) withDefaults() Options {
@@ -73,11 +85,41 @@ func FitMLE(events []mdpp.Event, w geom.Window, opts Options) (Result, error) {
 		return Result{}, errors.New("estimate: FitMLE requires at least 4 events")
 	}
 	fi := intensity.FeatureIntegrals(w)
-	// Initialize at the homogeneous MLE: θ0 = n / volume, slopes zero. This
-	// point is strictly feasible (positive rate everywhere) and the
-	// log-likelihood is concave, so damped Newton converges globally.
+	// Initialize at the homogeneous MLE (θ0 = n / volume, slopes zero) —
+	// strictly feasible, and the clamped log-likelihood is concave, so
+	// damped Newton converges globally. A warm start is tried first with a
+	// single gradient test: on a slowly drifting stream it usually passes
+	// outright, costing one gradHess and zero log evaluations. A stale warm
+	// start falls back to whichever of the two initializers has the higher
+	// likelihood, so it can never hurt the fit.
 	theta := intensity.Theta{float64(len(events)) / w.Volume(), 0, 0, 0}
-	ll := LogLikelihood(theta, events, w)
+	ll := math.NaN()
+	if opts.Warmstart != nil {
+		warm := *opts.Warmstart
+		grad, _ := gradHess(warm, events, fi, opts.RateFloor)
+		norm := 0.0
+		for _, g := range grad {
+			norm += g * g
+		}
+		if math.Sqrt(norm) < opts.Tol {
+			if opts.NoLogLik {
+				return Result{Theta: warm, LogLik: math.NaN(), Iterations: 0, Converged: true}, nil
+			}
+			return Result{Theta: warm, LogLik: LogLikelihood(warm, events, w), Iterations: 0, Converged: true}, nil
+		}
+		wll, cll := LogLikelihood(warm, events, w), LogLikelihood(theta, events, w)
+		if wll > cll {
+			theta, ll = warm, wll
+		} else {
+			ll = cll
+		}
+	}
+	finish := func(iter int, converged bool) Result {
+		if math.IsNaN(ll) && !opts.NoLogLik {
+			ll = LogLikelihood(theta, events, w)
+		}
+		return Result{Theta: theta, LogLik: ll, Iterations: iter, Converged: converged}
+	}
 	var iter int
 	for iter = 0; iter < opts.MaxIter; iter++ {
 		grad, hess := gradHess(theta, events, fi, opts.RateFloor)
@@ -86,7 +128,7 @@ func FitMLE(events []mdpp.Event, w geom.Window, opts Options) (Result, error) {
 			norm += g * g
 		}
 		if math.Sqrt(norm) < opts.Tol {
-			return Result{Theta: theta, LogLik: ll, Iterations: iter, Converged: true}, nil
+			return finish(iter, true), nil
 		}
 		// Newton step: solve (−H)·δ = grad, i.e. ascend the concave surface.
 		var negH [4][4]float64
@@ -101,10 +143,16 @@ func FitMLE(events []mdpp.Event, w geom.Window, opts Options) (Result, error) {
 			return Result{}, fmt.Errorf("estimate: FitMLE: %w", err)
 		}
 		// Backtracking line search keeps the step inside the region where
-		// the likelihood improves.
+		// the likelihood improves; the baseline is computed on first need.
+		// Halving stops after 12 steps: below 2⁻¹² of the Newton step any
+		// remaining improvement is under float noise, and each futile probe
+		// costs a full Σ log λ pass — the dominant fit cost near the optimum.
+		if math.IsNaN(ll) {
+			ll = LogLikelihood(theta, events, w)
+		}
 		step := 1.0
 		improved := false
-		for ls := 0; ls < 40; ls++ {
+		for ls := 0; ls < 12; ls++ {
 			var cand intensity.Theta
 			for k := 0; k < 4; k++ {
 				cand[k] = theta[k] + step*delta[k]
@@ -118,10 +166,10 @@ func FitMLE(events []mdpp.Event, w geom.Window, opts Options) (Result, error) {
 			step /= 2
 		}
 		if !improved {
-			return Result{Theta: theta, LogLik: ll, Iterations: iter, Converged: true}, nil
+			return finish(iter, true), nil
 		}
 	}
-	return Result{Theta: theta, LogLik: ll, Iterations: iter, Converged: false}, nil
+	return finish(iter, false), nil
 }
 
 // gradHess returns the gradient and Hessian of the log-likelihood at theta.

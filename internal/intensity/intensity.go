@@ -27,6 +27,15 @@ type Func interface {
 	MaxOver(w geom.Window) float64
 }
 
+// BatchEvaluator is an optional extension of Func for intensities that can
+// evaluate many points in one call. The hot flattening path (pmat.EvalInto)
+// uses it to replace per-tuple interface dispatch with a single call per
+// batch: ts, xs and ys are parallel coordinate slices and dst receives
+// λ(ts[i], xs[i], ys[i]) at each index. All four slices must share a length.
+type BatchEvaluator interface {
+	EvalInto(dst, ts, xs, ys []float64)
+}
+
 // Constant is a homogeneous intensity λ(t,x,y) = Rate.
 type Constant struct {
 	Rate float64
@@ -48,6 +57,13 @@ func (c Constant) IntegralOver(w geom.Window) float64 { return c.Rate * w.Volume
 
 // MaxOver implements Func.
 func (c Constant) MaxOver(geom.Window) float64 { return c.Rate }
+
+// EvalInto implements BatchEvaluator.
+func (c Constant) EvalInto(dst, _, _, _ []float64) {
+	for i := range dst {
+		dst[i] = c.Rate
+	}
+}
 
 // Theta holds the parameters of the paper's linear conditional rate,
 // Eq. (1): λ(t,x,y;θ) = θ0 + θ1·t + θ2·x + θ3·y.
@@ -79,6 +95,15 @@ func (l Linear) Eval(t, x, y float64) float64 {
 		return l.Floor
 	}
 	return v
+}
+
+// EvalInto implements BatchEvaluator: one loop over the coordinate slices.
+// Eval is inlined on the concrete receiver, so this is a single tight pass
+// with the clamp defined in exactly one place.
+func (l Linear) EvalInto(dst, ts, xs, ys []float64) {
+	for i := range dst {
+		dst[i] = l.Eval(ts[i], xs[i], ys[i])
+	}
 }
 
 // raw returns the unclamped linear value.

@@ -204,3 +204,35 @@ func TestNumericIntegralDefaultsN(t *testing.T) {
 		t.Fatalf("default-n integral = %g", got)
 	}
 }
+
+func TestEvalIntoMatchesEval(t *testing.T) {
+	// Linear with a floor-clamping region inside the sampled points, and a
+	// constant: batched evaluation must be bit-identical to per-point Eval.
+	lin := NewLinear(Theta{1, -0.5, 0.25, 0.1})
+	con := Constant{Rate: 7.5}
+	n := 257
+	ts := make([]float64, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = float64(i) * 0.05 // pushes 1-0.5t negative → clamp exercised
+		xs[i] = float64(i%17) * 0.3
+		ys[i] = float64(i%5) * 0.7
+	}
+	dst := make([]float64, n)
+	for name, f := range map[string]BatchEvaluator{"linear": lin, "constant": con} {
+		var ref Func
+		switch name {
+		case "linear":
+			ref = lin
+		default:
+			ref = con
+		}
+		f.EvalInto(dst, ts, xs, ys)
+		for i := 0; i < n; i++ {
+			if want := ref.Eval(ts[i], xs[i], ys[i]); dst[i] != want {
+				t.Fatalf("%s: EvalInto[%d] = %g, Eval = %g", name, i, dst[i], want)
+			}
+		}
+	}
+}

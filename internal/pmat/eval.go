@@ -1,0 +1,44 @@
+package pmat
+
+import (
+	"repro/internal/intensity"
+	"repro/internal/stream"
+)
+
+// EvalInto fills dst[i] with λ̃ evaluated at tuples[i] (len(dst) must be
+// len(tuples)). The λc loop of Eq. (3) is the per-tuple hot path of every
+// F-operator, so the common concrete intensities are devirtualized into one
+// tight loop per batch instead of an interface call per tuple; other
+// intensities implementing intensity.BatchEvaluator get a single batched
+// call over pooled coordinate scratch, and anything else falls back to
+// per-tuple Eval. All paths produce bit-identical values to Eval.
+func EvalInto(lam intensity.Func, tuples []stream.Tuple, dst []float64) {
+	switch lv := lam.(type) {
+	case intensity.Linear:
+		// Concrete-typed Eval inlines, so this is one tight loop with the
+		// clamp logic defined in exactly one place (intensity.Linear.Eval).
+		for i, tp := range tuples {
+			dst[i] = lv.Eval(tp.T, tp.X, tp.Y)
+		}
+	case intensity.Constant:
+		for i := range dst {
+			dst[i] = lv.Rate
+		}
+	default:
+		if be, ok := lam.(intensity.BatchEvaluator); ok {
+			n := len(tuples)
+			ts, xs, ys := stream.BorrowFloats(n), stream.BorrowFloats(n), stream.BorrowFloats(n)
+			for i, tp := range tuples {
+				ts.Vals[i], xs.Vals[i], ys.Vals[i] = tp.T, tp.X, tp.Y
+			}
+			be.EvalInto(dst, ts.Vals, xs.Vals, ys.Vals)
+			ts.Release()
+			xs.Release()
+			ys.Release()
+			return
+		}
+		for i, tp := range tuples {
+			dst[i] = lam.Eval(tp.T, tp.X, tp.Y)
+		}
+	}
+}

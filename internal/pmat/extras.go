@@ -93,6 +93,7 @@ func (s *Superpose) emitSlice(_ timeKey, pm *pendingMerge) error {
 	out := pm.merged()
 	err := s.Emit(stream.Batch{Attr: pm.attr, Window: pm.window, Tuples: out.Tuples})
 	out.Release()
+	pm.release()
 	return err
 }
 

@@ -75,8 +75,10 @@ type FlattenConfig struct {
 	// paper notes "the discarded tuples can be stored separately". A sink
 	// shared by several F-operators (e.g. via a fabricator-wide config) is
 	// invoked concurrently when epochs execute on a parallel worker pool,
-	// so it must be safe for concurrent use; discarded batches are freshly
-	// allocated and may be retained.
+	// so it must be safe for concurrent use. Discard batches are built on
+	// borrowed arena buffers recycled after the sink returns, so the sink
+	// follows the stream ownership rule: copy tuples it retains (Collector
+	// and the export sinks do).
 	DiscardSink stream.Processor
 }
 
@@ -120,10 +122,20 @@ type Flatten struct {
 	sgd      *estimate.SGD
 	batchSeq int
 	last     ViolationReport
-	reports  []ViolationReport
+	// reports retains the most recent maxReports batch reports as a ring
+	// (reportHead is the oldest entry once full) so a long-running operator
+	// neither grows without bound nor allocates in steady state; the full
+	// history is observable through OnReport.
+	reports    []ViolationReport
+	reportHead int
 	// onReport, when set, is invoked after each batch with its violation
 	// report; the budget controller subscribes here.
 	onReport func(ViolationReport)
+	// prevTheta warm-starts the next batch's MLE from this batch's fit:
+	// consecutive epochs of a cell drift slowly, so Newton from the previous
+	// optimum converges in a step or two instead of a full cold solve.
+	prevTheta intensity.Theta
+	hasPrev   bool
 }
 
 // NewFlatten constructs a Flatten operator.
@@ -175,17 +187,22 @@ func (f *Flatten) LastReport() ViolationReport {
 	return f.last
 }
 
-// Reports returns a copy of all per-batch violation reports.
+// maxReports bounds the retained per-batch violation reports.
+const maxReports = 512
+
+// Reports returns a copy of the retained per-batch violation reports, oldest
+// first (the most recent maxReports batches).
 func (f *Flatten) Reports() []ViolationReport {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]ViolationReport, len(f.reports))
-	copy(out, f.reports)
+	out := make([]ViolationReport, 0, len(f.reports))
+	out = append(out, f.reports[f.reportHead:]...)
+	out = append(out, f.reports[:f.reportHead]...)
 	return out
 }
 
 // estimateIntensity returns the λ̃ estimate for the batch under the
-// configured mode.
+// configured mode. Called with f.mu held.
 func (f *Flatten) estimateIntensity(b stream.Batch) intensity.Func {
 	switch f.cfg.Mode {
 	case EstimatorKnown:
@@ -193,31 +210,48 @@ func (f *Flatten) estimateIntensity(b stream.Batch) intensity.Func {
 	case EstimatorSGD:
 		// Observe first so the estimate reflects the newest window, then
 		// read the model.
-		_ = f.sgd.ObserveBatch(b.Events(), b.Window)
+		ev := stream.BorrowEvents(b.Len())
+		ev.Events = b.AppendEvents(ev.Events)
+		_ = f.sgd.ObserveBatch(ev.Events, b.Window)
+		ev.Release()
 		return f.sgd.Intensity()
 	default: // EstimatorMLE
 		if b.Len() < f.cfg.MinBatchForFit {
 			return intensity.NewLinear(intensity.Theta{math.Max(b.MeasuredRate(), intensity.DefaultFloor), 0, 0, 0})
 		}
-		res, err := estimate.FitMLE(b.Events(), b.Window, estimate.Options{})
+		var warm *intensity.Theta
+		if f.hasPrev {
+			warm = &f.prevTheta
+		}
+		ev := stream.BorrowEvents(b.Len())
+		ev.Events = b.AppendEvents(ev.Events)
+		res, err := estimate.FitMLE(ev.Events, b.Window, estimate.Options{Warmstart: warm, NoLogLik: true})
+		ev.Release()
 		if err != nil {
 			return intensity.NewLinear(intensity.Theta{math.Max(b.MeasuredRate(), intensity.DefaultFloor), 0, 0, 0})
+		}
+		// Only a converged optimum seeds the next batch: warm-starting from a
+		// truncated solve on degenerate data (e.g. an unbounded likelihood)
+		// would chase the divergence further every epoch.
+		if res.Converged {
+			f.prevTheta, f.hasPrev = res.Theta, true
+		} else {
+			f.hasPrev = false
 		}
 		return intensity.NewLinear(res.Theta)
 	}
 }
 
-// ratePool recycles the per-batch λ̃ scratch so steady-state flattening does
-// not allocate.
-var ratePool = sync.Pool{New: func() interface{} { s := make([]float64, 0, 256); return &s }}
-
-// Process implements stream.Processor: Eq. (3) with violation accounting.
-// The output batch is built on a borrowed arena buffer recycled after Emit
-// returns; downstream processors must not retain it (see the stream
-// package's ownership rule).
-func (f *Flatten) Process(b stream.Batch) error {
+// decide runs Eq. (3) for one batch and writes each tuple's survival into
+// keep (len ≥ b.Len()), returning the survivor count. Estimation, violation
+// accounting, report plumbing and discard-sink delivery all happen here, so
+// the unfused Process and the fused executor (topology package) share the
+// decision byte-for-byte. Only the Bernoulli draws hold f.mu — retaining
+// probabilities are precomputed and survivors are materialized by the caller
+// after the lock is released.
+func (f *Flatten) decide(b stream.Batch, keep []bool) (int, error) {
 	if err := b.Window.Validate(); err != nil {
-		return fmt.Errorf("pmat: flatten %q: %w", f.Name(), err)
+		return 0, fmt.Errorf("pmat: flatten %q: %w", f.Name(), err)
 	}
 	f.RecordIn(b)
 	f.mu.Lock()
@@ -229,69 +263,117 @@ func (f *Flatten) Process(b stream.Batch) error {
 
 	n := b.Len()
 	report := ViolationReport{Batch: seq, N: n, TargetRate: target}
+	kept := 0
 	if n == 0 {
 		// An empty batch cannot possibly fabricate a process at rate λ̄: a
 		// starved cell must look maximally violating so budget tuning reacts,
 		// even though Eq. (3) is undefined without tuples.
 		report.Percent = 100
-	}
-	out := stream.Batch{Attr: b.Attr, Window: b.Window}
-	buf := stream.BorrowTuples(n)
-	defer buf.Release()
-	// Discarded tuples go to a plain allocation, not the arena: the discard
-	// path is cold and its sink may legitimately retain the slice.
-	var discarded []stream.Tuple
-	if n > 0 {
-		// λc = Σ 1/λ̃_i (constant over the batch).
-		ratesPtr := ratePool.Get().(*[]float64)
-		rates := (*ratesPtr)[:0]
+	} else {
+		// λc = Σ 1/λ̃_i (constant over the batch); the scratch then holds the
+		// per-tuple retaining probabilities so the critical section below is
+		// nothing but RNG draws.
+		rbuf := stream.BorrowFloats(n)
+		rates := rbuf.Vals
+		EvalInto(lam, b.Tuples, rates)
 		lambdaC := 0.0
-		for _, tp := range b.Tuples {
-			r := lam.Eval(tp.T, tp.X, tp.Y)
+		for i, r := range rates {
 			if r < intensity.DefaultFloor {
 				r = intensity.DefaultFloor
+				rates[i] = r
 			}
-			rates = append(rates, r)
 			lambdaC += 1 / r
 		}
 		targetCount := target * b.Window.Volume()
-		keepDiscards := f.cfg.DiscardSink != nil
-		f.mu.Lock()
-		f.RecordDraws(n)
-		for i, tp := range b.Tuples {
-			p := targetCount / (rates[i] * lambdaC)
+		for i, r := range rates {
+			p := targetCount / (r * lambdaC)
 			if p > 1 {
 				report.Violations++
 				p = 1
 			}
-			if f.rng.Bernoulli(p) {
-				buf.Tuples = append(buf.Tuples, tp)
-			} else if keepDiscards {
-				discarded = append(discarded, tp)
+			rates[i] = p
+		}
+		f.RecordDraws(n)
+		f.mu.Lock()
+		for i, p := range rates {
+			k := f.rng.Bernoulli(p)
+			keep[i] = k
+			if k {
+				kept++
 			}
 		}
 		f.mu.Unlock()
-		*ratesPtr = rates
-		ratePool.Put(ratesPtr)
+		rbuf.Release()
 		report.Percent = 100 * float64(report.Violations) / float64(n)
 	}
-	out.Tuples = buf.Tuples
-	report.OutputRate = out.MeasuredRate()
+	if vol := b.Window.Volume(); vol > 0 {
+		report.OutputRate = float64(kept) / vol
+	}
 
 	f.mu.Lock()
 	f.last = report
-	f.reports = append(f.reports, report)
+	if len(f.reports) < maxReports {
+		f.reports = append(f.reports, report)
+	} else {
+		f.reports[f.reportHead] = report
+		f.reportHead = (f.reportHead + 1) % maxReports
+	}
 	cb := f.onReport
 	f.mu.Unlock()
 	if cb != nil {
 		cb(report)
 	}
-	if len(discarded) > 0 {
-		if err := f.cfg.DiscardSink.Process(stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: discarded}); err != nil {
-			return fmt.Errorf("pmat: flatten %q: discard sink: %w", f.Name(), err)
+	if f.cfg.DiscardSink != nil && kept < n {
+		dbuf := stream.BorrowTuples(n - kept)
+		for i, tp := range b.Tuples {
+			if !keep[i] {
+				dbuf.Tuples = append(dbuf.Tuples, tp)
+			}
+		}
+		err := f.cfg.DiscardSink.Process(stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: dbuf.Tuples})
+		dbuf.Release()
+		if err != nil {
+			return kept, fmt.Errorf("pmat: flatten %q: discard sink: %w", f.Name(), err)
 		}
 	}
-	return f.Emit(out)
+	return kept, nil
+}
+
+// ProcessFused runs the flatten decision for one batch without materializing
+// or emitting an output batch: keep (len ≥ b.Len()) receives each tuple's
+// survival and the survivor count is returned. Estimation, reports, discard
+// delivery and flow counters match Process exactly; the caller owns
+// downstream delivery of the survivors.
+func (f *Flatten) ProcessFused(b stream.Batch, keep []bool) (int, error) {
+	kept, err := f.decide(b, keep)
+	if err != nil {
+		return kept, err
+	}
+	f.RecordOut(kept)
+	return kept, nil
+}
+
+// Process implements stream.Processor: Eq. (3) with violation accounting.
+// The output batch is built on a borrowed arena buffer recycled after Emit
+// returns; downstream processors must not retain it (see the stream
+// package's ownership rule).
+func (f *Flatten) Process(b stream.Batch) error {
+	kbuf := stream.BorrowBools(b.Len())
+	kept, err := f.decide(b, kbuf.Vals)
+	if err != nil {
+		kbuf.Release()
+		return err
+	}
+	buf := stream.BorrowTuples(kept)
+	for i, tp := range b.Tuples {
+		if kbuf.Vals[i] {
+			buf.Tuples = append(buf.Tuples, tp)
+		}
+	}
+	kbuf.Release()
+	err = f.Emit(stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: buf.Tuples})
+	buf.Release()
+	return err
 }
 
 // SlidingFlatten wraps Flatten with a trailing-window buffer: tuples are

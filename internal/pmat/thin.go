@@ -80,6 +80,27 @@ func (t *Thin) SetRates(lambda1, lambda2 float64) error {
 	return nil
 }
 
+// BeginFused locks the operator for one fused batch pass and returns its
+// retention probability and RNG: the fused executor (topology package)
+// draws t's Bernoulli decisions inline during its single pass over the
+// batch, in exactly the surviving-tuple order the unfused chain would use,
+// so the RNG consumes an identical draw sequence. Every BeginFused must be
+// paired with EndFused, which releases the lock — one lock acquisition per
+// stage per batch instead of one per stage pass.
+func (t *Thin) BeginFused() (p float64, rng *stats.RNG) {
+	t.mu.Lock()
+	return t.out / t.inRate, t.rng
+}
+
+// EndFused releases the fused-pass lock and records the stage's flow
+// counters: tuplesIn tuples entered (one draw each), tuplesOut survived.
+func (t *Thin) EndFused(tuplesIn, tuplesOut int) {
+	t.mu.Unlock()
+	t.RecordBatchIn(tuplesIn)
+	t.RecordDraws(tuplesIn)
+	t.RecordOut(tuplesOut)
+}
+
 // Process implements stream.Processor. The output batch is built on a
 // borrowed arena buffer that is recycled after Emit returns; downstream
 // processors must not retain it (see the stream package's ownership rule).

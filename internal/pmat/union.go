@@ -61,11 +61,35 @@ type pendingMerge struct {
 	nGot   int
 	attr   string
 	window geom.Window
+	// scratch holds the non-empty run headers during the k-way merge; kept
+	// on the shell so pooled reuse makes merging allocation-free.
+	scratch [][]stream.Tuple
 }
 
+// pendingPool recycles pendingMerge shells (and their runs/scratch slices)
+// so steady-state merging allocates nothing; the shells return to the pool
+// in emitSlice via release.
+var pendingPool = sync.Pool{New: func() interface{} { return &pendingMerge{} }}
+
 func newPendingMerge(n int, b stream.Batch) *pendingMerge {
-	return &pendingMerge{runs: make([]*stream.TupleBuffer, n), attr: b.Attr, window: b.Window}
+	pm := pendingPool.Get().(*pendingMerge)
+	if cap(pm.runs) < n {
+		pm.runs = make([]*stream.TupleBuffer, n)
+	} else {
+		pm.runs = pm.runs[:n]
+		for i := range pm.runs {
+			pm.runs[i] = nil
+		}
+	}
+	pm.nGot = 0
+	pm.attr = b.Attr
+	pm.window = b.Window
+	return pm
 }
+
+// release returns the shell to the pool. The runs' buffers must already be
+// back in the arena (merged does this).
+func (pm *pendingMerge) release() { pendingPool.Put(pm) }
 
 // add folds one delivery into the slice; it reports whether this was the
 // input's first delivery for the slice.
@@ -83,7 +107,7 @@ func (pm *pendingMerge) add(idx int, tuples []stream.Tuple) bool {
 // releases the runs. The caller must Release the returned buffer after use.
 func (pm *pendingMerge) merged() *stream.TupleBuffer {
 	total := 0
-	runs := make([][]stream.Tuple, 0, len(pm.runs))
+	runs := pm.scratch[:0]
 	for _, rb := range pm.runs {
 		if rb == nil {
 			continue
@@ -94,9 +118,16 @@ func (pm *pendingMerge) merged() *stream.TupleBuffer {
 	}
 	out := stream.BorrowTuples(total)
 	out.Tuples = stream.MergeSortedRuns(out.Tuples, runs)
-	for _, rb := range pm.runs {
+	for i, rb := range pm.runs {
 		rb.Release()
+		pm.runs[i] = nil
 	}
+	// Drop the run headers so the pooled shell does not pin arena backing
+	// arrays across reuses.
+	for i := range runs {
+		runs[i] = nil
+	}
+	pm.scratch = runs[:0]
 	return out
 }
 
@@ -212,7 +243,8 @@ func (u *Union) receive(idx int, b stream.Batch) error {
 	return firstErr
 }
 
-// emitSlice merges one slice's runs and emits the merged batch.
+// emitSlice merges one slice's runs, emits the merged batch and returns the
+// pending shell to the pool.
 func (u *Union) emitSlice(key timeKey, pm *pendingMerge) error {
 	out := pm.merged()
 	err := u.Emit(stream.Batch{
@@ -221,6 +253,7 @@ func (u *Union) emitSlice(key timeKey, pm *pendingMerge) error {
 		Tuples: out.Tuples,
 	})
 	out.Release()
+	pm.release()
 	return err
 }
 

@@ -140,6 +140,10 @@ func (e *Engine) Fabricator() *topology.Fabricator { return e.fab }
 // executes cell pipelines.
 func (e *Engine) Workers() int { return e.fab.Workers() }
 
+// FusedEnabled reports whether cell pipelines run on the compiled fused
+// execution path (see topology/fused.go); exposed in /status for A/B runs.
+func (e *Engine) FusedEnabled() bool { return e.fab.FusedEnabled() }
+
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 {
 	e.mu.Lock()

@@ -211,6 +211,7 @@ type sessionJSON struct {
 	Epochs    int     `json:"epochs"`
 	Now       float64 `json:"now"`
 	Queries   int     `json:"queries"`
+	Fused     bool    `json:"fused"`
 }
 
 func toSessionJSON(sess *Session) sessionJSON {
@@ -226,6 +227,7 @@ func toSessionJSON(sess *Session) sessionJSON {
 		Epochs:    sess.Engine.Epochs(),
 		Now:       sess.Engine.Now(),
 		Queries:   len(sess.Engine.Queries()),
+		Fused:     sess.Engine.FusedEnabled(),
 	}
 	if sess.Spec.Clock.Interval > 0 {
 		sj.Tick = sess.Spec.Clock.Interval.String()
@@ -244,12 +246,13 @@ func (s *HTTPServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // sessionSpecJSON is the create-session request body; all fields optional.
 type sessionSpecJSON struct {
-	Name      string `json:"name"`
-	Seed      int64  `json:"seed"`
-	Retention int    `json:"retention"`
-	Tick      string `json:"tick"`      // duration, e.g. "200ms"; empty = manual stepping
-	Simulated bool   `json:"simulated"` // epochs back-to-back, no wall-clock pacing
-	Pinned    bool   `json:"pinned"`
+	Name         string `json:"name"`
+	Seed         int64  `json:"seed"`
+	Retention    int    `json:"retention"`
+	Tick         string `json:"tick"`      // duration, e.g. "200ms"; empty = manual stepping
+	Simulated    bool   `json:"simulated"` // epochs back-to-back, no wall-clock pacing
+	Pinned       bool   `json:"pinned"`
+	DisableFused bool   `json:"disableFused"` // A/B: unfused operator-graph walk
 }
 
 func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -259,11 +262,12 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	spec := SessionSpec{
-		Name:      body.Name,
-		Seed:      body.Seed,
-		Retention: body.Retention,
-		Clock:     ClockConfig{Simulated: body.Simulated},
-		Pinned:    body.Pinned,
+		Name:         body.Name,
+		Seed:         body.Seed,
+		Retention:    body.Retention,
+		Clock:        ClockConfig{Simulated: body.Simulated},
+		Pinned:       body.Pinned,
+		DisableFused: body.DisableFused,
 	}
 	if body.Tick != "" {
 		d, err := time.ParseDuration(body.Tick)
@@ -658,6 +662,7 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		"pipelines":      e.Fabricator().NumPipelines(),
 		"operators":      e.Fabricator().OperatorCounts(),
 		"workers":        e.Workers(),
+		"fused":          e.FusedEnabled(),
 		"requests":       e.Handler().RequestsSent(),
 		"responses":      e.Handler().ResponsesReceived(),
 		"retentionDrops": e.RetentionDrops(),

@@ -29,6 +29,11 @@ type SessionSpec struct {
 	// Pinned exempts the session from idle GC (the long-lived default
 	// session of a craqrd process is pinned).
 	Pinned bool
+	// DisableFused forces this session's pipelines onto the unfused
+	// operator-graph walk — the A/B lever for compiled fused execution. Two
+	// sessions with equal seeds, one fused and one not, fabricate
+	// byte-identical streams.
+	DisableFused bool
 }
 
 // Session is one named engine hosted by a Manager.
@@ -72,6 +77,9 @@ func NewEngineFactory(template Config, fields func() (map[string]sensors.Field, 
 		}
 		if spec.Retention > 0 {
 			cfg.Retention = spec.Retention
+		}
+		if spec.DisableFused {
+			cfg.Fabricator.Pipeline.DisableFused = true
 		}
 		cfg.Clock = spec.Clock
 		f, err := fields()

@@ -98,6 +98,14 @@ func (b *Base) Stats() FlowStats { return b.snapshot() }
 // implementations call it at the top of Process.
 func (b *Base) RecordIn(batch Batch) { b.recordIn(batch) }
 
+// RecordBatchIn notes an arriving batch of n tuples without a Batch value —
+// the fused execution path accounts stage inputs from survivor counts
+// instead of materialized batches.
+func (b *Base) RecordBatchIn(n int) {
+	b.batchesIn.Add(1)
+	b.tuplesIn.Add(uint64(n))
+}
+
 // RecordOut notes n tuples leaving outside of Emit (multi-port operators
 // route through their own ports and account output here).
 func (b *Base) RecordOut(n int) { b.recordOut(n) }

@@ -1,7 +1,7 @@
 package stream
 
 import (
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -56,20 +56,33 @@ func (b *TupleBuffer) Release() {
 	tuplePool.Put(b)
 }
 
-// TupleLess is the total order used by deterministic merges: time first,
-// then the unique tuple id as the tie-breaker. Because IDs are unique per
-// source stream, any set of tuples has exactly one sorted order, making
-// merge output independent of arrival order.
-func TupleLess(a, b Tuple) bool {
-	if a.T != b.T {
-		return a.T < b.T
+// CompareTuples is the single source of truth for the deterministic merge
+// order: time first, then the unique tuple id as the tie-breaker. Because
+// IDs are unique per source stream, any set of tuples has exactly one sorted
+// order, making merge output independent of arrival order.
+func CompareTuples(a, b Tuple) int {
+	switch {
+	case a.T < b.T:
+		return -1
+	case a.T > b.T:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
 	}
-	return a.ID < b.ID
 }
 
-// SortTuples sorts tuples by the deterministic (T, ID) order.
+// TupleLess reports whether a precedes b in the CompareTuples order.
+func TupleLess(a, b Tuple) bool { return CompareTuples(a, b) < 0 }
+
+// SortTuples sorts tuples by the deterministic (T, ID) order. slices.SortFunc
+// (pdqsort over the concrete type) keeps the per-epoch merge path free of
+// sort.Slice's reflection overhead and closure allocation.
 func SortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return TupleLess(ts[i], ts[j]) })
+	slices.SortFunc(ts, CompareTuples)
 }
 
 // linearMergeMaxRuns is the fan-in up to which the per-tuple linear scan of
@@ -101,9 +114,12 @@ func MergeSortedRuns(dst []Tuple, runs [][]Tuple) []Tuple {
 }
 
 // mergeLinear picks the minimum head by scanning every run — optimal for
-// the common narrow case (binary U-operator trees).
+// the common narrow case (binary U-operator trees). The cursor array lives
+// on the stack (fan-in ≤ linearMergeMaxRuns), so narrow merges allocate
+// nothing.
 func mergeLinear(dst []Tuple, runs [][]Tuple) []Tuple {
-	heads := make([]int, len(runs))
+	var headsArr [linearMergeMaxRuns]int
+	heads := headsArr[:len(runs)]
 	for {
 		best := -1
 		for i, r := range runs {

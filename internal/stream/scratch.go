@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/mdpp"
+)
+
+// Numeric and event scratch arenas shared by the epoch hot path. They follow
+// the same ownership rule as the tuple arena (pool.go): a borrowed buffer is
+// only valid until Release, and the borrower must overwrite its contents —
+// buffers come back with whatever the previous user left in them.
+
+// FloatBuffer is a reusable float64 slice borrowed with BorrowFloats.
+type FloatBuffer struct {
+	Vals []float64
+}
+
+// BoolBuffer is a reusable bool slice borrowed with BorrowBools.
+type BoolBuffer struct {
+	Vals []bool
+}
+
+// EventBuffer is a reusable event slice borrowed with BorrowEvents; the
+// estimator path fills it from a batch instead of allocating a fresh
+// []mdpp.Event per fit.
+type EventBuffer struct {
+	Events []mdpp.Event
+}
+
+var (
+	floatPool = sync.Pool{New: func() interface{} {
+		return &FloatBuffer{Vals: make([]float64, defaultBufferCap)}
+	}}
+	boolPool = sync.Pool{New: func() interface{} {
+		return &BoolBuffer{Vals: make([]bool, defaultBufferCap)}
+	}}
+	eventPool = sync.Pool{New: func() interface{} {
+		return &EventBuffer{Events: make([]mdpp.Event, 0, defaultBufferCap)}
+	}}
+)
+
+// BorrowFloats returns a buffer with Vals of length n (contents arbitrary).
+func BorrowFloats(n int) *FloatBuffer {
+	b := floatPool.Get().(*FloatBuffer)
+	if cap(b.Vals) < n {
+		b.Vals = make([]float64, n)
+	} else {
+		b.Vals = b.Vals[:n]
+	}
+	return b
+}
+
+// Release returns the buffer to the arena.
+func (b *FloatBuffer) Release() {
+	if b != nil {
+		floatPool.Put(b)
+	}
+}
+
+// BorrowBools returns a buffer with Vals of length n (contents arbitrary).
+func BorrowBools(n int) *BoolBuffer {
+	b := boolPool.Get().(*BoolBuffer)
+	if cap(b.Vals) < n {
+		b.Vals = make([]bool, n)
+	} else {
+		b.Vals = b.Vals[:n]
+	}
+	return b
+}
+
+// Release returns the buffer to the arena.
+func (b *BoolBuffer) Release() {
+	if b != nil {
+		boolPool.Put(b)
+	}
+}
+
+// BorrowEvents returns an empty buffer with capacity for at least n events.
+func BorrowEvents(n int) *EventBuffer {
+	b := eventPool.Get().(*EventBuffer)
+	if cap(b.Events) < n {
+		b.Events = make([]mdpp.Event, 0, n)
+	} else {
+		b.Events = b.Events[:0]
+	}
+	return b
+}
+
+// Release returns the buffer to the arena.
+func (b *EventBuffer) Release() {
+	if b != nil {
+		eventPool.Put(b)
+	}
+}

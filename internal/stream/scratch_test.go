@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestScratchBuffers(t *testing.T) {
+	fb := BorrowFloats(300)
+	if len(fb.Vals) != 300 {
+		t.Fatalf("BorrowFloats len = %d, want 300", len(fb.Vals))
+	}
+	fb.Release()
+	bb := BorrowBools(5000)
+	if len(bb.Vals) != 5000 {
+		t.Fatalf("BorrowBools len = %d, want 5000", len(bb.Vals))
+	}
+	bb.Release()
+	eb := BorrowEvents(64)
+	if len(eb.Events) != 0 || cap(eb.Events) < 64 {
+		t.Fatalf("BorrowEvents len/cap = %d/%d, want 0/≥64", len(eb.Events), cap(eb.Events))
+	}
+	eb.Release()
+	// Nil releases are no-ops.
+	(*FloatBuffer)(nil).Release()
+	(*BoolBuffer)(nil).Release()
+	(*EventBuffer)(nil).Release()
+}
+
+func TestAppendEventsMatchesEvents(t *testing.T) {
+	b := Batch{
+		Attr:   "rain",
+		Window: geom.Window{T0: 0, T1: 1, Rect: geom.NewRect(0, 0, 2, 2)},
+		Tuples: []Tuple{
+			{ID: 1, T: 0.25, X: 0.5, Y: 1.5},
+			{ID: 2, T: 0.75, X: 1.5, Y: 0.5},
+		},
+	}
+	want := b.Events()
+	eb := BorrowEvents(b.Len())
+	defer eb.Release()
+	got := b.AppendEvents(eb.Events)
+	if len(got) != len(want) {
+		t.Fatalf("AppendEvents len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -47,11 +47,17 @@ func (b Batch) Len() int { return len(b.Tuples) }
 
 // Events projects all tuples onto their space-time coordinates.
 func (b Batch) Events() []mdpp.Event {
-	out := make([]mdpp.Event, len(b.Tuples))
-	for i, tp := range b.Tuples {
-		out[i] = tp.Event()
+	return b.AppendEvents(make([]mdpp.Event, 0, len(b.Tuples)))
+}
+
+// AppendEvents appends the tuples' space-time coordinates to dst and returns
+// the extended slice — the allocation-free variant of Events for callers
+// holding a borrowed EventBuffer.
+func (b Batch) AppendEvents(dst []mdpp.Event) []mdpp.Event {
+	for _, tp := range b.Tuples {
+		dst = append(dst, mdpp.Event{T: tp.T, X: tp.X, Y: tp.Y})
 	}
-	return out
+	return dst
 }
 
 // MeasuredRate returns the batch's empirical spatio-temporal rate

@@ -52,6 +52,11 @@ type Fabricator struct {
 	queries  map[string]*queryState
 	budgets  *budget.Controller
 	registry *query.Registry
+	// order caches, per attribute, the pipelines in deterministic row-major
+	// shard order so the epoch hot path neither rebuilds nor re-sorts the
+	// shard list. Rebuilt under the write lock by every pipeline
+	// materialization or drop; read lock-free by Ingest under the read lock.
+	order map[string][]*CellPipeline
 }
 
 // queryState tracks one inserted query's wiring.
@@ -79,7 +84,35 @@ func New(grid *geom.Grid, cfg Config, rng *stats.RNG) (*Fabricator, error) {
 		cells:    make(map[Key]*CellPipeline),
 		queries:  make(map[string]*queryState),
 		registry: query.NewRegistry(),
+		order:    make(map[string][]*CellPipeline),
 	}, nil
+}
+
+// FusedEnabled reports whether cell pipelines execute via the compiled fused
+// path (the default) or the unfused operator-graph walk.
+func (f *Fabricator) FusedEnabled() bool { return !f.cfg.Pipeline.DisableFused }
+
+// refreshOrder rebuilds the cached shard order for one attribute. Must be
+// called with f.mu held for writing.
+func (f *Fabricator) refreshOrder(attr string) {
+	list := f.order[attr][:0]
+	for k, p := range f.cells {
+		if k.Attr == attr {
+			list = append(list, p)
+		}
+	}
+	if len(list) == 0 {
+		delete(f.order, attr)
+		return
+	}
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i].key.Cell, list[j].key.Cell
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.Q < b.Q
+	})
+	f.order[attr] = list
 }
 
 // Grid returns the fabricator's grid.
@@ -175,6 +208,7 @@ func (f *Fabricator) InsertQuery(q query.Query, sink stream.Processor) (query.Qu
 		st.rects = append(st.rects, ov.Rect)
 	}
 	f.queries[stored.ID] = st
+	f.refreshOrder(stored.Attr)
 	return stored, nil
 }
 
@@ -188,6 +222,7 @@ func (f *Fabricator) rollbackInsert(st *queryState) {
 			}
 		}
 	}
+	f.refreshOrder(st.q.Attr)
 	f.registry.Remove(st.q.ID)
 }
 
@@ -202,6 +237,10 @@ func (f *Fabricator) DeleteQuery(id string) error {
 	if !ok {
 		return fmt.Errorf("topology: DeleteQuery: unknown query %q", id)
 	}
+	// Rebuild the shard order on every exit (registered after the Unlock
+	// defer, so it runs first, still under the lock): an error return after
+	// dropPipeline must not leave dropped pipelines in the cached order.
+	defer f.refreshOrder(st.q.Attr)
 	for _, key := range st.keys {
 		p, ok := f.cells[key]
 		if !ok {
@@ -248,56 +287,45 @@ func (f *Fabricator) dropPipeline(key Key) {
 func (f *Fabricator) Ingest(b stream.Batch) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	pipes := make(map[Key]*CellPipeline, len(f.cells))
-	for k, p := range f.cells {
-		if k.Attr == b.Attr {
-			pipes[k] = p
-		}
-	}
+	// The shard list is precomputed per attribute (refreshOrder) in
+	// deterministic row-major order, so errors (and the serial path) are
+	// stable across runs.
+	pipes := f.order[b.Attr]
 	if len(pipes) == 0 {
 		return nil
 	}
-	// Map phase: group tuples by destination cell.
-	byCell := make(map[geom.CellID][]stream.Tuple)
+	// Map phase: group tuples by destination cell into borrowed arena
+	// buffers — the epoch hot path allocates nothing in steady state. The
+	// buffers back the cell batches below and are recycled once the epoch's
+	// shards have all completed.
+	byCell := borrowCellScratch()
+	defer byCell.release()
 	for _, tp := range b.Tuples {
 		cell, ok := f.grid.CellAt(geom.Point{X: tp.X, Y: tp.Y})
 		if !ok {
 			continue
 		}
-		byCell[cell] = append(byCell[cell], tp)
-	}
-	// Process phase: stable shard order so errors (and the serial path) are
-	// deterministic.
-	keys := make([]Key, 0, len(pipes))
-	for k := range pipes {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Cell.R != b.Cell.R {
-			return a.Cell.R < b.Cell.R
+		buf := byCell.m[cell]
+		if buf == nil {
+			buf = stream.BorrowTuples(0)
+			byCell.m[cell] = buf
 		}
-		if a.Cell.Q != b.Cell.Q {
-			return a.Cell.Q < b.Cell.Q
-		}
-		return a.Attr < b.Attr
-	})
-	run := func(k Key) error {
-		p := pipes[k]
-		cb := stream.Batch{
-			Attr:   b.Attr,
-			Window: b.Window.WithRect(p.CellRect()),
-			Tuples: byCell[k.Cell],
+		buf.Tuples = append(buf.Tuples, tp)
+	}
+	run := func(p *CellPipeline) error {
+		cb := stream.Batch{Attr: b.Attr, Window: b.Window.WithRect(p.CellRect())}
+		if buf := byCell.m[p.key.Cell]; buf != nil {
+			cb.Tuples = buf.Tuples
 		}
 		return p.Process(cb)
 	}
 	workers := f.Workers()
-	if workers > len(keys) {
-		workers = len(keys)
+	if workers > len(pipes) {
+		workers = len(pipes)
 	}
 	if workers <= 1 {
-		for _, k := range keys {
-			if err := run(k); err != nil {
+		for _, p := range pipes {
+			if err := run(p); err != nil {
 				return err
 			}
 		}
@@ -310,7 +338,7 @@ func (f *Fabricator) Ingest(b stream.Batch) error {
 	// later cells may still have executed when an error is returned.
 	var cursor atomic.Int64
 	var failed atomic.Bool
-	errs := make([]error, len(keys))
+	errs := make([]error, len(pipes))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -318,10 +346,10 @@ func (f *Fabricator) Ingest(b stream.Batch) error {
 			defer wg.Done()
 			for !failed.Load() {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(keys) {
+				if i >= len(pipes) {
 					return
 				}
-				if err := run(keys[i]); err != nil {
+				if err := run(pipes[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -336,6 +364,27 @@ func (f *Fabricator) Ingest(b stream.Batch) error {
 		}
 	}
 	return nil
+}
+
+// cellScratch is the pooled map-phase grouping (cell → borrowed tuple
+// buffer); one is borrowed per Ingest so concurrent epochs of different
+// attributes do not share state.
+type cellScratch struct {
+	m map[geom.CellID]*stream.TupleBuffer
+}
+
+var cellScratchPool = sync.Pool{New: func() interface{} {
+	return &cellScratch{m: make(map[geom.CellID]*stream.TupleBuffer)}
+}}
+
+func borrowCellScratch() *cellScratch { return cellScratchPool.Get().(*cellScratch) }
+
+func (s *cellScratch) release() {
+	for cell, buf := range s.m {
+		buf.Release()
+		delete(s.m, cell)
+	}
+	cellScratchPool.Put(s)
 }
 
 // Workers returns the effective size of the epoch worker pool.

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pmat"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Compiled fused pipeline execution.
+//
+// A CellPipeline's operator graph (F → T₁ → T₂ → … with taps branching off
+// each T) executes unfused as a chain of independent Process calls: every
+// hop materializes an intermediate batch, takes per-stage locks per pass and
+// dispatches through the stream.Processor interface. compileFused lowers the
+// chain into a flat program executed in ONE pass over the batch: per tuple,
+// the Flatten keep-decision (precomputed by Flatten.ProcessFused) gates a
+// walk down the Thin stages with early exit, appending survivors directly
+// into per-stage output buffers. Because every operator draws from its own
+// keyed RNG, and fused execution performs each operator's draws in exactly
+// the surviving-tuple order the unfused chain would, the fabricated streams
+// are byte-identical (golden tests in fused_test.go). The compiled program
+// is cached on the pipeline and invalidated by structural mutations
+// (AddTap/RemoveTap and the rate rewiring inside them); rates and target
+// rates are read live at execution time, so SetTargetRate needs no recompile
+// to stay correct — the invalidation is belt and braces.
+
+// fusedStage is one T-operator level of the compiled program, with the tap
+// processors (direct sinks or P-operators) subscribed at its output rate.
+type fusedStage struct {
+	thin *pmat.Thin
+	outs []stream.Processor
+}
+
+// fusedProgram is the flat compiled form of a CellPipeline's chain.
+type fusedProgram struct {
+	stages []fusedStage
+}
+
+// compileFused lowers the pipeline's current chain into a fused program.
+// Called with the topology structurally quiescent (the fabricator's write
+// lock excludes mutations; racing compiles from concurrent Process calls
+// produce equivalent programs).
+func compileFused(p *CellPipeline) *fusedProgram {
+	prog := &fusedProgram{stages: make([]fusedStage, 0, len(p.nodes))}
+	for _, n := range p.nodes {
+		st := fusedStage{thin: n.thin, outs: make([]stream.Processor, 0, len(n.taps))}
+		for _, t := range n.taps {
+			if t.partition != nil {
+				st.outs = append(st.outs, t.partition)
+			} else {
+				st.outs = append(st.outs, t.sink)
+			}
+		}
+		prog.stages = append(prog.stages, st)
+	}
+	return prog
+}
+
+// fusedScratch recycles the per-execution stage arrays so the fused hot
+// path performs no steady-state allocation regardless of chain depth.
+type fusedScratch struct {
+	bufs []*stream.TupleBuffer
+	ps   []float64
+	rngs []*stats.RNG
+	ins  []int
+}
+
+var fusedScratchPool = sync.Pool{New: func() interface{} { return &fusedScratch{} }}
+
+func borrowFusedScratch(k int) *fusedScratch {
+	sc := fusedScratchPool.Get().(*fusedScratch)
+	if cap(sc.bufs) < k {
+		sc.bufs = make([]*stream.TupleBuffer, k)
+		sc.ps = make([]float64, k)
+		sc.rngs = make([]*stats.RNG, k)
+		sc.ins = make([]int, k)
+	} else {
+		sc.bufs = sc.bufs[:k]
+		sc.ps = sc.ps[:k]
+		sc.rngs = sc.rngs[:k]
+		sc.ins = sc.ins[:k]
+	}
+	return sc
+}
+
+func (sc *fusedScratch) release() {
+	for j := range sc.bufs {
+		sc.bufs[j].Release()
+		sc.bufs[j] = nil
+		sc.rngs[j] = nil
+	}
+	fusedScratchPool.Put(sc)
+}
+
+// runFused executes one batch through the compiled program: the Flatten
+// decision mask is computed first (its own single lock acquisition, inside
+// ProcessFused), then each Thin stage is locked once for the whole pass and
+// the per-tuple chain walk draws stage Bernoullis with early exit, emitting
+// survivors directly into per-stage buffers. Tap delivery happens after all
+// stage locks are released, in chain order; sinks observe the same batches
+// (attr, window, tuples) as the unfused graph walk.
+func (p *CellPipeline) runFused(prog *fusedProgram, b stream.Batch) error {
+	kbuf := stream.BorrowBools(b.Len())
+	keep := kbuf.Vals
+	if _, err := p.flatten.ProcessFused(b, keep); err != nil {
+		kbuf.Release()
+		return err
+	}
+	k := len(prog.stages)
+	sc := borrowFusedScratch(k)
+	for j := range prog.stages {
+		sc.ps[j], sc.rngs[j] = prog.stages[j].thin.BeginFused()
+		sc.bufs[j] = stream.BorrowTuples(0)
+		sc.ins[j] = 0
+	}
+	for i, tp := range b.Tuples {
+		if !keep[i] {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			sc.ins[j]++
+			if !sc.rngs[j].Bernoulli(sc.ps[j]) {
+				break
+			}
+			sc.bufs[j].Tuples = append(sc.bufs[j].Tuples, tp)
+		}
+	}
+	kbuf.Release()
+	for j := range prog.stages {
+		prog.stages[j].thin.EndFused(sc.ins[j], len(sc.bufs[j].Tuples))
+	}
+	// Delivery: stage buffers stay valid until released below, and taps must
+	// not retain them (the stream ownership rule). Empty batches are
+	// delivered too — merge slices complete only when every input reports.
+	//
+	// Error semantics: a failing tap aborts the remaining deliveries, after
+	// every stage has already drawn its Bernoullis — whereas the unfused
+	// walk stops wherever the error surfaced, which itself depends on the
+	// insertion order of taps vs. the next T-operator in each node's
+	// downstream list. Fused/unfused byte-identity is therefore guaranteed
+	// for error-free runs only; an epoch error halts the engine's clock
+	// (Engine.Step propagates it), so both modes stop at the same epoch.
+	var derr error
+deliver:
+	for j := range prog.stages {
+		out := stream.Batch{Attr: b.Attr, Window: b.Window, Tuples: sc.bufs[j].Tuples}
+		for _, proc := range prog.stages[j].outs {
+			if err := proc.Process(out); err != nil {
+				derr = fmt.Errorf("%s: downstream: %w", prog.stages[j].thin.Name(), err)
+				break deliver
+			}
+		}
+	}
+	sc.release()
+	return derr
+}

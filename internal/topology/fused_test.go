@@ -1,0 +1,236 @@
+package topology
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// fusedFixtureQueries builds a load whose cell (0,0) chain is ≥ 4 T-operators
+// deep (rates 25 > 12 > 6 > 2.5, plus a partition tap at 9), with multi-cell
+// merges and a second attribute riding along.
+var fusedFixtureQueries = []query.Query{
+	{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 25},          // all cells
+	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 12},          // cell (0,0)
+	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 6},           // deeper
+	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 2.5},         // deeper still
+	{Attr: "rain", Region: geom.NewRect(0.5, 0.5, 2.5, 2.5), Rate: 9},    // partition taps mid-chain
+	{Attr: "rain", Region: geom.NewRect(1, 1, 5, 3), Rate: 7},            // partial overlaps, multi-cell
+	{Attr: "temp", Region: geom.NewRect(2, 2, 7.5, 6), Rate: 14},         // second attribute
+	{Attr: "temp", Region: geom.NewRect(2.25, 2.25, 4.5, 4.25), Rate: 4}, // partition + chain on temp
+}
+
+// buildFusedFixture assembles two structurally identical fabricators from
+// one seed, differing only in execution mode.
+func buildFusedFixture(t *testing.T, seed int64, workers int, disableFused bool) (*Fabricator, []*stream.Collector) {
+	t.Helper()
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 8, 8), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := New(grid, Config{
+		Workers:  workers,
+		Pipeline: PipelineConfig{DisableFused: disableFused},
+	}, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]*stream.Collector, len(fusedFixtureQueries))
+	for i, q := range fusedFixtureQueries {
+		cols[i] = stream.NewCollector()
+		if _, err := fab.InsertQuery(q, cols[i]); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return fab, cols
+}
+
+// runFusedEpochs drives both attributes, including one fully empty epoch
+// (starved cells must still deliver empty batches so merge slices complete).
+func runFusedEpochs(t *testing.T, fab *Fabricator, epochs, perEpoch int) {
+	t.Helper()
+	region := fab.Grid().Region()
+	for e := 0; e < epochs; e++ {
+		n := perEpoch
+		if e == 2 {
+			n = 0
+		}
+		for _, attr := range []string{"rain", "temp"} {
+			if err := fab.Ingest(sourceBatch(attr, e, region, n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestFusedMatchesUnfusedGolden is the fused-execution golden test: across
+// seeds and worker-pool sizes, compiled fused execution must fabricate
+// byte-identical streams to the unfused operator-graph walk — same tuples in
+// the same order for every query, and identical flow counters (same
+// Bernoulli draws at every operator).
+func TestFusedMatchesUnfusedGolden(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				unfused, ucols := buildFusedFixture(t, seed, workers, true)
+				fused, fcols := buildFusedFixture(t, seed, workers, false)
+				if unfused.FusedEnabled() {
+					t.Fatal("reference fabricator should be unfused")
+				}
+				if !fused.FusedEnabled() {
+					t.Fatal("fused fabricator should be fused")
+				}
+				runFusedEpochs(t, unfused, 6, 700)
+				runFusedEpochs(t, fused, 6, 700)
+				for i := range ucols {
+					want, got := ucols[i].Tuples(), fcols[i].Tuples()
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("query %d: fused stream diverges from unfused (%d vs %d tuples)", i, len(got), len(want))
+					}
+					if len(want) == 0 {
+						t.Errorf("query %d: golden stream is empty, test is vacuous", i)
+					}
+				}
+				if uf, ff := unfused.TotalFlow(), fused.TotalFlow(); !reflect.DeepEqual(uf, ff) {
+					t.Errorf("flow counters diverge: unfused %+v, fused %+v", uf, ff)
+				}
+				if err := fused.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFusedRecompileOnChurn inserts and deletes queries mid-run — AddTap
+// splices a T-operator into the middle of a compiled chain, DeleteQuery
+// merges T-operators back — and requires fused output to keep tracking the
+// unfused reference byte-for-byte through every recompilation.
+func TestFusedRecompileOnChurn(t *testing.T) {
+	unfused, ucols := buildFusedFixture(t, 99, 2, true)
+	fused, fcols := buildFusedFixture(t, 99, 2, false)
+	region := fused.Grid().Region()
+
+	churn := func(fab *Fabricator) ([]string, *stream.Collector) {
+		var inserted []string
+		midCol := stream.NewCollector()
+		for e := 0; e < 8; e++ {
+			if e == 3 {
+				// Splice a new rate node (8 sits between 12 and 6) into the
+				// deep chain of cell (0,0).
+				q, err := fab.InsertQuery(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 8}, midCol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inserted = append(inserted, q.ID)
+			}
+			if e == 6 {
+				// Delete the rate-6 node: its neighbours become consecutive
+				// T-operators and must merge.
+				for _, id := range fab.Registry().List() {
+					if id.Attr == "rain" && id.Rate == 6 {
+						if err := fab.DeleteQuery(id.ID); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			for _, attr := range []string{"rain", "temp"} {
+				if err := fab.Ingest(sourceBatch(attr, e, region, 600)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return inserted, midCol
+	}
+
+	_, umid := churn(unfused)
+	_, fmid := churn(fused)
+	for i := range ucols {
+		if !reflect.DeepEqual(fcols[i].Tuples(), ucols[i].Tuples()) {
+			t.Errorf("query %d: fused diverges from unfused across churn", i)
+		}
+	}
+	if !reflect.DeepEqual(fmid.Tuples(), umid.Tuples()) {
+		t.Errorf("mid-run query: fused diverges (%d vs %d tuples)", fmid.Len(), umid.Len())
+	}
+	if fmid.Len() == 0 {
+		t.Error("mid-run query collected nothing, churn test is vacuous")
+	}
+	if err := fused.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedProgramLifecycle pins the cache/invalidation contract: lazy
+// compile on first Process, reuse across batches, invalidation by AddTap and
+// RemoveTap, and no program when fused is disabled or the chain is empty.
+func TestFusedProgramLifecycle(t *testing.T) {
+	cell := geom.NewRect(0, 0, 2, 2)
+	rng := stats.NewRNG(5)
+	p, err := NewCellPipeline(Key{Attr: "rain"}, cell, PipelineConfig{}, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := func(e int) stream.Batch {
+		return sourceBatch("rain", e, cell, 50)
+	}
+	// Empty chain: nothing to fuse.
+	if err := p.Process(batch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if p.FusedCompiled() {
+		t.Fatal("empty chain should not compile a program")
+	}
+	sink := stream.NewCollector()
+	if err := p.AddTap(query.Query{ID: "q1", Rate: 5}, cell, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FusedCompiled() {
+		t.Fatal("first Process should compile the program")
+	}
+	if err := p.AddTap(query.Query{ID: "q2", Rate: 2}, cell, stream.NewCollector()); err != nil {
+		t.Fatal(err)
+	}
+	if p.FusedCompiled() {
+		t.Fatal("AddTap must invalidate the compiled program")
+	}
+	if err := p.Process(batch(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FusedCompiled() {
+		t.Fatal("Process should recompile after invalidation")
+	}
+	if _, err := p.RemoveTap("q2"); err != nil {
+		t.Fatal(err)
+	}
+	if p.FusedCompiled() {
+		t.Fatal("RemoveTap must invalidate the compiled program")
+	}
+	if sink.Len() == 0 {
+		t.Fatal("fused pipeline delivered nothing")
+	}
+
+	// Disabled pipelines never compile.
+	off, err := NewCellPipeline(Key{Attr: "rain"}, cell, PipelineConfig{DisableFused: true}, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := off.AddTap(query.Query{ID: "q1", Rate: 5}, cell, stream.NewCollector()); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Process(batch(3)); err != nil {
+		t.Fatal(err)
+	}
+	if off.FusedCompiled() {
+		t.Fatal("DisableFused pipeline must not compile")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/pmat"
@@ -94,6 +95,11 @@ type CellPipeline struct {
 	headroom float64
 	rng      *stats.RNG
 	nameSeq  int
+
+	disableFused bool
+	// fused caches the compiled program (fused.go); structural mutations
+	// invalidate it and the next Process recompiles lazily.
+	fused atomic.Pointer[fusedProgram]
 }
 
 // PipelineConfig carries the pieces a pipeline needs from the fabricator.
@@ -104,6 +110,11 @@ type PipelineConfig struct {
 	// Flatten configures the F-operator (TargetRate is overwritten by the
 	// pipeline as queries come and go).
 	Flatten pmat.FlattenConfig
+	// DisableFused turns off compiled fused execution and walks the operator
+	// graph stage by stage instead. Fused and unfused fabricate
+	// byte-identical streams (golden tests), so this exists for A/B
+	// comparison and debugging only.
+	DisableFused bool
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -131,7 +142,7 @@ func NewCellPipeline(key Key, cellRect geom.Rect, cfg PipelineConfig, rng *stats
 	if err != nil {
 		return nil, err
 	}
-	return &CellPipeline{key: key, cellRect: cellRect, flatten: f, headroom: cfg.Headroom, rng: rng}, nil
+	return &CellPipeline{key: key, cellRect: cellRect, flatten: f, headroom: cfg.Headroom, rng: rng, disableFused: cfg.DisableFused}, nil
 }
 
 // Key returns the pipeline's key.
@@ -144,7 +155,41 @@ func (p *CellPipeline) CellRect() geom.Rect { return p.cellRect }
 func (p *CellPipeline) Flatten() *pmat.Flatten { return p.flatten }
 
 // Process pushes one batch (already clipped to the cell) into the topology.
-func (p *CellPipeline) Process(b stream.Batch) error { return p.flatten.Process(b) }
+// When compiled fused execution is enabled (the default) and the chain is
+// non-empty, the batch runs through the flat fused program instead of the
+// operator-graph walk — byte-identical output, one pass, one lock
+// acquisition per stage (see fused.go and DESIGN.md, "Compiled pipeline
+// execution").
+func (p *CellPipeline) Process(b stream.Batch) error {
+	if prog := p.program(); prog != nil {
+		return p.runFused(prog, b)
+	}
+	return p.flatten.Process(b)
+}
+
+// program returns the cached fused program, compiling lazily on first use;
+// nil when fused execution is disabled or there is nothing to fuse.
+func (p *CellPipeline) program() *fusedProgram {
+	if p.disableFused || len(p.nodes) == 0 {
+		return nil
+	}
+	if prog := p.fused.Load(); prog != nil {
+		return prog
+	}
+	prog := compileFused(p)
+	p.fused.Store(prog)
+	return prog
+}
+
+// invalidateProgram drops the compiled program so the next Process
+// recompiles against the mutated chain.
+func (p *CellPipeline) invalidateProgram() { p.fused.Store(nil) }
+
+// FusedEnabled reports whether compiled fused execution is active.
+func (p *CellPipeline) FusedEnabled() bool { return !p.disableFused }
+
+// FusedCompiled reports whether a compiled program is currently cached.
+func (p *CellPipeline) FusedCompiled() bool { return p.fused.Load() != nil }
 
 // Empty reports whether no queries are subscribed.
 func (p *CellPipeline) Empty() bool { return len(p.nodes) == 0 }
@@ -172,6 +217,7 @@ func (p *CellPipeline) nextName(kind string) string {
 // covers the whole cell, through a P-operator partitioning out the overlap
 // otherwise.
 func (p *CellPipeline) AddTap(q query.Query, overlap geom.Rect, sink stream.Processor) error {
+	p.invalidateProgram()
 	if sink == nil {
 		return fmt.Errorf("topology: pipeline %v: query %s: nil sink", p.key, q.ID)
 	}
@@ -295,6 +341,7 @@ func (p *CellPipeline) upstreamDetach(pos int, next stream.Processor) {
 // two consecutive T-operators merge into one). It reports whether the query
 // was subscribed.
 func (p *CellPipeline) RemoveTap(queryID string) (bool, error) {
+	p.invalidateProgram()
 	for i, n := range p.nodes {
 		for j, t := range n.taps {
 			if t.queryID != queryID {

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Guards the end-to-end hot path against performance regressions: runs
+# BenchmarkEndToEnd and compares ns/op per sub-benchmark against the newest
+# committed BENCH_*.json trajectory file, failing when any sub-benchmark is
+# more than BENCH_TOLERANCE_PCT percent slower (default 15).
+#
+#   scripts/bench_guard.sh                      # guard against newest baseline
+#   BENCH_TOLERANCE_PCT=25 scripts/bench_guard.sh
+#
+# GOMAXPROCS suffixes ("-8") are stripped before matching so baselines
+# recorded on different machines still line up. Benchmarks present in only
+# one side are reported and skipped.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -z "$base" ]; then
+    echo "bench_guard: no BENCH_*.json baseline committed; nothing to guard"
+    exit 0
+fi
+tol="${BENCH_TOLERANCE_PCT:-15}"
+echo "bench_guard: comparing against $base (tolerance ${tol}%)"
+
+raw=$(mktemp) basevals=$(mktemp) curvals=$(mktemp)
+trap 'rm -f "$raw" "$basevals" "$curvals"' EXIT
+
+go test -run '^$' -bench 'BenchmarkEndToEnd' -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+
+# Baseline pairs (name ns_per_op) from the JSON written by bench.sh.
+sed -n 's/.*"name": "\(BenchmarkEndToEnd[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \2/p' "$base" \
+    | sed 's/-[0-9]* / /' > "$basevals"
+# Current pairs from the benchmark output.
+awk '/^BenchmarkEndToEnd/ {print $1, $3}' "$raw" | sed 's/-[0-9]* / /' > "$curvals"
+
+if [ ! -s "$curvals" ]; then
+    echo "bench_guard: BenchmarkEndToEnd produced no results" >&2
+    exit 1
+fi
+
+awk -v tol="$tol" '
+    FNR == NR { base[$1] = $2; next }
+    { cur[$1] = $2 }
+    END {
+        status = 0
+        checked = 0
+        for (n in cur) {
+            if (!(n in base)) {
+                printf "bench_guard: %s has no baseline entry; skipping\n", n
+                continue
+            }
+            checked++
+            lim = base[n] * (1 + tol / 100)
+            if (cur[n] > lim) {
+                printf "bench_guard: REGRESSION %s: %.0f ns/op > %.0f allowed (baseline %.0f, +%s%%)\n", n, cur[n], lim, base[n], tol
+                status = 1
+            } else {
+                printf "bench_guard: ok %s: %.0f ns/op (baseline %.0f)\n", n, cur[n], base[n]
+            }
+        }
+        if (checked == 0) {
+            print "bench_guard: no comparable benchmarks found" > "/dev/stderr"
+            status = 1
+        }
+        exit status
+    }' "$basevals" "$curvals"
