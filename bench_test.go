@@ -1,5 +1,5 @@
 // Benchmarks regenerating the reproduction's experiment suite (DESIGN.md
-// section 8): one benchmark per experiment E1–E14 plus micro-benchmarks of
+// section 9): one benchmark per experiment E1–E14 plus micro-benchmarks of
 // the hot paths (samplers, operators, estimation, ingestion). Run with
 //
 //	go test -bench=. -benchmem

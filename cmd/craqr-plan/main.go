@@ -40,26 +40,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	q, err := craql.Parse(flag.Arg(0))
+	// Accept both the plain query form and the EXPLAIN wrapper — the tool is
+	// an EXPLAIN either way.
+	st, err := craql.ParseStatement(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	q := st.Query
 	weights := planner.Weights{PerTuple: *perTuple, PerOperator: *perOp, PerDepth: *perDepth}
-	ests, err := planner.CompareModes(grid, q, *epoch, weights)
+	ex, err := planner.Explain(grid, q, *epoch, weights)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("query: %s\n", craql.Format(q))
 	fmt.Printf("grid:  h=%d over %v (cell area %g)\n", grid.NumCells(), grid.Region(), grid.CellArea())
 	fmt.Printf("cells overlapped: %d\n\n", len(grid.Overlapping(q.Region)))
-	for _, est := range ests {
-		fmt.Printf("  %s\n", est)
-	}
-	best, err := planner.ChooseMergeMode(grid, q, *epoch, weights)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("\nplanner choice: %v (cost %.1f)\n", best.Mode, best.Total)
+	// The same canonical table the CrAQL EXPLAIN statement and the HTTP plan
+	// endpoint serve.
+	fmt.Print(ex.Table())
 }
 
 func parseRegion(spec string) (geom.Rect, error) {

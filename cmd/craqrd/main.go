@@ -6,11 +6,13 @@
 //	craqrd -addr :8080 -tick 200ms -retention 65536 -sessions 64
 //
 //	GET    /v1/healthz                                liveness probe
-//	POST   /v1/sessions                               create a session ({"name","seed","tick","simulated","retention"})
+//	POST   /v1/sessions                               create a session ({"name","seed","tick","simulated","retention",
+//	                                                  "disablePlanner","plannerWeights","adaptiveRates",…})
 //	GET    /v1/sessions                               list sessions
-//	GET    /v1/sessions/{s}/status                    session status (epochs, now, drops, budgets)
+//	GET    /v1/sessions/{s}/status                    session status (epochs, now, drops, budgets, plans, meanNv)
 //	DELETE /v1/sessions/{s}                           destroy a session
-//	POST   /v1/sessions/{s}/queries                   submit a CrAQL query
+//	POST   /v1/sessions/{s}/queries                   submit a CrAQL query (EXPLAIN … returns the plan table)
+//	GET    /v1/sessions/{s}/queries/{q}/plan          planner cost table for a live query
 //	POST   /v1/sessions/{s}/script                    submit a CrAQL script atomically
 //	POST   /v1/sessions/{s}/step?n=k                  advance k epochs manually
 //	GET    /v1/sessions/{s}/results/{q}?cursor=&limit=  cursor-paginated results
@@ -18,6 +20,13 @@
 //
 // The pre-session routes (POST /queries, GET /results/{id}, POST /step,
 // GET /status, …) keep working against the pinned "default" session.
+//
+// -plan (default on) runs the cost-based planner on every submission so
+// each query gets the cheapest merge topology; -budget turns on adaptive
+// rate retuning, converging starved cells to their feasible rate. Sessions
+// can tighten either default at POST /v1/sessions ("disablePlanner",
+// "adaptiveRates"/"disableAdaptive"). See docs/API.md for the full HTTP
+// reference.
 package main
 
 import (
@@ -43,6 +52,8 @@ func main() {
 	nSensors := flag.Int("sensors", 500, "mobile sensors per session fleet")
 	seed := flag.Int64("seed", 1, "default session random seed")
 	workers := flag.Int("workers", 0, "epoch worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	plan := flag.Bool("plan", true, "cost-based merge planning on query submission")
+	budgetAdapt := flag.Bool("budget", false, "adaptive rate retuning from violation feedback")
 	flag.Parse()
 
 	region := geom.NewRect(0, 0, 8, 8)
@@ -65,6 +76,8 @@ func main() {
 		Retention: *retention,
 	}
 	template.Fabricator.Workers = *workers
+	template.Planner.Disable = !*plan
+	template.AdaptiveRates = *budgetAdapt
 
 	// Every session gets its own ground-truth world: a drifting storm and a
 	// smooth temperature field.

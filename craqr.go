@@ -205,10 +205,18 @@ func NewUnion(name string, regions ...Rect) (*Union, error) {
 type (
 	// Query is an acquisitional query: attribute, region, rate.
 	Query = query.Query
+	// CRAQLStatement is one parsed CrAQL statement — a query, optionally
+	// wrapped in EXPLAIN.
+	CRAQLStatement = craql.Statement
 )
 
-// ParseCRAQL parses a CrAQL statement ("ACQUIRE rain FROM RECT(…) RATE 10").
+// ParseCRAQL parses an executable CrAQL query ("ACQUIRE rain FROM RECT(…)
+// RATE 10"); EXPLAIN statements are rejected — use ParseCRAQLStatement.
 func ParseCRAQL(src string) (Query, error) { return craql.Parse(src) }
+
+// ParseCRAQLStatement parses one CrAQL statement, accepting both the plain
+// query form and the EXPLAIN form (served by Engine.Explain).
+func ParseCRAQLStatement(src string) (CRAQLStatement, error) { return craql.ParseStatement(src) }
 
 // ParseCRAQLScript parses a ";"-separated multi-statement CrAQL script with
 // "--" line comments.
@@ -216,6 +224,10 @@ func ParseCRAQLScript(src string) ([]Query, error) { return craql.ParseScript(sr
 
 // FormatCRAQL renders a query back into CrAQL syntax.
 func FormatCRAQL(q Query) string { return craql.Format(q) }
+
+// FormatCRAQLStatement renders a statement (including the EXPLAIN form)
+// back into CrAQL syntax.
+func FormatCRAQLStatement(st CRAQLStatement) string { return craql.FormatStatement(st) }
 
 // Simulation substrate.
 type (
@@ -362,12 +374,25 @@ func NewEventDetector(on, off float64) (*EventDetector, error) {
 	return inference.NewEventDetector(on, off)
 }
 
-// Query-cost planning (the Section VI query-optimization extension).
+// Query-cost planning (the Section VI query-optimization extension). The
+// engine runs the planner on every Submit unless EngineConfig.Planner
+// disables it; Engine.Explain prices a CrAQL statement (EXPLAIN or plain)
+// without submitting, and PlanExplanation.Table is the canonical text
+// rendering every EXPLAIN surface shares.
 type (
 	// PlannerWeights prices tuples, operators and merge depth.
 	PlannerWeights = planner.Weights
 	// CostEstimate prices one candidate query plan.
 	CostEstimate = planner.CostEstimate
+	// PlanExplanation is the full pricing of one query: every candidate
+	// estimate plus the planner's choice.
+	PlanExplanation = planner.Explanation
+	// PlannerConfig controls cost-based planning in the engine
+	// (EngineConfig.Planner).
+	PlannerConfig = server.PlannerConfig
+	// AdaptiveSlot is the observable state of one adaptive-rates slot
+	// (Engine.AdaptiveSlots).
+	AdaptiveSlot = server.AdaptiveSlot
 )
 
 // DefaultPlannerWeights balances work, state and response time.
@@ -381,4 +406,16 @@ func EstimateQueryCost(grid *Grid, q Query, mode MergeMode, epochLength float64,
 // ChooseMergeMode returns the cheapest merge-mode plan for the query.
 func ChooseMergeMode(grid *Grid, q Query, epochLength float64, w PlannerWeights) (CostEstimate, error) {
 	return planner.ChooseMergeMode(grid, q, epochLength, w)
+}
+
+// ExplainPlan prices a query under every merge mode and picks the winner —
+// the standalone form of Engine.Explain.
+func ExplainPlan(grid *Grid, q Query, epochLength float64, w PlannerWeights) (PlanExplanation, error) {
+	return planner.Explain(grid, q, epochLength, w)
+}
+
+// DefaultAdaptiveConfig is the rate-retune controller configuration used
+// when EngineConfig.Adaptive is zero.
+func DefaultAdaptiveConfig(violationThreshold float64) BudgetConfig {
+	return server.DefaultAdaptiveConfig(violationThreshold)
 }

@@ -35,12 +35,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The declarative acquisitional query of the paper's Section III.
+	// EXPLAIN prices the query's candidate merge topologies without
+	// submitting anything — the same table `craqr-plan` and the HTTP plan
+	// endpoint serve.
+	ex, err := engine.Explain("EXPLAIN ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ex.Table())
+
+	// The declarative acquisitional query of the paper's Section III. The
+	// engine plans it on submission: the cheapest merge topology is built
+	// and the chosen cost estimate is retained.
 	q, err := engine.SubmitCRAQL("ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 3")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("submitted:", q)
+	if est, ok := engine.Plan(q.ID); ok {
+		fmt.Println("planned:  ", est)
+	}
 
 	// Run 30 acquisition epochs.
 	if err := engine.Run(30); err != nil {

@@ -6,6 +6,17 @@
 // increased by Δβ, otherwise decreased by Δβ, and when the budget saturates
 // at its limit the query is flagged infeasible ("the user is requested to
 // either accept the feasible rate or pay more").
+//
+// The Controller is used twice by the service runtime (see DESIGN.md,
+// "Planning and adaptivity"):
+//
+//   - acquisition tuning — β is a request budget the handler spends, raised
+//     under violations so starved cells acquire more data;
+//   - adaptive rate retuning — a second per-session controller observes the
+//     same N_v feedback, and RateScale maps its β to the (0,1] factor the
+//     topology layer applies to a starved cell's F target and T-operator
+//     rates (Fabricator.Retune), so a long-running query converges to its
+//     feasible rate instead of alarming at a static one.
 package budget
 
 import (
@@ -119,11 +130,24 @@ func (c *Controller) Budget(k Key) (float64, bool) {
 	return s.beta, true
 }
 
-// Observe feeds one percent-rate-violation measurement N_v for the slot and
-// applies the paper's rule: raise β by Δβ when N_v exceeds the threshold,
-// lower it otherwise; clamp to [Min, Max] and flag infeasibility at the cap.
-// It returns the updated budget. Observing an unregistered slot registers it
-// first.
+// Observe feeds one rate-violation measurement for the slot and applies the
+// paper's rule: raise β by Δβ when the violation exceeds
+// Config.ViolationThreshold, lower it otherwise; clamp to [Min, Max] and
+// flag infeasibility at the cap. It returns the updated budget. Observing
+// an unregistered slot registers it first (at Initial, then adjusts).
+//
+// Units: nvPercent is N_v as a percentage in [0, 100] — the fraction of a
+// batch's tuples whose Eq. (3) retaining probability exceeded one and was
+// clamped (pmat.ViolationReport.Percent), with 100 meaning an empty or
+// maximally starved batch. It is compared against ViolationThreshold, which
+// is in the same percent units (e.g. 10 = raise β once more than 10% of a
+// batch violates). Values outside [0, 100] are not rejected but have no
+// extra meaning: anything above the threshold raises β exactly once.
+//
+// The retune curve is therefore a ±Δβ staircase clamped to [Min, Max]; the
+// Infeasible flag is set the moment a raise saturates at Max (violations
+// persist at the cap) and cleared by the first below-threshold observation.
+// TestObserveRetuneCurve pins this trajectory.
 func (c *Controller) Observe(k Key, nvPercent float64) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -150,6 +174,26 @@ func (c *Controller) Observe(k Key, nvPercent float64) float64 {
 		s.infeasible = false
 	}
 	return s.beta
+}
+
+// RateScale maps a slot's budget to the adaptive rate-retune factor the
+// topology layer applies to the slot's pipeline: Initial/β, clamped to
+// (0, 1]. A slot at its initial budget (or below — recovery epochs shrink β
+// toward Min) runs at nominal rates (scale 1); every violation epoch raises
+// β and therefore lowers the scale, down to the floor Initial/Max when the
+// slot saturates. The boolean is false for unregistered slots.
+func (c *Controller) RateScale(k Key) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.slots[k]
+	if !ok {
+		return 0, false
+	}
+	scale := c.cfg.Initial / s.beta
+	if scale > 1 {
+		scale = 1
+	}
+	return scale, true
 }
 
 // Infeasible reports whether the slot has saturated its budget while still

@@ -195,3 +195,52 @@ func TestConfigAccessor(t *testing.T) {
 		t.Fatal("Config accessor wrong")
 	}
 }
+
+// TestObserveRetuneCurve pins the ±Δβ staircase documented on Observe: a
+// fixed sequence of N_v observations (percent units) must produce exactly
+// this β/infeasible trajectory, including the edge where a raise saturates
+// at Max (infeasible set) and the first below-threshold observation clears
+// it. RateScale is pinned alongside as Initial/β clamped to (0, 1].
+func TestObserveRetuneCurve(t *testing.T) {
+	cfg := Config{Initial: 100, Delta: 25, Min: 50, Max: 150, ViolationThreshold: 10}
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("temp", 0, 0)
+	steps := []struct {
+		nv             float64 // observed N_v, percent
+		wantBeta       float64
+		wantInfeasible bool
+		wantScale      float64
+	}{
+		{nv: 0, wantBeta: 75, wantInfeasible: false, wantScale: 1},             // below threshold: -Δβ
+		{nv: 10, wantBeta: 50, wantInfeasible: false, wantScale: 1},            // threshold is exclusive: 10 is not > 10
+		{nv: 0, wantBeta: 50, wantInfeasible: false, wantScale: 1},             // clamped at Min
+		{nv: 10.1, wantBeta: 75, wantInfeasible: false, wantScale: 1},          // above threshold: +Δβ
+		{nv: 100, wantBeta: 100, wantInfeasible: false, wantScale: 1},          // back to Initial
+		{nv: 100, wantBeta: 125, wantInfeasible: false, wantScale: 0.8},        // scale = 100/125
+		{nv: 100, wantBeta: 150, wantInfeasible: true, wantScale: 100.0 / 150}, // saturates at Max: infeasible
+		{nv: 100, wantBeta: 150, wantInfeasible: true, wantScale: 100.0 / 150}, // stays saturated
+		{nv: 5, wantBeta: 125, wantInfeasible: false, wantScale: 0.8},          // recovery clears the flag
+	}
+	for i, st := range steps {
+		got := c.Observe(k, st.nv)
+		if got != st.wantBeta {
+			t.Fatalf("step %d (nv=%g): β = %g, want %g", i, st.nv, got, st.wantBeta)
+		}
+		if inf := c.Infeasible(k); inf != st.wantInfeasible {
+			t.Fatalf("step %d (nv=%g): infeasible = %v, want %v", i, st.nv, inf, st.wantInfeasible)
+		}
+		scale, ok := c.RateScale(k)
+		if !ok {
+			t.Fatalf("step %d: RateScale missing for observed slot", i)
+		}
+		if scale != st.wantScale {
+			t.Fatalf("step %d (nv=%g): scale = %g, want %g", i, st.nv, scale, st.wantScale)
+		}
+	}
+	if _, ok := c.RateScale(key("temp", 9, 9)); ok {
+		t.Fatal("RateScale reported an unregistered slot")
+	}
+}

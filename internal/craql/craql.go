@@ -2,14 +2,25 @@
 // acquisitional queries that the paper calls for ("enables declarative
 // specification of data acquisition queries"). The grammar is:
 //
-//	query := "ACQUIRE" attr "FROM" "RECT" "(" num "," num "," num "," num ")" "RATE" num
+//	statement := ["EXPLAIN"] query
+//	query     := "ACQUIRE" attr "FROM" "RECT" "(" num "," num "," num "," num ")" "RATE" num
 //
 // e.g.
 //
 //	ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10
+//	EXPLAIN ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10
+//
+// An EXPLAIN statement does not acquire anything: the engine prices the
+// query's candidate merge topologies with the cost-based planner and
+// returns the comparison table instead of submitting the query (see
+// internal/planner and DESIGN.md, "Planning and adaptivity").
 //
 // Keywords are case-insensitive; attribute names are case-sensitive
 // identifiers. Parse errors carry the byte offset of the offending token.
+// Parse handles a single executable query, ParseStatement additionally
+// accepts the EXPLAIN form, and ParseScript splits ";"-separated scripts
+// with "--" line comments. Format and FormatStatement are the inverses:
+// ParseStatement(FormatStatement(st)) round-trips every statement.
 package craql
 
 import (
@@ -134,13 +145,54 @@ func (p *parser) number(what string) (float64, error) {
 	return v, nil
 }
 
-// Parse parses one CrAQL statement into a query. The returned query has no
-// ID; registry insertion assigns one.
+// Statement is one parsed CrAQL statement: an acquisitional query,
+// optionally wrapped in EXPLAIN. An EXPLAIN statement asks the engine for
+// the planner's cost table instead of submitting the query.
+type Statement struct {
+	// Explain marks the EXPLAIN form.
+	Explain bool
+	// Query is the parsed query (no ID; registry insertion assigns one).
+	Query query.Query
+}
+
+// Parse parses one executable CrAQL query. The returned query has no ID;
+// registry insertion assigns one. EXPLAIN statements are rejected here —
+// callers that accept them use ParseStatement.
 func Parse(src string) (query.Query, error) {
-	p := &parser{lex: lexer{src: src}}
-	if err := p.advance(); err != nil {
+	st, err := ParseStatement(src)
+	if err != nil {
 		return query.Query{}, err
 	}
+	if st.Explain {
+		return query.Query{}, &ParseError{Pos: 0, Msg: "EXPLAIN is not executable here; submit the inner query or use an EXPLAIN-aware surface"}
+	}
+	return st.Query, nil
+}
+
+// ParseStatement parses one CrAQL statement, accepting both the plain query
+// form and the EXPLAIN form.
+func ParseStatement(src string) (Statement, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return Statement{}, err
+	}
+	var st Statement
+	if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "EXPLAIN") {
+		st.Explain = true
+		if err := p.advance(); err != nil {
+			return Statement{}, err
+		}
+	}
+	q, err := p.query()
+	if err != nil {
+		return Statement{}, err
+	}
+	st.Query = q
+	return st, nil
+}
+
+// query parses the ACQUIRE … production from the current token to EOF.
+func (p *parser) query() (query.Query, error) {
 	if err := p.expectKeyword("ACQUIRE"); err != nil {
 		return query.Query{}, err
 	}
@@ -194,6 +246,24 @@ func Parse(src string) (query.Query, error) {
 func Format(q query.Query) string {
 	return fmt.Sprintf("ACQUIRE %s FROM RECT(%g, %g, %g, %g) RATE %g",
 		q.Attr, q.Region.MinX, q.Region.MinY, q.Region.MaxX, q.Region.MaxY, q.Rate)
+}
+
+// FormatStatement renders a statement back into CrAQL syntax;
+// ParseStatement(FormatStatement(st)) is the identity on the EXPLAIN flag
+// and the query's attribute, region and rate.
+func FormatStatement(st Statement) string {
+	if st.Explain {
+		return "EXPLAIN " + Format(st.Query)
+	}
+	return Format(st.Query)
+}
+
+// IsExplain reports whether src parses as an EXPLAIN statement; a parse
+// failure reports false (the caller's executable-path parser owns the
+// error).
+func IsExplain(src string) bool {
+	st, err := ParseStatement(src)
+	return err == nil && st.Explain
 }
 
 // ParseScript parses a script of CrAQL statements separated by semicolons.

@@ -186,3 +186,92 @@ func TestParseScriptErrorNamesStatement(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestParseStatementExplain(t *testing.T) {
+	st, err := ParseStatement("EXPLAIN ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Explain {
+		t.Fatal("Explain flag not set")
+	}
+	if st.Query.Attr != "rain" || st.Query.Rate != 10 {
+		t.Fatalf("inner query wrong: %+v", st.Query)
+	}
+	// Keyword is case-insensitive like the rest of the grammar.
+	st, err = ParseStatement("explain acquire temp from rect(0,0,1,1) rate 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Explain || st.Query.Attr != "temp" {
+		t.Fatalf("lowercase explain: %+v", st)
+	}
+	// The plain form parses with the flag unset.
+	st, err = ParseStatement("ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Explain {
+		t.Fatal("plain statement flagged as EXPLAIN")
+	}
+}
+
+func TestParseRejectsExplain(t *testing.T) {
+	if _, err := Parse("EXPLAIN ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10"); err == nil {
+		t.Fatal("Parse accepted EXPLAIN")
+	}
+}
+
+func TestParseScriptRejectsExplain(t *testing.T) {
+	_, err := ParseScript("ACQUIRE rain FROM RECT(0,0,4,4) RATE 3; EXPLAIN ACQUIRE rain FROM RECT(0,0,4,4) RATE 3")
+	if err == nil {
+		t.Fatal("script with EXPLAIN accepted")
+	}
+	if !strings.Contains(err.Error(), "statement 2") {
+		t.Fatalf("error does not name the statement: %v", err)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	for _, src := range []string{
+		"EXPLAIN", // nothing to explain
+		"EXPLAIN EXPLAIN ACQUIRE rain FROM RECT(0,0,1,1) RATE 1", // not nestable
+		"EXPLAIN SELECT 1", // not CrAQL
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", src)
+		}
+	}
+}
+
+func TestFormatStatementRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 10",
+		"EXPLAIN ACQUIRE rain FROM RECT(-1.5, 0, 4, 4.25) RATE 0.5",
+	} {
+		st, err := ParseStatement(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := FormatStatement(st)
+		back, err := ParseStatement(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		if back.Explain != st.Explain || back.Query != st.Query {
+			t.Fatalf("round-trip drifted: %+v vs %+v", back, st)
+		}
+	}
+}
+
+func TestIsExplain(t *testing.T) {
+	if !IsExplain("EXPLAIN ACQUIRE rain FROM RECT(0,0,1,1) RATE 1") {
+		t.Fatal("EXPLAIN statement not detected")
+	}
+	if IsExplain("ACQUIRE rain FROM RECT(0,0,1,1) RATE 1") {
+		t.Fatal("plain statement detected as EXPLAIN")
+	}
+	if IsExplain("EXPLAIN garbage") {
+		t.Fatal("unparsable input detected as EXPLAIN")
+	}
+}

@@ -2,7 +2,7 @@
 // paper has no quantitative evaluation section, so each experiment tests one
 // of its quantitative prose claims (operator expected behaviour, topology
 // construction rules, budget tuning, multi-query sharing) or ablates one of
-// the Section VI extensions. DESIGN.md section 8 is the index; EXPERIMENTS.md
+// the Section VI extensions. DESIGN.md section 9 is the index; EXPERIMENTS.md
 // records outcomes. Each experiment produces a Table that the
 // craqr-experiments binary prints.
 package experiments

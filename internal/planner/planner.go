@@ -10,12 +10,22 @@
 // time). ChooseMergeMode picks the U-operator layout minimizing the weighted
 // cost, and EstimateQueryCost prices a whole query before insertion so
 // admission control can reason about it.
+//
+// The planner is not only an offline tool (cmd/craqr-plan): the service
+// runtime calls ChooseMergeMode on every query submission unless planning
+// is disabled, retains the chosen CostEstimate per query, and serves the
+// full Explain table through the CrAQL EXPLAIN statement and the HTTP plan
+// endpoint (GET /v1/sessions/{s}/queries/{q}/plan — see docs/API.md and
+// DESIGN.md, "Planning and adaptivity"). Explanation.Table is the canonical
+// text rendering shared by every surface, so EXPLAIN output is
+// byte-identical to CompareModes wherever it is printed.
 package planner
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/query"
@@ -225,4 +235,42 @@ func CompareModes(grid *geom.Grid, q query.Query, epochLength float64, w Weights
 		out = append(out, est)
 	}
 	return out, nil
+}
+
+// Explanation is the full pricing of one query: every candidate estimate in
+// CompareModes order plus the planner's choice. It backs the CrAQL EXPLAIN
+// statement, the HTTP plan endpoint and cmd/craqr-plan.
+type Explanation struct {
+	Query     query.Query
+	Estimates []CostEstimate // CompareModes order: flat, chain, tree
+	Choice    CostEstimate   // the ChooseMergeMode winner
+}
+
+// Explain prices q under every merge mode and picks the winner — the
+// combination of CompareModes and ChooseMergeMode every EXPLAIN surface
+// serves.
+func Explain(grid *geom.Grid, q query.Query, epochLength float64, w Weights) (Explanation, error) {
+	ests, err := CompareModes(grid, q, epochLength, w)
+	if err != nil {
+		return Explanation{}, err
+	}
+	choice, err := ChooseMergeMode(grid, q, epochLength, w)
+	if err != nil {
+		return Explanation{}, err
+	}
+	return Explanation{Query: q, Estimates: ests, Choice: choice}, nil
+}
+
+// Table renders the explanation as text, one CostEstimate.String line per
+// mode followed by the choice. Every EXPLAIN surface (CrAQL, HTTP,
+// craqr-plan) prints this exact rendering, so the output is byte-identical
+// to formatting CompareModes directly.
+func (ex Explanation) Table() string {
+	var b strings.Builder
+	for _, est := range ex.Estimates {
+		b.WriteString(est.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "choice: %v (cost %.1f)\n", ex.Choice.Mode, ex.Choice.Total)
+	return b.String()
 }

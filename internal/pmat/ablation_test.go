@@ -11,7 +11,7 @@ import (
 )
 
 // TestEq3NormalizationAblation ablates the λc normalization of Eq. (3)
-// (DESIGN.md §6). The normalization makes Flatten invariant to
+// (DESIGN.md §2, "Interpretation note"). The normalization makes Flatten invariant to
 // *multiplicative mis-scaling* of the intensity estimate: with
 // p_i = T / (λ̃_i · Σ_j 1/λ̃_j), replacing λ̃ by c·λ̃ cancels, so only the
 // shape of the estimate matters — exactly what an estimator can get right

@@ -1,9 +1,22 @@
 // Package server wires the full CrAQR architecture of Fig. 1: mobile
 // sensors → request/response handler → crowdsensed stream fabricator →
 // acquired crowdsensed streams, with query input feeding the fabricator and
-// the F-operators' rate violations feeding budget tuning. The Engine runs
-// the loop in-process; an optional net/http façade (http.go) exposes query
-// registration and results over JSON.
+// the F-operators' rate violations feeding budget tuning.
+//
+// The Engine runs the loop in-process and plans its own queries: unless
+// Config.Planner disables it, every Submit prices the query's candidate
+// merge topologies with internal/planner and builds the cheapest, and
+// Engine.Explain serves the CrAQL EXPLAIN statement. With
+// Config.AdaptiveRates the engine also closes the paper's budget-feedback
+// loop end to end each epoch: normalized violations from every F-operator
+// feed a budget.Controller whose RateScale retunes starved pipelines
+// through the topology layer (see DESIGN.md, "Planning and adaptivity").
+//
+// A Manager hosts many named engine sessions behind one process, and the
+// net/http façade (http.go) exposes the whole surface over JSON — sessions
+// CRUD, CrAQL submission, plan inspection, cursor-paginated reads and
+// push streaming; docs/API.md is the route-by-route reference, kept in
+// lockstep by scripts/docs_check.sh.
 package server
 
 import (
@@ -16,6 +29,8 @@ import (
 	"repro/internal/geom"
 	"repro/internal/handler"
 	"repro/internal/incentive"
+	"repro/internal/planner"
+	"repro/internal/pmat"
 	"repro/internal/query"
 	"repro/internal/sensors"
 	"repro/internal/stats"
@@ -52,6 +67,36 @@ type Config struct {
 	// Clock configures the engine's own epoch driver used by Start; Step/Run
 	// remain available for manual driving.
 	Clock ClockConfig
+	// Planner configures cost-based merge planning on Submit/SubmitScript.
+	Planner PlannerConfig
+	// AdaptiveRates enables the per-epoch rate-retune feedback loop: a
+	// second budget controller observes every cell's normalized violations
+	// (pmat.ViolationReport.Percent) and rescales starved pipelines through
+	// Fabricator.Retune (see DESIGN.md, "Planning and adaptivity").
+	AdaptiveRates bool
+	// Adaptive parameterizes the rate-retune controller; the zero value uses
+	// DefaultAdaptiveConfig (with Budget.ViolationThreshold when set).
+	Adaptive budget.Config
+}
+
+// PlannerConfig controls cost-based query planning in the engine.
+type PlannerConfig struct {
+	// Disable turns planning off: every query is built with the static
+	// Fabricator.Merge mode — the A/B lever mirroring DisableFused.
+	Disable bool
+	// Weights are the cost-model weights; the zero value means
+	// planner.DefaultWeights.
+	Weights planner.Weights
+}
+
+// DefaultAdaptiveConfig is the rate-retune controller configuration used
+// when Config.Adaptive is zero: β starts (and recovers to) 100, moves ±25
+// per epoch and caps at 400, so budget.RateScale spans [0.25, 1] — a
+// starved cell converges to a quarter of its nominal rate in a dozen
+// epochs before being flagged infeasible. violationThreshold is the percent
+// N_v above which a cell counts as starved.
+func DefaultAdaptiveConfig(violationThreshold float64) budget.Config {
+	return budget.Config{Initial: 100, Delta: 25, Min: 100, Max: 400, ViolationThreshold: violationThreshold}
 }
 
 // Engine is a running CrAQR instance.
@@ -65,11 +110,22 @@ type Engine struct {
 	fab     *topology.Fabricator
 	rng     *stats.RNG
 
+	// planWeights are the resolved cost-model weights; adaptive is the
+	// rate-retune controller (nil when Config.AdaptiveRates is off).
+	planWeights planner.Weights
+	adaptive    *budget.Controller
+
 	mu      sync.Mutex
 	stepMu  sync.Mutex // serializes epochs across callers (HTTP, tickers)
 	now     float64
 	epochs  int
 	results map[string]*stream.ResultStore
+	// plans retains the planner's chosen estimate per live query.
+	plans map[string]planner.CostEstimate
+	// nvSum/nvN accumulate every (cell, epoch) normalized-violation sample —
+	// MeanViolation is the adaptivity acceptance metric.
+	nvSum float64
+	nvN   int
 
 	clock clockState // Start/Stop lifecycle (lifecycle.go)
 }
@@ -108,16 +164,37 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 		alloc := cfg.Incentives
 		h.SetIncentive(func(k budget.Key) float64 { return alloc.Incentive(k) })
 	}
+	planWeights := cfg.Planner.Weights
+	if planWeights == (planner.Weights{}) {
+		planWeights = planner.DefaultWeights()
+	}
+	if err := planWeights.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var adaptive *budget.Controller
+	if cfg.AdaptiveRates {
+		acfg := cfg.Adaptive
+		if acfg == (budget.Config{}) {
+			acfg = DefaultAdaptiveConfig(cfg.Budget.ViolationThreshold)
+		}
+		adaptive, err = budget.NewController(acfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: adaptive: %w", err)
+		}
+	}
 	return &Engine{
-		cfg:     cfg,
-		grid:    grid,
-		fleet:   fleet,
-		fields:  fields,
-		budgets: budgets,
-		handler: h,
-		fab:     fab,
-		rng:     rng,
-		results: make(map[string]*stream.ResultStore),
+		cfg:         cfg,
+		grid:        grid,
+		fleet:       fleet,
+		fields:      fields,
+		budgets:     budgets,
+		handler:     h,
+		fab:         fab,
+		rng:         rng,
+		planWeights: planWeights,
+		adaptive:    adaptive,
+		results:     make(map[string]*stream.ResultStore),
+		plans:       make(map[string]planner.CostEstimate),
 	}, nil
 }
 
@@ -161,16 +238,82 @@ func (e *Engine) Epochs() int {
 // Submit registers an acquisitional query and returns its stored form. The
 // query's fabricated stream lands in a bounded ResultStore (Config.Retention
 // tuples) readable incrementally via ReadResults or wholesale via Results.
+//
+// Unless Config.Planner.Disable is set, the cost-based planner prices every
+// merge topology for the query against the engine's grid and the cheapest
+// one is built; the chosen estimate is retained (Plan) and served by the
+// plan endpoint. With planning disabled — or when the planner cannot price
+// the query — the static Fabricator.Merge mode is used.
 func (e *Engine) Submit(q query.Query) (query.Query, error) {
 	store := stream.NewResultStore(e.cfg.Retention)
-	stored, err := e.fab.InsertQuery(q, store)
+	var (
+		stored query.Query
+		err    error
+	)
+	est, planned := e.planFor(q)
+	if planned {
+		stored, err = e.fab.InsertQueryMerge(q, store, est.Mode)
+	} else {
+		stored, err = e.fab.InsertQuery(q, store)
+	}
 	if err != nil {
 		return query.Query{}, err
 	}
 	e.mu.Lock()
 	e.results[stored.ID] = store
+	if planned {
+		e.plans[stored.ID] = est
+	}
 	e.mu.Unlock()
 	return stored, nil
+}
+
+// planFor prices q and returns the winning estimate; false disables
+// planning for this query (planner off, or the query is un-priceable — the
+// fabricator then owns rejecting it with its own error).
+func (e *Engine) planFor(q query.Query) (planner.CostEstimate, bool) {
+	if e.cfg.Planner.Disable {
+		return planner.CostEstimate{}, false
+	}
+	est, err := planner.ChooseMergeMode(e.grid, q, e.cfg.Epoch, e.planWeights)
+	if err != nil {
+		return planner.CostEstimate{}, false
+	}
+	return est, true
+}
+
+// Plan returns the planner's chosen cost estimate for a live query; false
+// when the query is unknown or was submitted without planning.
+func (e *Engine) Plan(id string) (planner.CostEstimate, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	est, ok := e.plans[id]
+	return est, ok
+}
+
+// PlannerEnabled reports whether cost-based planning runs on Submit;
+// exposed in /status for A/B runs, like FusedEnabled.
+func (e *Engine) PlannerEnabled() bool { return !e.cfg.Planner.Disable }
+
+// PlannerWeights returns the resolved cost-model weights.
+func (e *Engine) PlannerWeights() planner.Weights { return e.planWeights }
+
+// Explain parses a CrAQL statement — the EXPLAIN form or a plain query —
+// and prices it against the engine's grid, epoch length and planner
+// weights without submitting anything. Explanation.Table is the canonical
+// text rendering, byte-identical to planner.CompareModes output. Explain
+// works even when planning is disabled (it is a what-if, not an action).
+func (e *Engine) Explain(src string) (planner.Explanation, error) {
+	st, err := craql.ParseStatement(src)
+	if err != nil {
+		return planner.Explanation{}, err
+	}
+	return e.ExplainQuery(st.Query)
+}
+
+// ExplainQuery prices an already-parsed query (see Explain).
+func (e *Engine) ExplainQuery(q query.Query) (planner.Explanation, error) {
+	return planner.Explain(e.grid, q, e.cfg.Epoch, e.planWeights)
 }
 
 // SubmitCRAQL parses a CrAQL statement and submits it.
@@ -223,6 +366,7 @@ func (e *Engine) Delete(id string) error {
 	e.mu.Lock()
 	store := e.results[id]
 	delete(e.results, id)
+	delete(e.plans, id)
 	e.mu.Unlock()
 	if store != nil {
 		store.Close()
@@ -310,7 +454,93 @@ func (e *Engine) Step() error {
 		}
 		e.cfg.Incentives.Reallocate()
 	}
+	if err := e.observeEpoch(); err != nil {
+		return fmt.Errorf("server: epoch at t=%g: adaptive retune: %w", t0, err)
+	}
 	return nil
+}
+
+// observeEpoch closes the adaptivity loop after an epoch's ingest:
+// every cell's normalized violation (N_v percent from its F-operator's
+// latest report) is accumulated into the MeanViolation metric, and — when
+// adaptive rates are enabled — fed to the rate-retune controller, whose
+// RateScale is applied back to the pipeline through the topology hook
+// (Fabricator.Retune). Slots whose pipeline disappeared (query churn) are
+// unregistered so the controller tracks only live cells.
+func (e *Engine) observeEpoch() error {
+	var sum float64
+	var n int
+	var retuneErr error
+	live := make(map[budget.Key]bool)
+	e.fab.VisitLastReports(func(k topology.Key, rep pmat.ViolationReport) {
+		sum += rep.Percent
+		n++
+		if e.adaptive == nil || retuneErr != nil {
+			return
+		}
+		bk := budget.Key{Attr: k.Attr, Cell: k.Cell}
+		live[bk] = true
+		e.adaptive.Observe(bk, rep.Percent)
+		if scale, ok := e.adaptive.RateScale(bk); ok {
+			// Retune no-ops on keys dropped since the snapshot; RateScale is
+			// clamped to (0,1], so a non-nil error means the chain rejected a
+			// rescale - pipeline corruption worth halting the clock over.
+			retuneErr = e.fab.Retune(k, scale)
+		}
+	})
+	e.mu.Lock()
+	e.nvSum += sum
+	e.nvN += n
+	e.mu.Unlock()
+	if retuneErr != nil || e.adaptive == nil {
+		return retuneErr
+	}
+	for _, snap := range e.adaptive.Snapshots() {
+		if !live[snap.Key] {
+			e.adaptive.Unregister(snap.Key)
+		}
+	}
+	return nil
+}
+
+// MeanViolation returns the mean normalized violation (N_v percent)
+// observed across every (cell, epoch) sample since the engine started —
+// the convergence metric of the adaptive-rates A/B comparison. Zero before
+// the first epoch.
+func (e *Engine) MeanViolation() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.nvN == 0 {
+		return 0
+	}
+	return e.nvSum / float64(e.nvN)
+}
+
+// AdaptiveEnabled reports whether the rate-retune feedback loop runs each
+// epoch; exposed in /status for A/B runs.
+func (e *Engine) AdaptiveEnabled() bool { return e.adaptive != nil }
+
+// AdaptiveSlot is the observable state of one adaptive-rates slot.
+type AdaptiveSlot struct {
+	Key        budget.Key
+	Scale      float64 // current rate scale in (0,1]
+	LastNv     float64 // latest normalized violation (percent)
+	Infeasible bool    // saturated at the scale floor with violations persisting
+}
+
+// AdaptiveSlots returns the rate-retune controller's live slots, sorted by
+// key; nil when adaptation is disabled.
+func (e *Engine) AdaptiveSlots() []AdaptiveSlot {
+	if e.adaptive == nil {
+		return nil
+	}
+	snaps := e.adaptive.Snapshots()
+	out := make([]AdaptiveSlot, 0, len(snaps))
+	for _, s := range snaps {
+		scale, _ := e.adaptive.RateScale(s.Key)
+		out = append(out, AdaptiveSlot{Key: s.Key, Scale: scale, LastNv: s.LastNv, Infeasible: s.Infeasible})
+	}
+	return out
 }
 
 // Run executes n epochs.

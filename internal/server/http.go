@@ -12,7 +12,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/craql"
 	"repro/internal/export"
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/stream"
 )
@@ -25,10 +27,11 @@ import (
 //	GET    /v1/sessions                               list sessions
 //	GET    /v1/sessions/{s}                           session info
 //	DELETE /v1/sessions/{s}                           destroy a session
-//	GET    /v1/sessions/{s}/status                    engine status (epochs, now, drops, budgets)
-//	POST   /v1/sessions/{s}/queries                   submit CrAQL text
+//	GET    /v1/sessions/{s}/status                    engine status (epochs, now, drops, budgets, plans)
+//	POST   /v1/sessions/{s}/queries                   submit CrAQL text (EXPLAIN returns the plan table)
 //	GET    /v1/sessions/{s}/queries                   list live queries
 //	DELETE /v1/sessions/{s}/queries/{id}              delete a query
+//	GET    /v1/sessions/{s}/queries/{id}/plan         planner cost table + chosen estimate
 //	POST   /v1/sessions/{s}/script                    submit a CrAQL script atomically
 //	POST   /v1/sessions/{s}/step?n=k                  advance k epochs manually
 //	GET    /v1/sessions/{s}/results/{q}?cursor=&limit=  paginated cursor read
@@ -95,6 +98,7 @@ func NewManagerHTTPServer(m *Manager, defaultSession string) (*HTTPServer, error
 	s.mux.HandleFunc("POST /v1/sessions/{session}/queries", s.handleSessionQuerySubmit)
 	s.mux.HandleFunc("GET /v1/sessions/{session}/queries", s.handleSessionQueryList)
 	s.mux.HandleFunc("DELETE /v1/sessions/{session}/queries/{id}", s.handleSessionQueryDelete)
+	s.mux.HandleFunc("GET /v1/sessions/{session}/queries/{id}/plan", s.handleSessionQueryPlan)
 	s.mux.HandleFunc("POST /v1/sessions/{session}/script", s.handleSessionScript)
 	s.mux.HandleFunc("POST /v1/sessions/{session}/step", s.handleSessionStep)
 	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}", s.handleSessionResults)
@@ -197,6 +201,45 @@ func toTupleJSON(tuples []stream.Tuple) []tupleJSON {
 	return out
 }
 
+// costEstimateJSON is the wire form of one planner.CostEstimate.
+type costEstimateJSON struct {
+	Mode           string  `json:"mode"`
+	Operators      int     `json:"operators"`
+	Depth          int     `json:"depth"`
+	TuplesPerEpoch float64 `json:"tuplesPerEpoch"`
+	Cost           float64 `json:"cost"`
+}
+
+func toCostEstimateJSON(est planner.CostEstimate) costEstimateJSON {
+	return costEstimateJSON{
+		Mode: est.Mode.String(), Operators: est.Operators, Depth: est.Depth,
+		TuplesPerEpoch: est.TuplesPE, Cost: est.Total,
+	}
+}
+
+// explainJSON is the wire form of a full plan explanation. Explain is the
+// canonical text table (planner.Explanation.Table), byte-identical to
+// formatting planner.CompareModes directly.
+type explainJSON struct {
+	Query   queryJSON          `json:"query"`
+	Modes   []costEstimateJSON `json:"modes"`
+	Chosen  costEstimateJSON   `json:"chosen"`
+	Explain string             `json:"explain"`
+}
+
+func toExplainJSON(ex planner.Explanation) explainJSON {
+	modes := make([]costEstimateJSON, 0, len(ex.Estimates))
+	for _, est := range ex.Estimates {
+		modes = append(modes, toCostEstimateJSON(est))
+	}
+	return explainJSON{
+		Query:   toQueryJSON(ex.Query),
+		Modes:   modes,
+		Chosen:  toCostEstimateJSON(ex.Choice),
+		Explain: ex.Table(),
+	}
+}
+
 // sessionJSON is the wire form of a session.
 type sessionJSON struct {
 	Name      string  `json:"name"`
@@ -212,6 +255,8 @@ type sessionJSON struct {
 	Now       float64 `json:"now"`
 	Queries   int     `json:"queries"`
 	Fused     bool    `json:"fused"`
+	Planner   bool    `json:"planner"`
+	Adaptive  bool    `json:"adaptive"`
 }
 
 func toSessionJSON(sess *Session) sessionJSON {
@@ -228,6 +273,8 @@ func toSessionJSON(sess *Session) sessionJSON {
 		Now:       sess.Engine.Now(),
 		Queries:   len(sess.Engine.Queries()),
 		Fused:     sess.Engine.FusedEnabled(),
+		Planner:   sess.Engine.PlannerEnabled(),
+		Adaptive:  sess.Engine.AdaptiveEnabled(),
 	}
 	if sess.Spec.Clock.Interval > 0 {
 		sj.Tick = sess.Spec.Clock.Interval.String()
@@ -253,6 +300,22 @@ type sessionSpecJSON struct {
 	Simulated    bool   `json:"simulated"` // epochs back-to-back, no wall-clock pacing
 	Pinned       bool   `json:"pinned"`
 	DisableFused bool   `json:"disableFused"` // A/B: unfused operator-graph walk
+	// A/B levers for planning and adaptivity (see DESIGN.md, "Planning and
+	// adaptivity"): disablePlanner pins queries to the static merge mode,
+	// plannerWeights overrides the cost model, adaptiveRates turns the
+	// rate-retune feedback loop on and disableAdaptive forces it off (the
+	// static control next to a `craqrd -budget` template).
+	DisablePlanner  bool                `json:"disablePlanner"`
+	PlannerWeights  *plannerWeightsJSON `json:"plannerWeights"`
+	AdaptiveRates   bool                `json:"adaptiveRates"`
+	DisableAdaptive bool                `json:"disableAdaptive"`
+}
+
+// plannerWeightsJSON is the wire form of planner.Weights.
+type plannerWeightsJSON struct {
+	PerTuple    float64 `json:"perTuple"`
+	PerOperator float64 `json:"perOperator"`
+	PerDepth    float64 `json:"perDepth"`
 }
 
 func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -262,12 +325,33 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	spec := SessionSpec{
-		Name:         body.Name,
-		Seed:         body.Seed,
-		Retention:    body.Retention,
-		Clock:        ClockConfig{Simulated: body.Simulated},
-		Pinned:       body.Pinned,
-		DisableFused: body.DisableFused,
+		Name:            body.Name,
+		Seed:            body.Seed,
+		Retention:       body.Retention,
+		Clock:           ClockConfig{Simulated: body.Simulated},
+		Pinned:          body.Pinned,
+		DisableFused:    body.DisableFused,
+		DisablePlanner:  body.DisablePlanner,
+		AdaptiveRates:   body.AdaptiveRates,
+		DisableAdaptive: body.DisableAdaptive,
+	}
+	if body.PlannerWeights != nil {
+		pw := planner.Weights{
+			PerTuple:    body.PlannerWeights.PerTuple,
+			PerOperator: body.PlannerWeights.PerOperator,
+			PerDepth:    body.PlannerWeights.PerDepth,
+		}
+		if err := pw.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// The engine treats the zero Weights struct as "use defaults", so an
+		// explicit all-zero override would be silently replaced; reject it.
+		if pw == (planner.Weights{}) {
+			s.writeError(w, http.StatusBadRequest, errors.New("plannerWeights must not all be zero"))
+			return
+		}
+		spec.PlannerWeights = &pw
 	}
 	if body.Tick != "" {
 		d, err := time.ParseDuration(body.Tick)
@@ -330,13 +414,30 @@ func (s *HTTPServer) handleSessionQuerySubmit(w http.ResponseWriter, r *http.Req
 	s.submitQuery(w, r, sess.Engine)
 }
 
+// submitQuery executes one CrAQL statement: a plain query is submitted
+// (201 + stored query); an EXPLAIN statement is priced by the planner and
+// answered with the cost table (200) without registering anything.
 func (s *HTTPServer) submitQuery(w http.ResponseWriter, r *http.Request, e *Engine) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	q, err := e.SubmitCRAQL(string(body))
+	st, err := craql.ParseStatement(string(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if st.Explain {
+		ex, err := e.ExplainQuery(st.Query)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, toExplainJSON(ex))
+		return
+	}
+	q, err := e.Submit(st.Query)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -374,6 +475,40 @@ func (s *HTTPServer) deleteQuery(w http.ResponseWriter, e *Engine, id string) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleSessionQueryPlan serves a live query's plan: the estimate the
+// planner chose at submit time (absent when planning was disabled), plus a
+// freshly priced comparison of every merge mode and the canonical text
+// table.
+func (s *HTTPServer) handleSessionQueryPlan(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	e := sess.Engine
+	id := r.PathValue("id")
+	q, ok := e.Fabricator().Registry().Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("server: no such query %q", id))
+		return
+	}
+	ex, err := e.ExplainQuery(q)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]interface{}{
+		"planner": e.PlannerEnabled(),
+		"plan":    toExplainJSON(ex),
+	}
+	if mode, ok := e.Fabricator().QueryMergeMode(id); ok {
+		resp["mode"] = mode.String()
+	}
+	if est, ok := e.Plan(id); ok {
+		resp["chosenAtSubmit"] = toCostEstimateJSON(est)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *HTTPServer) handleSessionScript(w http.ResponseWriter, r *http.Request) {
@@ -652,6 +787,41 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 			Budget: b.Budget, LastNv: b.LastNv, Infeasible: b.Infeasible,
 		})
 	}
+	// Per-query plans: the merge mode each live query runs with, plus the
+	// planner's retained estimate when planning chose it.
+	type planJSON struct {
+		ID     string            `json:"id"`
+		Mode   string            `json:"mode"`
+		Chosen *costEstimateJSON `json:"chosen,omitempty"`
+	}
+	var plans []planJSON
+	for _, q := range e.Queries() {
+		pj := planJSON{ID: q.ID}
+		if mode, ok := e.Fabricator().QueryMergeMode(q.ID); ok {
+			pj.Mode = mode.String()
+		}
+		if est, ok := e.Plan(q.ID); ok {
+			cj := toCostEstimateJSON(est)
+			pj.Chosen = &cj
+		}
+		plans = append(plans, pj)
+	}
+	// Adaptive-rates slots: current scale and violation per starved cell.
+	type adaptiveSlotJSON struct {
+		Attr       string  `json:"attr"`
+		Q          int     `json:"q"`
+		R          int     `json:"r"`
+		Scale      float64 `json:"scale"`
+		LastNv     float64 `json:"lastNv"`
+		Infeasible bool    `json:"infeasible"`
+	}
+	var slots []adaptiveSlotJSON
+	for _, sl := range e.AdaptiveSlots() {
+		slots = append(slots, adaptiveSlotJSON{
+			Attr: sl.Key.Attr, Q: sl.Key.Cell.Q, R: sl.Key.Cell.R,
+			Scale: sl.Scale, LastNv: sl.LastNv, Infeasible: sl.Infeasible,
+		})
+	}
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"session":        sess.Name,
 		"running":        e.Running(),
@@ -663,6 +833,11 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		"operators":      e.Fabricator().OperatorCounts(),
 		"workers":        e.Workers(),
 		"fused":          e.FusedEnabled(),
+		"planner":        e.PlannerEnabled(),
+		"plans":          plans,
+		"adaptive":       e.AdaptiveEnabled(),
+		"adaptiveSlots":  slots,
+		"meanNv":         e.MeanViolation(),
 		"requests":       e.Handler().RequestsSent(),
 		"responses":      e.Handler().ResponsesReceived(),
 		"retentionDrops": e.RetentionDrops(),

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/planner"
 	"repro/internal/sensors"
 )
 
@@ -34,6 +35,22 @@ type SessionSpec struct {
 	// sessions with equal seeds, one fused and one not, fabricate
 	// byte-identical streams.
 	DisableFused bool
+	// DisablePlanner forces every query onto the static Fabricator.Merge
+	// mode instead of the cost-based per-query choice — the A/B lever for
+	// planning, mirroring DisableFused.
+	DisablePlanner bool
+	// PlannerWeights overrides the cost-model weights for this session's
+	// planner (nil = the template's weights, or planner.DefaultWeights).
+	PlannerWeights *planner.Weights
+	// AdaptiveRates enables the per-epoch rate-retune feedback loop: the
+	// session's normalized violations drive budget.RateScale adjustments of
+	// starved pipelines (see DESIGN.md, "Planning and adaptivity"). Off by
+	// default so static-rate sessions stay byte-reproducible across PRs.
+	AdaptiveRates bool
+	// DisableAdaptive forces the rate-retune loop off even when the
+	// manager's template enables it (craqrd -budget), so a static control
+	// session can be created next to adaptive ones. Wins over AdaptiveRates.
+	DisableAdaptive bool
 }
 
 // Session is one named engine hosted by a Manager.
@@ -80,6 +97,18 @@ func NewEngineFactory(template Config, fields func() (map[string]sensors.Field, 
 		}
 		if spec.DisableFused {
 			cfg.Fabricator.Pipeline.DisableFused = true
+		}
+		if spec.DisablePlanner {
+			cfg.Planner.Disable = true
+		}
+		if spec.PlannerWeights != nil {
+			cfg.Planner.Weights = *spec.PlannerWeights
+		}
+		if spec.AdaptiveRates {
+			cfg.AdaptiveRates = true
+		}
+		if spec.DisableAdaptive {
+			cfg.AdaptiveRates = false
 		}
 		cfg.Clock = spec.Clock
 		f, err := fields()

@@ -1,0 +1,530 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/sensors"
+	"repro/internal/topology"
+)
+
+// TestExplainGoldenAgainstCompareModes is the EXPLAIN acceptance golden
+// test: the table served by Engine.Explain must be byte-identical to
+// rendering planner.CompareModes + ChooseMergeMode for the same grid,
+// query, epoch length and weights.
+func TestExplainGoldenAgainstCompareModes(t *testing.T) {
+	e := newEngine(t)
+	const src = "EXPLAIN ACQUIRE rain FROM RECT(0, 0, 6, 4) RATE 8"
+	ex, err := e.Explain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 6, 4), Rate: 8}
+	ests, err := planner.CompareModes(e.Grid(), q, 1, e.PlannerWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := planner.ChooseMergeMode(e.Grid(), q, 1, e.PlannerWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for _, est := range ests {
+		want.WriteString(est.String())
+		want.WriteByte('\n')
+	}
+	fmt.Fprintf(&want, "choice: %v (cost %.1f)\n", choice.Mode, choice.Total)
+	if got := ex.Table(); got != want.String() {
+		t.Fatalf("EXPLAIN table diverges from planner.CompareModes:\ngot:\n%s\nwant:\n%s", got, want.String())
+	}
+	// The plain form explains identically.
+	ex2, err := e.Explain("ACQUIRE rain FROM RECT(0, 0, 6, 4) RATE 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Table() != ex.Table() {
+		t.Fatal("plain and EXPLAIN forms price differently")
+	}
+}
+
+// TestSubmitRetainsPlannerChoice checks that Submit runs the planner, the
+// chosen estimate is retained per query, and the fabricator built the
+// chosen merge mode.
+func TestSubmitRetainsPlannerChoice(t *testing.T) {
+	e := newEngine(t)
+	q, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 2), Rate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.PlannerEnabled() {
+		t.Fatal("planner should default on")
+	}
+	est, ok := e.Plan(q.ID)
+	if !ok {
+		t.Fatal("no retained cost estimate for planned query")
+	}
+	mode, ok := e.Fabricator().QueryMergeMode(q.ID)
+	if !ok || mode != est.Mode {
+		t.Fatalf("built mode %v, planner chose %v", mode, est.Mode)
+	}
+	want, err := planner.ChooseMergeMode(e.Grid(), query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 2), Rate: 2}, 1, e.PlannerWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != want {
+		t.Fatalf("retained estimate %+v, want %+v", est, want)
+	}
+	if err := e.Delete(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Plan(q.ID); ok {
+		t.Fatal("plan survived query deletion")
+	}
+}
+
+// TestHTTPExplainAndPlanEndpoint drives EXPLAIN and the plan endpoint over
+// HTTP: an EXPLAIN POST answers with the table and registers nothing; the
+// plan route serves the retained choice plus a live comparison.
+func TestHTTPExplainAndPlanEndpoint(t *testing.T) {
+	m := newManager(t, ManagerConfig{})
+	if _, err := m.Create(SessionSpec{Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewManagerHTTPServer(m, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs)
+	defer ts.Close()
+
+	const stmt = "ACQUIRE rain FROM RECT(0, 0, 6, 4) RATE 8"
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions/s/queries", "text/plain", strings.NewReader("EXPLAIN "+stmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("EXPLAIN status = %d", resp.StatusCode)
+	}
+	var exBody struct {
+		Modes []struct {
+			Mode string `json:"mode"`
+		} `json:"modes"`
+		Chosen struct {
+			Mode string `json:"mode"`
+		} `json:"chosen"`
+		Explain string `json:"explain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&exBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(exBody.Modes) != 3 || exBody.Explain == "" {
+		t.Fatalf("EXPLAIN response incomplete: %+v", exBody)
+	}
+	sess, err := m.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sess.Engine.Queries()); got != 0 {
+		t.Fatalf("EXPLAIN registered %d queries", got)
+	}
+	// The HTTP table is byte-identical to the engine-side (and therefore
+	// planner-side) rendering.
+	engineEx, err := sess.Engine.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exBody.Explain != engineEx.Table() {
+		t.Fatalf("HTTP explain diverges from Explanation.Table:\n%q\n%q", exBody.Explain, engineEx.Table())
+	}
+
+	// Submit for real, then read the plan endpoint.
+	resp, err = ts.Client().Post(ts.URL+"/v1/sessions/s/queries", "text/plain", strings.NewReader(stmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 201 {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var qBody struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/sessions/s/queries/" + qBody.ID + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("plan status = %d", resp.StatusCode)
+	}
+	var planBody struct {
+		Planner bool   `json:"planner"`
+		Mode    string `json:"mode"`
+		Chosen  *struct {
+			Mode string `json:"mode"`
+		} `json:"chosenAtSubmit"`
+		Plan struct {
+			Explain string `json:"explain"`
+		} `json:"plan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&planBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !planBody.Planner || planBody.Chosen == nil || planBody.Mode != planBody.Chosen.Mode {
+		t.Fatalf("plan payload inconsistent: %+v", planBody)
+	}
+	if planBody.Plan.Explain != engineEx.Table() {
+		t.Fatal("plan endpoint table diverges from Explanation.Table")
+	}
+
+	// Unknown query 404s.
+	resp, err = ts.Client().Get(ts.URL + "/v1/sessions/s/queries/nope/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown plan status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// starvedConfig builds a workload whose cells cannot satisfy their target
+// rate at nominal scale but can within the adaptive scale floor: the
+// rate-retune loop should converge them to the feasible rate and quiet the
+// violation alarms.
+func starvedConfig() Config {
+	cfg := testConfig()
+	cfg.Fleet = sensors.FleetConfig{
+		N:        300,
+		Response: sensors.ResponseModel{BaseProb: 0.7, MaxProb: 0.9, IncentiveScale: 1, MeanLatency: 0.02},
+	}
+	return cfg
+}
+
+// TestAdaptiveRatesLowerMeanViolation is the adaptivity acceptance test: on
+// the tempmonitor workload (a temperature field, one region-wide query at a
+// rate the fleet cannot satisfy), a session with budget adaptation enabled
+// must reach a strictly lower mean normalized violation than the
+// static-rate run — asserted service-level through SessionSpec A/B.
+func TestAdaptiveRatesLowerMeanViolation(t *testing.T) {
+	fields := func() (map[string]sensors.Field, error) {
+		temp, err := sensors.NewTempField(18, 0.5, -0.2, 5, 24, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]sensors.Field{"temp": temp}, nil
+	}
+	m := newManager(t, ManagerConfig{NewEngine: NewEngineFactory(starvedConfig(), fields)})
+	static, err := m.Create(SessionSpec{Name: "static", Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := m.Create(SessionSpec{Name: "adaptive", Seed: 77, AdaptiveRates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Engine.AdaptiveEnabled() {
+		t.Fatal("static session reports adaptive")
+	}
+	if !adaptive.Engine.AdaptiveEnabled() {
+		t.Fatal("adaptive session reports static")
+	}
+	const src = "ACQUIRE temp FROM RECT(0, 0, 8, 8) RATE 5"
+	for _, sess := range []*Session{static, adaptive} {
+		if _, err := sess.Engine.SubmitCRAQL(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Engine.Run(30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sNv, aNv := static.Engine.MeanViolation(), adaptive.Engine.MeanViolation()
+	if sNv == 0 {
+		t.Fatal("static run saw no violations; the workload is not starved and the test is vacuous")
+	}
+	if !(aNv < sNv) {
+		t.Fatalf("adaptive mean N_v %.2f not strictly below static %.2f", aNv, sNv)
+	}
+	// The adaptive run actually retuned: at least one slot left scale 1.
+	scaled := false
+	for _, sl := range adaptive.Engine.AdaptiveSlots() {
+		if sl.Scale < 1 {
+			scaled = true
+			break
+		}
+	}
+	if !scaled {
+		t.Fatal("adaptive session never retuned a pipeline")
+	}
+}
+
+// TestAdaptiveFusedUnfusedByteIdentical extends the fused A/B golden test
+// through the adaptivity loop: two adaptive sessions with equal seeds, one
+// fused and one unfused, keep fabricating byte-identical streams across the
+// retunes the loop applies.
+func TestAdaptiveFusedUnfusedByteIdentical(t *testing.T) {
+	fields := func() (map[string]sensors.Field, error) {
+		temp, err := sensors.NewTempField(18, 0.5, -0.2, 5, 24, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]sensors.Field{"temp": temp}, nil
+	}
+	m := newManager(t, ManagerConfig{NewEngine: NewEngineFactory(starvedConfig(), fields)})
+	fusedSess, err := m.Create(SessionSpec{Name: "fused", Seed: 31, AdaptiveRates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfusedSess, err := m.Create(SessionSpec{Name: "unfused", Seed: 31, AdaptiveRates: true, DisableFused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = "ACQUIRE temp FROM RECT(0, 0, 8, 8) RATE 5"
+	var ids [2]string
+	for i, sess := range []*Session{fusedSess, unfusedSess} {
+		q, err := sess.Engine.SubmitCRAQL(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = q.ID
+		if err := sess.Engine.Run(20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retuned := false
+	for _, sl := range fusedSess.Engine.AdaptiveSlots() {
+		if sl.Scale < 1 {
+			retuned = true
+			break
+		}
+	}
+	if !retuned {
+		t.Fatal("no retune happened; byte-identity across retunes untested")
+	}
+	got, err := fusedSess.Engine.Results(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := unfusedSess.Engine.Results(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("unfused reference collected nothing; test is vacuous")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fused %d tuples, unfused %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tuple %d diverges after retunes: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionSpecPlannerPlumbing checks the HTTP create-session levers:
+// disablePlanner, plannerWeights and adaptiveRates reach the engine, and
+// the session JSON reports them.
+func TestSessionSpecPlannerPlumbing(t *testing.T) {
+	m := newManager(t, ManagerConfig{})
+	hs, err := NewManagerHTTPServer(m, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs)
+	defer ts.Close()
+
+	body := `{"name":"ab","disablePlanner":true,"adaptiveRates":true,"plannerWeights":{"perTuple":2,"perOperator":10,"perDepth":5}}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 201 {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var sj struct {
+		Planner  bool `json:"planner"`
+		Adaptive bool `json:"adaptive"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sj); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sj.Planner || !sj.Adaptive {
+		t.Fatalf("session JSON planner=%v adaptive=%v, want false/true", sj.Planner, sj.Adaptive)
+	}
+	sess, err := m.Get("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Engine.PlannerEnabled() {
+		t.Fatal("disablePlanner not plumbed")
+	}
+	if !sess.Engine.AdaptiveEnabled() {
+		t.Fatal("adaptiveRates not plumbed")
+	}
+	if w := sess.Engine.PlannerWeights(); w != (planner.Weights{PerTuple: 2, PerOperator: 10, PerDepth: 5}) {
+		t.Fatalf("plannerWeights not plumbed: %+v", w)
+	}
+
+	// Negative weights are rejected.
+	resp, err = ts.Client().Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"name":"bad","plannerWeights":{"perTuple":-1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("negative weights status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// With the planner disabled, submissions use the static merge mode and
+	// retain no estimate.
+	q, err := sess.Engine.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 2), Rate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.Engine.Plan(q.ID); ok {
+		t.Fatal("disabled planner retained an estimate")
+	}
+	if mode, ok := sess.Engine.Fabricator().QueryMergeMode(q.ID); !ok || mode != topology.MergeFlat {
+		t.Fatalf("static mode not used: %v %v", mode, ok)
+	}
+}
+
+// TestStatusReportsPlansAndAdaptivity checks the /status additions: the
+// planner flag, per-query plans, meanNv and adaptive slots.
+func TestStatusReportsPlansAndAdaptivity(t *testing.T) {
+	fields := func() (map[string]sensors.Field, error) {
+		temp, err := sensors.NewTempField(18, 0.5, -0.2, 5, 24, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]sensors.Field{"temp": temp}, nil
+	}
+	m := newManager(t, ManagerConfig{NewEngine: NewEngineFactory(starvedConfig(), fields)})
+	if _, err := m.Create(SessionSpec{Name: "s", Seed: 3, AdaptiveRates: true}); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewManagerHTTPServer(m, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs)
+	defer ts.Close()
+
+	if resp, err := ts.Client().Post(ts.URL+"/v1/sessions/s/queries", "text/plain",
+		strings.NewReader("ACQUIRE temp FROM RECT(0, 0, 8, 8) RATE 5")); err != nil || resp.StatusCode != 201 {
+		t.Fatalf("submit: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := ts.Client().Post(ts.URL+"/v1/sessions/s/step?n=12", "", nil); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("step: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/s/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Planner bool `json:"planner"`
+		Plans   []struct {
+			ID     string `json:"id"`
+			Mode   string `json:"mode"`
+			Chosen *struct {
+				Mode string `json:"mode"`
+			} `json:"chosen"`
+		} `json:"plans"`
+		Adaptive      bool    `json:"adaptive"`
+		MeanNv        float64 `json:"meanNv"`
+		AdaptiveSlots []struct {
+			Scale float64 `json:"scale"`
+		} `json:"adaptiveSlots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !status.Planner || !status.Adaptive {
+		t.Fatalf("status planner=%v adaptive=%v", status.Planner, status.Adaptive)
+	}
+	if len(status.Plans) != 1 || status.Plans[0].Chosen == nil || status.Plans[0].Mode != status.Plans[0].Chosen.Mode {
+		t.Fatalf("status plans incomplete: %+v", status.Plans)
+	}
+	if status.MeanNv <= 0 {
+		t.Fatalf("meanNv = %g on a starved workload", status.MeanNv)
+	}
+	if len(status.AdaptiveSlots) == 0 {
+		t.Fatal("no adaptive slots on a starved workload")
+	}
+}
+
+// TestDisableAdaptiveOverridesTemplate checks the static-control lever: on
+// a manager whose template enables adaptive rates (craqrd -budget), a
+// session created with disableAdaptive runs static, and an explicit
+// all-zero plannerWeights override is rejected rather than silently
+// replaced by the defaults.
+func TestDisableAdaptiveOverridesTemplate(t *testing.T) {
+	cfg := testConfig()
+	cfg.AdaptiveRates = true
+	fields := testFields(t)
+	m := newManager(t, ManagerConfig{NewEngine: NewEngineFactory(cfg, func() (map[string]sensors.Field, error) {
+		return fields, nil
+	})})
+	hs, err := NewManagerHTTPServer(m, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs)
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"name":"inherit"}`))
+	if err != nil || resp.StatusCode != 201 {
+		t.Fatalf("create inherit: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = ts.Client().Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"name":"control","disableAdaptive":true}`))
+	if err != nil || resp.StatusCode != 201 {
+		t.Fatalf("create control: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	inherit, err := m.Get("inherit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inherit.Engine.AdaptiveEnabled() {
+		t.Fatal("template adaptiveRates not inherited")
+	}
+	control, err := m.Get("control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control.Engine.AdaptiveEnabled() {
+		t.Fatal("disableAdaptive did not override the template")
+	}
+
+	resp, err = ts.Client().Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"name":"zero","plannerWeights":{"perTuple":0,"perOperator":0,"perDepth":0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("all-zero plannerWeights status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

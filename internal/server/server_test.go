@@ -372,8 +372,11 @@ func TestHTTPEndToEnd(t *testing.T) {
 }
 
 func TestFabricatorConfigPlumbed(t *testing.T) {
+	// With planning disabled, the static Fabricator.Merge mode applies to
+	// every query (the cost-based planner would otherwise pick per query).
 	cfg := testConfig()
 	cfg.Fabricator = topology.Config{Merge: topology.MergeTree}
+	cfg.Planner.Disable = true
 	e, err := New(cfg, testFields(t))
 	if err != nil {
 		t.Fatal(err)
@@ -385,6 +388,12 @@ func TestFabricatorConfigPlumbed(t *testing.T) {
 	plan := e.Fabricator().QueryPlan(q.ID)
 	if plan == nil || plan.Depth != 2 {
 		t.Fatalf("tree merge not used: depth = %v", plan)
+	}
+	if mode, ok := e.Fabricator().QueryMergeMode(q.ID); !ok || mode != topology.MergeTree {
+		t.Fatalf("QueryMergeMode = %v, %v; want tree", mode, ok)
+	}
+	if _, ok := e.Plan(q.ID); ok {
+		t.Fatal("disabled planner retained a cost estimate")
 	}
 }
 

@@ -145,11 +145,20 @@ func (f *Fabricator) wireBudget(key Key, p *CellPipeline) {
 	})
 }
 
-// InsertQuery validates and registers q, builds its merge plan, and taps
-// every overlapped cell pipeline, creating pipelines (and the F-operator
-// first) for cells not yet materialized. It returns the stored query with
-// its assigned id. The sink receives the query's fabricated MCDS.
+// InsertQuery validates and registers q, builds its merge plan under the
+// fabricator's static merge mode, and taps every overlapped cell pipeline,
+// creating pipelines (and the F-operator first) for cells not yet
+// materialized. It returns the stored query with its assigned id. The sink
+// receives the query's fabricated MCDS.
 func (f *Fabricator) InsertQuery(q query.Query, sink stream.Processor) (query.Query, error) {
+	return f.InsertQueryMerge(q, sink, f.cfg.Merge)
+}
+
+// InsertQueryMerge is InsertQuery with an explicit merge-phase mode for
+// this query only — the hook the cost-based planner uses to pick a merge
+// topology per query instead of applying Config.Merge uniformly. The chosen
+// mode is recorded on the query's MergePlan (QueryMergeMode).
+func (f *Fabricator) InsertQueryMerge(q query.Query, sink stream.Processor, mode MergeMode) (query.Query, error) {
 	if sink == nil {
 		return query.Query{}, errors.New("topology: InsertQuery requires a sink")
 	}
@@ -164,7 +173,7 @@ func (f *Fabricator) InsertQuery(q query.Query, sink stream.Processor) (query.Qu
 		f.registry.Remove(stored.ID)
 		return query.Query{}, fmt.Errorf("topology: query %s overlaps no grid cells", stored.ID)
 	}
-	plan, err := BuildMergePlan(stored.ID, overlaps, f.cfg.Merge)
+	plan, err := BuildMergePlan(stored.ID, overlaps, mode)
 	if err != nil {
 		f.registry.Remove(stored.ID)
 		return query.Query{}, err
@@ -408,6 +417,73 @@ func (f *Fabricator) Pipeline(k Key) (*CellPipeline, bool) {
 	defer f.mu.RUnlock()
 	p, ok := f.cells[k]
 	return p, ok
+}
+
+// QueryMergeMode reports which merge topology a live query's plan was built
+// with; false for unknown queries.
+func (f *Fabricator) QueryMergeMode(id string) (MergeMode, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	st, ok := f.queries[id]
+	if !ok {
+		return MergeFlat, false
+	}
+	return st.plan.Mode, true
+}
+
+// Retune applies the adaptive rate scale to one pipeline (see
+// CellPipeline.Retune): the F target and every T-operator rescale uniformly
+// and the compiled fused program is invalidated under the fabricator's
+// write lock, so a retune never races a running epoch. Unknown keys are a
+// no-op — the pipeline was dropped between observation and retune.
+func (f *Fabricator) Retune(key Key, scale float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.cells[key]
+	if !ok {
+		return nil
+	}
+	return p.Retune(scale)
+}
+
+// Scale returns a pipeline's current adaptive rate scale (1 when never
+// retuned); false for unmaterialized keys.
+func (f *Fabricator) Scale(key Key) (float64, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p, ok := f.cells[key]
+	if !ok {
+		return 0, false
+	}
+	return p.Scale(), true
+}
+
+// VisitLastReports calls fn for every materialized pipeline key with the
+// F-operator's most recent violation report, in deterministic
+// (attr, row-major) order — it walks the cached per-attribute shard order
+// (refreshOrder), so no per-call sort of the cell map. The reports are
+// snapshotted under the read lock and fn runs after it is released, so fn
+// may mutate the topology (the engine's adaptive loop calls Retune, which
+// takes the write lock).
+func (f *Fabricator) VisitLastReports(fn func(Key, pmat.ViolationReport)) {
+	f.mu.RLock()
+	attrs := make([]string, 0, len(f.order))
+	for a := range f.order {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	keys := make([]Key, 0, len(f.cells))
+	reports := make([]pmat.ViolationReport, 0, len(f.cells))
+	for _, a := range attrs {
+		for _, p := range f.order[a] {
+			keys = append(keys, p.key)
+			reports = append(reports, p.flatten.LastReport())
+		}
+	}
+	f.mu.RUnlock()
+	for i, k := range keys {
+		fn(k, reports[i])
+	}
 }
 
 // QueryPlan returns a query's merge plan (nil when unknown).

@@ -15,10 +15,10 @@ import (
 // deep (rates 25 > 12 > 6 > 2.5, plus a partition tap at 9), with multi-cell
 // merges and a second attribute riding along.
 var fusedFixtureQueries = []query.Query{
-	{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 25},          // all cells
-	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 12},          // cell (0,0)
-	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 6},           // deeper
-	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 2.5},         // deeper still
+	{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 25},           // all cells
+	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 12},           // cell (0,0)
+	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 6},            // deeper
+	{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 2.5},          // deeper still
 	{Attr: "rain", Region: geom.NewRect(0.5, 0.5, 2.5, 2.5), Rate: 9},    // partition taps mid-chain
 	{Attr: "rain", Region: geom.NewRect(1, 1, 5, 3), Rate: 7},            // partial overlaps, multi-cell
 	{Attr: "temp", Region: geom.NewRect(2, 2, 7.5, 6), Rate: 14},         // second attribute

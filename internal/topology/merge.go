@@ -57,6 +57,9 @@ type MergePlan struct {
 	Unions []*pmat.Union
 	// Depth is the U-operator depth (0 when a single leaf needs no merge).
 	Depth int
+	// Mode records which merge topology built the plan — static config or a
+	// per-query planner choice (Fabricator.InsertQueryMerge).
+	Mode MergeMode
 
 	sink stream.Processor
 }
@@ -164,7 +167,7 @@ func BuildMergePlan(name string, overlaps []geom.Overlap, mode MergeMode) (*Merg
 		rects[i] = ov.Rect
 	}
 	if len(rects) == 1 {
-		return &MergePlan{Inputs: make([]stream.Processor, 1), Rects: rects, Region: rects[0]}, nil
+		return &MergePlan{Inputs: make([]stream.Processor, 1), Rects: rects, Region: rects[0], Mode: mode}, nil
 	}
 	if mode == MergeFlat {
 		u, err := pmat.NewUnion(name+"/U", rects...)
@@ -179,7 +182,7 @@ func BuildMergePlan(name string, overlaps []geom.Overlap, mode MergeMode) (*Merg
 			}
 			inputs[i] = in
 		}
-		return &MergePlan{Inputs: inputs, Rects: rects, Region: u.Region(), Unions: []*pmat.Union{u}, Depth: 1}, nil
+		return &MergePlan{Inputs: inputs, Rects: rects, Region: u.Region(), Unions: []*pmat.Union{u}, Depth: 1, Mode: mode}, nil
 	}
 	// Group into rows, merge each row, then merge row regions.
 	tree := mode == MergeTree
@@ -207,7 +210,7 @@ func BuildMergePlan(name string, overlaps []geom.Overlap, mode MergeMode) (*Merg
 	}
 	if len(rows) == 1 {
 		res := rowResults[0]
-		return &MergePlan{Inputs: res.inputs, Rects: rects, Region: res.region, Unions: res.unions, Depth: res.depth}, nil
+		return &MergePlan{Inputs: res.inputs, Rects: rects, Region: res.region, Unions: res.unions, Depth: res.depth, Mode: mode}, nil
 	}
 	across, err := buildStrip(name, rowRegions, tree, &seq)
 	if err != nil {
@@ -245,5 +248,6 @@ func BuildMergePlan(name string, overlaps []geom.Overlap, mode MergeMode) (*Merg
 		Region: across.region,
 		Unions: unions,
 		Depth:  maxRowDepth + across.depth,
+		Mode:   mode,
 	}, nil
 }

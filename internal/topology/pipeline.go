@@ -96,6 +96,15 @@ type CellPipeline struct {
 	rng      *stats.RNG
 	nameSeq  int
 
+	// nominalTarget is the unscaled F-operator target rate implied by the
+	// subscribed queries (headroom × head rate); the operator itself runs at
+	// scale × nominalTarget.
+	nominalTarget float64
+	// scale is the adaptive rate-retune factor in (0,1] applied uniformly to
+	// the F target and every T-operator's rate pair (Retune). node.rate
+	// values stay nominal so query-rate matching is scale-invariant.
+	scale float64
+
 	disableFused bool
 	// fused caches the compiled program (fused.go); structural mutations
 	// invalidate it and the next Process recompiles lazily.
@@ -142,7 +151,10 @@ func NewCellPipeline(key Key, cellRect geom.Rect, cfg PipelineConfig, rng *stats
 	if err != nil {
 		return nil, err
 	}
-	return &CellPipeline{key: key, cellRect: cellRect, flatten: f, headroom: cfg.Headroom, rng: rng, disableFused: cfg.DisableFused}, nil
+	return &CellPipeline{
+		key: key, cellRect: cellRect, flatten: f, headroom: cfg.Headroom, rng: rng,
+		disableFused: cfg.DisableFused, nominalTarget: fcfg.TargetRate, scale: 1,
+	}, nil
 }
 
 // Key returns the pipeline's key.
@@ -275,21 +287,23 @@ func (p *CellPipeline) ensureNode(rate float64) (*rateNode, error) {
 	}
 	// Find insertion position in the descending order.
 	pos := sort.Search(len(p.nodes), func(i int) bool { return p.nodes[i].rate < rate })
-	inRate := p.upstreamRate(pos)
 	if pos == 0 {
-		// New head: make sure F's output rate exceeds the new head rate.
+		// New head: make sure F's nominal output rate exceeds the new head
+		// rate; the operator runs at the scaled equivalent.
 		needed := p.headroom * rate
-		if p.flatten.TargetRate() < needed {
-			if err := p.flatten.SetTargetRate(needed); err != nil {
+		if p.nominalTarget < needed {
+			p.nominalTarget = needed
+			if err := p.flatten.SetTargetRate(p.scale * needed); err != nil {
 				return nil, err
 			}
 		}
-		inRate = p.flatten.TargetRate()
 	}
-	// Fork the T-operator's RNG keyed by its output rate (unique within the
-	// chain), so a rate node's stream does not depend on the order queries
-	// were inserted — only (seed, cell, attr, rate) matter.
-	thin, err := pmat.NewThin(p.nextName("T"), inRate, rate, p.rng.ForkKeyed(math.Float64bits(rate)))
+	inRate := p.upstreamRate(pos)
+	// Fork the T-operator's RNG keyed by its nominal output rate (unique
+	// within the chain), so a rate node's stream does not depend on the order
+	// queries were inserted — only (seed, cell, attr, rate) matter; retunes
+	// rescale the operator without re-keying its RNG.
+	thin, err := pmat.NewThin(p.nextName("T"), p.scale*inRate, p.scale*rate, p.rng.ForkKeyed(math.Float64bits(rate)))
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +313,7 @@ func (p *CellPipeline) ensureNode(rate float64) (*rateNode, error) {
 		next := p.nodes[pos]
 		p.upstreamDetach(pos, next.thin)
 		thin.AddDownstream(next.thin)
-		if err := next.thin.SetRates(rate, next.rate); err != nil {
+		if err := next.thin.SetRates(p.scale*rate, p.scale*next.rate); err != nil {
 			return nil, err
 		}
 	}
@@ -318,10 +332,11 @@ func (p *CellPipeline) ensureNode(rate float64) (*rateNode, error) {
 	return node, nil
 }
 
-// upstreamRate returns the output rate feeding chain position pos.
+// upstreamRate returns the nominal output rate feeding chain position pos;
+// the operators run at scale × nominal.
 func (p *CellPipeline) upstreamRate(pos int) float64 {
 	if pos == 0 {
-		return p.flatten.TargetRate()
+		return p.nominalTarget
 	}
 	return p.nodes[pos-1].rate
 }
@@ -381,7 +396,7 @@ func (p *CellPipeline) removeNode(i int) error {
 	p.upstreamDetach(i, n.thin)
 	if next != nil {
 		inRate := p.upstreamRate(i)
-		if err := next.thin.SetRates(inRate, next.rate); err != nil {
+		if err := next.thin.SetRates(p.scale*inRate, p.scale*next.rate); err != nil {
 			return err
 		}
 		if i == 0 {
@@ -393,6 +408,44 @@ func (p *CellPipeline) removeNode(i int) error {
 	p.nodes = append(p.nodes[:i], p.nodes[i+1:]...)
 	return nil
 }
+
+// Retune applies the adaptive rate scale s ∈ (0,1]: the F-operator's target
+// rate and every T-operator's (λ1, λ2) pair are rescaled uniformly from
+// their nominal values. Uniform scaling preserves every T-operator's
+// retention probability — and therefore its RNG draw sequence — while the
+// rate the F-operator is held to (and reports violations against) drops to
+// s × nominal, so a persistently starved cell converges to its feasible
+// rate instead of alarming forever (the paper's "accept the feasible
+// rate"). The compiled fused program is invalidated so the next Process
+// recompiles against the retuned chain; both fused and unfused execution
+// read rates live, so the two paths stay byte-identical across a retune
+// (golden test in retune_test.go). Callers serialize Retune with structural
+// mutations (the fabricator holds its write lock).
+func (p *CellPipeline) Retune(scale float64) error {
+	if math.IsNaN(scale) || scale <= 0 || scale > 1 {
+		return fmt.Errorf("topology: pipeline %v: retune scale must be in (0,1], got %g", p.key, scale)
+	}
+	if scale == p.scale {
+		return nil
+	}
+	p.scale = scale
+	if err := p.flatten.SetTargetRate(scale * p.nominalTarget); err != nil {
+		return err
+	}
+	prev := p.nominalTarget
+	for _, n := range p.nodes {
+		if err := n.thin.SetRates(scale*prev, scale*n.rate); err != nil {
+			return err
+		}
+		prev = n.rate
+	}
+	p.invalidateProgram()
+	return nil
+}
+
+// Scale returns the pipeline's current adaptive rate scale (1 = nominal,
+// never retuned or fully recovered).
+func (p *CellPipeline) Scale() float64 { return p.scale }
 
 // QueryIDs returns the ids of subscribed queries in chain order.
 func (p *CellPipeline) QueryIDs() []string {
@@ -430,19 +483,26 @@ func (p *CellPipeline) Operators() []stream.Operator {
 //  5. Partition branch regions lie inside the cell and are the taps'
 //     regions.
 func (p *CellPipeline) Invariants() error {
+	if math.IsNaN(p.scale) || p.scale <= 0 || p.scale > 1 {
+		return fmt.Errorf("topology: pipeline %v: rate scale %g outside (0,1]", p.key, p.scale)
+	}
 	prevRate := p.flatten.TargetRate()
-	if len(p.nodes) > 0 && p.flatten.TargetRate() <= p.nodes[0].rate {
-		return fmt.Errorf("topology: pipeline %v: F output rate %g not above head T rate %g", p.key, p.flatten.TargetRate(), p.nodes[0].rate)
+	if math.Abs(prevRate-p.scale*p.nominalTarget) > rateEpsilon*math.Max(1, prevRate) {
+		return fmt.Errorf("topology: pipeline %v: F target %g is not scale %g × nominal %g", p.key, prevRate, p.scale, p.nominalTarget)
+	}
+	if len(p.nodes) > 0 && prevRate <= p.scale*p.nodes[0].rate {
+		return fmt.Errorf("topology: pipeline %v: F output rate %g not above head T rate %g", p.key, prevRate, p.scale*p.nodes[0].rate)
 	}
 	for i, n := range p.nodes {
-		if n.rate >= prevRate {
-			return fmt.Errorf("topology: pipeline %v: chain not strictly descending at position %d (%g >= %g)", p.key, i, n.rate, prevRate)
+		scaled := p.scale * n.rate
+		if scaled >= prevRate {
+			return fmt.Errorf("topology: pipeline %v: chain not strictly descending at position %d (%g >= %g)", p.key, i, scaled, prevRate)
 		}
 		if math.Abs(n.thin.InputRate()-prevRate) > rateEpsilon*math.Max(1, prevRate) {
 			return fmt.Errorf("topology: pipeline %v: T at position %d has input rate %g, upstream is %g", p.key, i, n.thin.InputRate(), prevRate)
 		}
-		if math.Abs(n.thin.OutputRate()-n.rate) > rateEpsilon*math.Max(1, n.rate) {
-			return fmt.Errorf("topology: pipeline %v: T at position %d has output rate %g, node rate is %g", p.key, i, n.thin.OutputRate(), n.rate)
+		if math.Abs(n.thin.OutputRate()-scaled) > rateEpsilon*math.Max(1, scaled) {
+			return fmt.Errorf("topology: pipeline %v: T at position %d has output rate %g, scaled node rate is %g", p.key, i, n.thin.OutputRate(), scaled)
 		}
 		if len(n.taps) == 0 {
 			return fmt.Errorf("topology: pipeline %v: T at position %d has no taps (consecutive T-operators must be merged)", p.key, i)
@@ -455,7 +515,7 @@ func (p *CellPipeline) Invariants() error {
 				return fmt.Errorf("topology: pipeline %v: tap %s partition has %d branches, want 1", p.key, t.queryID, t.partition.NumBranches())
 			}
 		}
-		prevRate = n.rate
+		prevRate = scaled
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# docs_check.sh — keep docs/API.md in lockstep with internal/server/http.go.
+#
+# Two-way check over the HTTP surface:
+#   1. every method-qualified /v1 route registered with HandleFunc must have
+#      a matching `### METHOD /path` heading in docs/API.md;
+#   2. every `### METHOD /path` heading in docs/API.md must still be
+#      registered in http.go (no documentation of removed routes);
+#   3. every legacy pattern route (HandleFunc("/x", …)) must have a
+#      `### LEGACY /x` heading (trailing-slash patterns like "/results/"
+#      are documented as "/results/{id}").
+#
+# Exits non-zero with one line per mismatch; CI runs this next to
+# bench_guard.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HTTP_GO=internal/server/http.go
+API_MD=docs/API.md
+
+code_routes=$(grep -oE 'HandleFunc\("(GET|POST|PUT|PATCH|DELETE) [^"]+"' "$HTTP_GO" \
+  | sed -E 's/^HandleFunc\("//; s/"$//' | sort -u)
+doc_routes=$(grep -oE '^### (GET|POST|PUT|PATCH|DELETE) /[^[:space:]]+' "$API_MD" \
+  | sed -E 's/^### //' | sort -u)
+
+fail=0
+
+while IFS= read -r route; do
+  [ -z "$route" ] && continue
+  if ! printf '%s\n' "$doc_routes" | grep -qxF "$route"; then
+    echo "docs_check: '$route' is registered in $HTTP_GO but undocumented in $API_MD" >&2
+    fail=1
+  fi
+done <<<"$code_routes"
+
+while IFS= read -r route; do
+  [ -z "$route" ] && continue
+  if ! printf '%s\n' "$code_routes" | grep -qxF "$route"; then
+    echo "docs_check: '$route' is documented in $API_MD but not registered in $HTTP_GO" >&2
+    fail=1
+  fi
+done <<<"$doc_routes"
+
+# Legacy pattern routes (no method in the pattern). "/x/" patterns match a
+# path suffix; their docs heading names the placeholder instead.
+legacy_routes=$(grep -oE 'HandleFunc\("/[^"]+"' "$HTTP_GO" \
+  | sed -E 's/^HandleFunc\("//; s/"$//' | grep -v '^/v1' | sort -u)
+while IFS= read -r route; do
+  [ -z "$route" ] && continue
+  doc_form=$route
+  case "$route" in
+    */) doc_form="${route}{id}" ;;
+  esac
+  if ! grep -qxF "### LEGACY $doc_form" "$API_MD"; then
+    echo "docs_check: legacy route '$route' missing '### LEGACY $doc_form' heading in $API_MD" >&2
+    fail=1
+  fi
+done <<<"$legacy_routes"
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "docs_check: $API_MD and $HTTP_GO agree ($(printf '%s\n' "$code_routes" | grep -c .) v1 routes, $(printf '%s\n' "$legacy_routes" | grep -c .) legacy routes)"
