@@ -6,6 +6,7 @@
 package craqr_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/export"
 	"repro/internal/geom"
 	"repro/internal/inference"
+	"repro/internal/ingest"
 	"repro/internal/intensity"
 	"repro/internal/mdpp"
 	"repro/internal/planner"
@@ -703,4 +705,81 @@ func BenchmarkCoverageEstimator(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(batch.Len()))
+}
+
+// --- external ingestion: decode → enqueue → epoch assembly -------------------
+
+// BenchmarkIngest measures the push-gateway hot path end to end: decoding
+// one JSON observation batch (the wire form of POST /ingest), enqueueing it
+// into the bounded watermark queue, and assembling the epoch (drain, (T,ID)
+// sort, per-attribute grouping). B/op is the tracked number: the enqueue and
+// assembly halves reuse borrowed/scratch storage, so steady-state cost is
+// dominated by the unavoidable JSON decode.
+func BenchmarkIngest(b *testing.B) {
+	region := geom.NewRect(0, 0, 8, 8)
+	type obsJSON struct {
+		ID    uint64  `json:"id"`
+		T     float64 `json:"t"`
+		X     float64 `json:"x"`
+		Y     float64 `json:"y"`
+		Value float64 `json:"value"`
+	}
+	type batchJSON struct {
+		Attr         string    `json:"attr"`
+		Observations []obsJSON `json:"observations"`
+	}
+	for _, n := range []int{64, 1024} {
+		wire := batchJSON{Attr: "co2"}
+		for i := 0; i < n; i++ {
+			wire.Observations = append(wire.Observations, obsJSON{
+				ID: uint64(i + 1), T: float64(i) / float64(n),
+				X: float64(i%8) + 0.5, Y: float64((i/8)%8) + 0.5, Value: 400,
+			})
+		}
+		payload, err := json.Marshal(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("decode+push+drain/n=%d", n), func(b *testing.B) {
+			q := ingest.NewQueue(ingest.Config{Buffer: 1 << 16, Region: region})
+			src, err := ingest.NewQueueSource(q, region)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := stream.BorrowTuples(n)
+			defer buf.Release()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var decoded batchJSON
+				if err := json.Unmarshal(payload, &decoded); err != nil {
+					b.Fatal(err)
+				}
+				// Producer time marches one epoch per iteration.
+				epoch := float64(i)
+				buf.Tuples = buf.Tuples[:0]
+				for _, o := range decoded.Observations {
+					buf.Tuples = append(buf.Tuples, stream.Tuple{
+						ID: o.ID, Attr: decoded.Attr, T: epoch + o.T,
+						X: o.X, Y: o.Y, Value: o.Value, Sensor: -1,
+					})
+				}
+				ack, err := q.Push(buf.Tuples, epoch+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ack.Accepted != n {
+					b.Fatalf("ack = %+v", ack)
+				}
+				out, err := src.Acquire(epoch, epoch+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out["co2"].Tuples) != n {
+					b.Fatalf("assembled %d tuples", len(out["co2"].Tuples))
+				}
+			}
+			b.SetBytes(int64(len(payload)))
+		})
+	}
 }

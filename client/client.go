@@ -1,0 +1,480 @@
+// Package client is the typed Go client for the craqrd HTTP API: session
+// CRUD, CrAQL submission, observation ingest (unary and streaming), epoch
+// stepping, and result delivery (cursor pages and ndjson streaming). It
+// speaks only the public wire protocol (docs/API.md) — no engine internals
+// — so an external producer/consumer pair is a few dozen lines:
+//
+//	c := client.New("http://localhost:8080")
+//	_, _ = c.CreateSession(ctx, client.SessionSpec{Name: "bridge", Source: "mixed"})
+//	q, _ := c.Submit(ctx, "bridge", "ACQUIRE co2 FROM RECT(0,0,8,8) RATE 10")
+//	rs, _ := c.StreamResults(ctx, "bridge", q.ID, 0)
+//	go func() { for { tp, err := rs.Next(); if err != nil { return }; use(tp) } }()
+//	ack, _ := c.Ingest(ctx, "bridge", client.Batch{Attr: "co2", Observations: obss})
+//
+// See examples/bridgefeed for the full loop.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client talks to one craqrd server. The zero HTTPClient means
+// http.DefaultClient. Client is safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+// APIError is a non-2xx response decoded from the server's {"error": …}
+// envelope.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("craqrd: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request with a JSON (or plain-text) body and decodes the
+// JSON response into out (nil discards it).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &envelope) != nil || envelope.Error == "" {
+		envelope.Error = strings.TrimSpace(string(data))
+		if envelope.Error == "" {
+			envelope.Error = resp.Status
+		}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: envelope.Error}
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	return c.do(ctx, method, path, "application/json", body, out)
+}
+
+// --- sessions ---------------------------------------------------------------
+
+// SessionSpec creates a session; every field is optional (see docs/API.md,
+// POST /v1/sessions).
+type SessionSpec struct {
+	Name      string `json:"name,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Retention int    `json:"retention,omitempty"`
+	// Tick is the wall-clock epoch interval ("200ms"); empty means manual
+	// stepping unless Simulated runs epochs back-to-back.
+	Tick      string `json:"tick,omitempty"`
+	Simulated bool   `json:"simulated,omitempty"`
+	Pinned    bool   `json:"pinned,omitempty"`
+	// Source selects the observation source composition: "simulated",
+	// "external" or "mixed"; external and mixed sessions accept Ingest.
+	Source string `json:"source,omitempty"`
+	// IngestBuffer bounds the ingest queue in tuples; Tolerance is the
+	// event-time out-of-order slack; LatePolicy is "drop" or "next".
+	IngestBuffer int     `json:"ingestBuffer,omitempty"`
+	Tolerance    float64 `json:"tolerance,omitempty"`
+	LatePolicy   string  `json:"latePolicy,omitempty"`
+	// A/B levers (see docs/API.md for semantics).
+	DisableFused    bool `json:"disableFused,omitempty"`
+	DisablePlanner  bool `json:"disablePlanner,omitempty"`
+	AdaptiveRates   bool `json:"adaptiveRates,omitempty"`
+	DisableAdaptive bool `json:"disableAdaptive,omitempty"`
+}
+
+// Session is the server's session object. The ingest counters are lifetime
+// tuple counts; Watermark is nil until the session has seen any pushed
+// event time or watermark assertion.
+type Session struct {
+	Name          string   `json:"name"`
+	Created       string   `json:"created"`
+	Running       bool     `json:"running"`
+	ClockError    string   `json:"clockError"`
+	Pinned        bool     `json:"pinned"`
+	Simulated     bool     `json:"simulated"`
+	Tick          string   `json:"tick"`
+	Retention     int      `json:"retention"`
+	Seed          int64    `json:"seed"`
+	Epochs        int      `json:"epochs"`
+	Now           float64  `json:"now"`
+	Queries       int      `json:"queries"`
+	Fused         bool     `json:"fused"`
+	Planner       bool     `json:"planner"`
+	Adaptive      bool     `json:"adaptive"`
+	Source        string   `json:"source"`
+	Ingested      uint64   `json:"ingested"`
+	IngestDropped uint64   `json:"ingestDropped"`
+	LateDropped   uint64   `json:"lateDropped"`
+	Watermark     *float64 `json:"watermark"`
+}
+
+// CreateSession creates a session.
+func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (Session, error) {
+	var out Session
+	err := c.doJSON(ctx, "POST", "/v1/sessions", spec, &out)
+	return out, err
+}
+
+// Session fetches one session.
+func (c *Client) Session(ctx context.Context, name string) (Session, error) {
+	var out Session
+	err := c.doJSON(ctx, "GET", "/v1/sessions/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// Sessions lists every session, sorted by name.
+func (c *Client) Sessions(ctx context.Context) ([]Session, error) {
+	var out []Session
+	err := c.doJSON(ctx, "GET", "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// DestroySession destroys a session, draining its engine.
+func (c *Client) DestroySession(ctx context.Context, name string) error {
+	return c.doJSON(ctx, "DELETE", "/v1/sessions/"+url.PathEscape(name), nil, nil)
+}
+
+// Status returns a session's full status document as loosely typed JSON
+// (the set of keys grows with the engine; see docs/API.md).
+func (c *Client) Status(ctx context.Context, session string) (map[string]interface{}, error) {
+	var out map[string]interface{}
+	err := c.doJSON(ctx, "GET", "/v1/sessions/"+url.PathEscape(session)+"/status", nil, &out)
+	return out, err
+}
+
+// --- queries ----------------------------------------------------------------
+
+// Query is a stored acquisitional query.
+type Query struct {
+	ID   string  `json:"id"`
+	Attr string  `json:"attr"`
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+	Rate float64 `json:"rate"`
+}
+
+// Submit registers one CrAQL query ("ACQUIRE attr FROM RECT(…) RATE r").
+func (c *Client) Submit(ctx context.Context, session, craql string) (Query, error) {
+	var out Query
+	err := c.do(ctx, "POST", "/v1/sessions/"+url.PathEscape(session)+"/queries",
+		"text/plain", strings.NewReader(craql), &out)
+	return out, err
+}
+
+// SubmitScript submits a ";"-separated CrAQL script atomically.
+func (c *Client) SubmitScript(ctx context.Context, session, script string) ([]Query, error) {
+	var out []Query
+	err := c.do(ctx, "POST", "/v1/sessions/"+url.PathEscape(session)+"/script",
+		"text/plain", strings.NewReader(script), &out)
+	return out, err
+}
+
+// DeleteQuery removes a live query, ending its streams.
+func (c *Client) DeleteQuery(ctx context.Context, session, id string) error {
+	return c.doJSON(ctx, "DELETE",
+		"/v1/sessions/"+url.PathEscape(session)+"/queries/"+url.PathEscape(id), nil, nil)
+}
+
+// --- epochs -----------------------------------------------------------------
+
+// StepResult reports a manual step. Stepped < the requested n with Waiting
+// set means the session's ingest watermark holds the next epoch open;
+// Watermark (when the server knows one) tells the producer how far event
+// time has come.
+type StepResult struct {
+	Epochs    int      `json:"epochs"`
+	Now       float64  `json:"now"`
+	Stepped   int      `json:"stepped"`
+	Waiting   bool     `json:"waiting"`
+	Watermark *float64 `json:"watermark"`
+}
+
+// Step advances a session by up to n epochs (n ≤ 0 means 1).
+func (c *Client) Step(ctx context.Context, session string, n int) (StepResult, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var out StepResult
+	err := c.doJSON(ctx, "POST",
+		fmt.Sprintf("/v1/sessions/%s/step?n=%d", url.PathEscape(session), n), nil, &out)
+	return out, err
+}
+
+// --- ingest -----------------------------------------------------------------
+
+// Observation is one externally produced measurement. T is the event time
+// in the session's simulation time units. Leave ID zero for a
+// gateway-assigned one; supply stable IDs when replaying the same
+// observations must reproduce the same acquired stream.
+type Observation struct {
+	ID     uint64  `json:"id,omitempty"`
+	Attr   string  `json:"attr,omitempty"`
+	T      float64 `json:"t"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Value  float64 `json:"value"`
+	Sensor *int    `json:"sensor,omitempty"`
+}
+
+// Batch is one ingest push: observations plus an optional watermark
+// assertion ("no observation older than this will follow"). Attr is the
+// default attribute for observations that carry none. A Batch with only a
+// Watermark is the idle-producer heartbeat that lets epochs close.
+type Batch struct {
+	Attr         string        `json:"attr,omitempty"`
+	Watermark    *float64      `json:"watermark,omitempty"`
+	Observations []Observation `json:"observations,omitempty"`
+}
+
+// Ack accounts one pushed batch: every observation is accepted,
+// overflow-dropped, late (redirected or dropped per the session's late
+// policy) or rejected — never silently lost. Watermark is the post-push
+// low watermark (nil unknown); Pending the queue backlog.
+type Ack struct {
+	Accepted    int      `json:"accepted"`
+	Dropped     int      `json:"dropped"`
+	Late        int      `json:"late"`
+	LateDropped int      `json:"lateDropped"`
+	Rejected    int      `json:"rejected"`
+	Watermark   *float64 `json:"watermark"`
+	Pending     int      `json:"pending"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// Ingest pushes one observation batch into an external- or mixed-source
+// session and returns its ack.
+func (c *Client) Ingest(ctx context.Context, session string, b Batch) (Ack, error) {
+	var out Ack
+	err := c.doJSON(ctx, "POST", "/v1/sessions/"+url.PathEscape(session)+"/ingest", b, &out)
+	return out, err
+}
+
+// AssertWatermark pushes a data-less watermark assertion: no observation
+// with an event time below wm will follow. Gated epochs up to wm may then
+// close.
+func (c *Client) AssertWatermark(ctx context.Context, session string, wm float64) (Ack, error) {
+	return c.Ingest(ctx, session, Batch{Watermark: &wm})
+}
+
+// IngestStream is a long-lived ndjson push connection: Send writes one
+// batch line; Close ends the stream and returns the server's per-batch
+// acks. Over HTTP/1.1 the acks arrive only at Close (half-duplex); HTTP/2
+// transports deliver them live but Close still collects them all.
+type IngestStream struct {
+	w      *io.PipeWriter
+	enc    *json.Encoder
+	done   chan struct{}
+	acks   []Ack
+	ackErr error
+}
+
+// OpenIngest starts a streaming ingest push to a session.
+func (c *Client) OpenIngest(ctx context.Context, session string) (*IngestStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, "POST",
+		c.BaseURL+"/v1/sessions/"+url.PathEscape(session)+"/ingest", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	st := &IngestStream{w: pw, enc: json.NewEncoder(pw), done: make(chan struct{})}
+	go func() {
+		defer close(st.done)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			st.ackErr = err
+			pr.CloseWithError(err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			st.ackErr = decodeError(resp)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 8<<20)
+		for sc.Scan() {
+			var a Ack
+			if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+				st.ackErr = err
+				return
+			}
+			st.acks = append(st.acks, a)
+			if a.Error != "" && st.ackErr == nil {
+				st.ackErr = fmt.Errorf("craqrd: ingest: %s", a.Error)
+			}
+		}
+		if err := sc.Err(); err != nil && st.ackErr == nil {
+			st.ackErr = err
+		}
+	}()
+	return st, nil
+}
+
+// Send writes one batch line onto the stream.
+func (s *IngestStream) Send(b Batch) error { return s.enc.Encode(b) }
+
+// Close ends the push stream and returns every ack the server produced (in
+// batch order) plus the first error, if any — including the server's
+// in-band error ack.
+func (s *IngestStream) Close() ([]Ack, error) {
+	s.w.Close()
+	<-s.done
+	return s.acks, s.ackErr
+}
+
+// --- results ----------------------------------------------------------------
+
+// Tuple is one acquired stream tuple.
+type Tuple struct {
+	ID     uint64  `json:"id"`
+	Attr   string  `json:"attr"`
+	T      float64 `json:"t"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Value  float64 `json:"value"`
+	Sensor int     `json:"sensor"`
+}
+
+// ResultPage is one cursor read of a query's bounded result store.
+type ResultPage struct {
+	Tuples     []Tuple `json:"tuples"`
+	NextCursor uint64  `json:"nextCursor"`
+	// Dropped counts tuples evicted before this reader reached them.
+	Dropped   uint64 `json:"dropped"`
+	Retained  int    `json:"retained"`
+	Total     uint64 `json:"total"`
+	Retention int    `json:"retention"`
+}
+
+// Results reads one page of a query's results from cursor (limit ≤ 0 means
+// all retained). Resume from NextCursor.
+func (c *Client) Results(ctx context.Context, session, query string, cursor uint64, limit int) (ResultPage, error) {
+	path := fmt.Sprintf("/v1/sessions/%s/results/%s?cursor=%d",
+		url.PathEscape(session), url.PathEscape(query), cursor)
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var out ResultPage
+	err := c.doJSON(ctx, "GET", path, nil, &out)
+	return out, err
+}
+
+// ResultStream is a live ndjson subscription to a query's stream. Next
+// blocks until the next tuple is fabricated; it returns io.EOF when the
+// query or session is deleted and ctx's error when the caller cancels.
+type ResultStream struct {
+	body    io.ReadCloser
+	sc      *bufio.Scanner
+	dropped uint64
+}
+
+// StreamResults opens a push subscription from cursor (0 = the oldest
+// retained tuple). Cancel ctx to end it.
+func (c *Client) StreamResults(ctx context.Context, session, query string, cursor uint64) (*ResultStream, error) {
+	path := fmt.Sprintf("/v1/sessions/%s/results/%s/stream?cursor=%d",
+		url.PathEscape(session), url.PathEscape(query), cursor)
+	req, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	return &ResultStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next tuple. Tuples evicted before delivery are counted
+// in Dropped (the server reports them explicitly), never silently skipped.
+func (s *ResultStream) Next() (Tuple, error) {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		var drop struct {
+			Dropped *uint64 `json:"dropped"`
+		}
+		if err := json.Unmarshal(line, &drop); err == nil && drop.Dropped != nil {
+			s.dropped += *drop.Dropped
+			continue
+		}
+		var tp Tuple
+		if err := json.Unmarshal(line, &tp); err != nil {
+			return Tuple{}, err
+		}
+		return tp, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return Tuple{}, err
+	}
+	return Tuple{}, io.EOF
+}
+
+// Dropped returns how many tuples the server evicted before this stream
+// could deliver them.
+func (s *ResultStream) Dropped() uint64 { return s.dropped }
+
+// Close ends the subscription.
+func (s *ResultStream) Close() error { return s.body.Close() }

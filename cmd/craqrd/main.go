@@ -15,6 +15,7 @@
 //	GET    /v1/sessions/{s}/queries/{q}/plan          planner cost table for a live query
 //	POST   /v1/sessions/{s}/script                    submit a CrAQL script atomically
 //	POST   /v1/sessions/{s}/step?n=k                  advance k epochs manually
+//	POST   /v1/sessions/{s}/ingest                    push external observations (JSON batch or ndjson)
 //	GET    /v1/sessions/{s}/results/{q}?cursor=&limit=  cursor-paginated results
 //	GET    /v1/sessions/{s}/results/{q}/stream        live ndjson (?sse=1 for SSE)
 //
@@ -23,21 +24,36 @@
 //
 // -plan (default on) runs the cost-based planner on every submission so
 // each query gets the cheapest merge topology; -budget turns on adaptive
-// rate retuning, converging starved cells to their feasible rate. Sessions
-// can tighten either default at POST /v1/sessions ("disablePlanner",
-// "adaptiveRates"/"disableAdaptive"). See docs/API.md for the full HTTP
-// reference.
+// rate retuning, converging starved cells to their feasible rate.
+// -source selects the template observation source (simulated | external |
+// mixed): external and mixed sessions accept pushes on the ingest route,
+// with -ingest-buffer bounding the per-session queue, -tolerance the
+// event-time out-of-order slack and -late the late-tuple policy (drop |
+// next). Sessions can override any of these at POST /v1/sessions. See
+// docs/API.md for the full HTTP reference.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
+// taking connections, in-flight requests get a drain deadline, and every
+// session's engine is stopped (ingest queues closed, result stores closed)
+// so streaming clients see a clean end of stream.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/mobility"
 	"repro/internal/sensors"
 	"repro/internal/server"
@@ -54,7 +70,21 @@ func main() {
 	workers := flag.Int("workers", 0, "epoch worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	plan := flag.Bool("plan", true, "cost-based merge planning on query submission")
 	budgetAdapt := flag.Bool("budget", false, "adaptive rate retuning from violation feedback")
+	sourceMode := flag.String("source", "simulated", "observation source template: simulated | external | mixed")
+	ingestBuffer := flag.Int("ingest-buffer", 0, "per-session ingest queue bound in tuples (0 = default)")
+	tolerance := flag.Float64("tolerance", 0, "event-time out-of-order tolerance in epoch time units")
+	late := flag.String("late", "drop", "late-tuple policy: drop | next")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
+
+	srcMode, err := server.ParseSourceMode(*sourceMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	latePolicy, err := ingest.ParseLatePolicy(*late)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	region := geom.NewRect(0, 0, 8, 8)
 	template := server.Config{
@@ -78,6 +108,12 @@ func main() {
 	template.Fabricator.Workers = *workers
 	template.Planner.Disable = !*plan
 	template.AdaptiveRates = *budgetAdapt
+	template.Source = server.SourceConfig{
+		Mode:      srcMode,
+		Buffer:    *ingestBuffer,
+		Tolerance: *tolerance,
+		Late:      latePolicy,
+	}
 
 	// Every session gets its own ground-truth world: a drifting storm and a
 	// smooth temperature field.
@@ -119,15 +155,45 @@ func main() {
 	if *tick > 0 {
 		fmt.Printf("craqrd: default session ticking every %v\n", *tick)
 	}
+	if srcMode != server.SourceSimulated {
+		fmt.Printf("craqrd: %s source template (late=%s); push observations at POST /v1/sessions/{s}/ingest\n", srcMode, latePolicy)
+	}
 	hint := *addr
 	if strings.HasPrefix(hint, ":") {
 		hint = "localhost" + hint
 	}
 	fmt.Printf("craqrd: listening on %s (try: curl -X POST -d 'ACQUIRE rain FROM RECT(0,0,4,4) RATE 3' %s/v1/sessions/default/queries)\n", *addr, hint)
-	serveErr := http.ListenAndServe(*addr, httpServer)
-	// log.Fatal would skip deferred calls; drain the sessions first.
-	if err := manager.Close(); err != nil {
-		log.Printf("craqrd: shutdown: %v", err)
+
+	// Serve until a fatal listener error or a termination signal; on
+	// SIGINT/SIGTERM stop accepting, give in-flight requests (including
+	// open streams) a drain deadline, then stop every session's engine.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: httpServer}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		// Listener failure: drain the sessions before exiting (log.Fatal
+		// would skip deferred calls).
+		if cerr := manager.Close(); cerr != nil {
+			log.Printf("craqrd: shutdown: %v", cerr)
+		}
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("craqrd: signal received; draining (deadline %v)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Close the sessions first: engines stop, ingest queues and result
+		// stores close, so parked streams end and Shutdown isn't held up
+		// waiting for them to hit the deadline.
+		if err := manager.Close(); err != nil {
+			log.Printf("craqrd: session drain: %v", err)
+		}
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("craqrd: http shutdown: %v", err)
+		}
+		log.Println("craqrd: bye")
 	}
-	log.Fatal(serveErr)
 }

@@ -50,6 +50,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/incentive"
 	"repro/internal/inference"
+	"repro/internal/ingest"
 	"repro/internal/intensity"
 	"repro/internal/mdpp"
 	"repro/internal/mobility"
@@ -419,3 +420,60 @@ func ExplainPlan(grid *Grid, q Query, epochLength float64, w PlannerWeights) (Pl
 func DefaultAdaptiveConfig(violationThreshold float64) BudgetConfig {
 	return server.DefaultAdaptiveConfig(violationThreshold)
 }
+
+// External ingestion (see DESIGN.md §10 "External ingestion and
+// watermarks"). EngineConfig.Source selects where epochs acquire
+// observations from; external and mixed engines accept
+// Engine.PushObservations (HTTP: POST /v1/sessions/{s}/ingest), buffer
+// them in a bounded watermark queue, and close epochs only once the
+// event-time low watermark passes the epoch's end. The separate
+// `repro/client` package is the typed HTTP client for the whole loop.
+type (
+	// SourceMode selects an engine's observation source composition.
+	SourceMode = server.SourceMode
+	// SourceConfig composes an engine's observation sources
+	// (EngineConfig.Source).
+	SourceConfig = server.SourceConfig
+	// IngestLatePolicy decides the fate of tuples arriving after their
+	// epoch closed.
+	IngestLatePolicy = ingest.LatePolicy
+	// IngestAck accounts one pushed batch: every tuple accepted, dropped,
+	// late or rejected — never silently lost.
+	IngestAck = ingest.Ack
+	// IngestStats is the cumulative ingest accounting surfaced in /status.
+	IngestStats = ingest.Stats
+	// IngestSource yields one acquisition epoch's observations; custom
+	// implementations plug non-HTTP feeds into the engine.
+	IngestSource = ingest.Source
+	// IngestQueue is the bounded watermark queue behind external pushes.
+	IngestQueue = ingest.Queue
+)
+
+// Observation source compositions.
+const (
+	// SourceSimulated acquires purely from the synthetic fleet (default).
+	SourceSimulated = server.SourceSimulated
+	// SourceExternal acquires purely from pushed observations; epochs close
+	// on the event-time watermark.
+	SourceExternal = server.SourceExternal
+	// SourceMixed merges fleet and pushed observations per epoch.
+	SourceMixed = server.SourceMixed
+)
+
+// Late-tuple policies.
+const (
+	// LateDrop discards late tuples, counting them.
+	LateDrop = ingest.LateDrop
+	// LateNextEpoch admits late tuples into the next epoch that closes.
+	LateNextEpoch = ingest.LateNextEpoch
+)
+
+// ErrEpochOpen is returned by Engine.Step when a watermark-gated epoch
+// cannot close yet; Engine.RunReady stops early instead of returning it.
+var ErrEpochOpen = server.ErrEpochOpen
+
+// ParseSourceMode parses "simulated", "external" or "mixed".
+func ParseSourceMode(s string) (SourceMode, error) { return server.ParseSourceMode(s) }
+
+// ParseLatePolicy parses "drop" or "next".
+func ParseLatePolicy(s string) (IngestLatePolicy, error) { return ingest.ParseLatePolicy(s) }

@@ -23,6 +23,11 @@ import (
 type Config struct {
 	// EpochLength is the duration of one acquisition round in time units.
 	EpochLength float64
+	// SkipUnknownAttrs makes RunEpoch skip budget slots whose attribute has
+	// no ground-truth field instead of failing the epoch. Mixed-source
+	// engines set it: externally fed attributes materialize pipelines (and
+	// budget slots) that the simulated fleet cannot serve.
+	SkipUnknownAttrs bool
 }
 
 // Validate checks the configuration.
@@ -92,6 +97,9 @@ func (h *Handler) RunEpoch(t0 float64) (map[string]stream.Batch, error) {
 	for _, snap := range h.budgets.Snapshots() {
 		field, ok := h.fields[snap.Key.Attr]
 		if !ok {
+			if h.cfg.SkipUnknownAttrs {
+				continue
+			}
 			return nil, fmt.Errorf("handler: no field for attribute %q", snap.Key.Attr)
 		}
 		cellRect, err := h.grid.Cell(snap.Key.Cell)

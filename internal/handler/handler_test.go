@@ -213,6 +213,115 @@ func TestIncentiveRaisesResponseFraction(t *testing.T) {
 	}
 }
 
+// TestSampleSensorsBudgetExceedsPopulation pins the with-replacement edge
+// directly: when the budget asks for more requests than the cell holds
+// sensors, every request must still target a member of the cell — sensors
+// are asked repeatedly rather than the budget silently shrinking.
+func TestSampleSensorsBudgetExceedsPopulation(t *testing.T) {
+	h, _, _ := testSetup(t, 3, 5)
+	candidates := h.fleet.Sensors
+	for _, n := range []int{len(candidates), len(candidates) + 1, 10 * len(candidates)} {
+		got := h.sampleSensors(candidates, n)
+		if len(got) != n {
+			t.Fatalf("n=%d: sampled %d targets", n, len(got))
+		}
+		member := make(map[*sensors.Sensor]bool, len(candidates))
+		for _, s := range candidates {
+			member[s] = true
+		}
+		for _, s := range got {
+			if !member[s] {
+				t.Fatalf("n=%d: sampled a sensor outside the cell", n)
+			}
+		}
+	}
+	// Just below the population boundary: without replacement, all
+	// distinct.
+	got := h.sampleSensors(candidates, len(candidates)-1)
+	seen := make(map[*sensors.Sensor]bool)
+	for _, s := range got {
+		if seen[s] {
+			t.Fatal("without-replacement sample repeated a sensor")
+		}
+		seen[s] = true
+	}
+}
+
+// TestRunEpochEmptyCell: a budgeted slot whose cell holds no sensors must
+// be skipped without spending requests (and without erroring the epoch).
+func TestRunEpochEmptyCell(t *testing.T) {
+	h, ctrl, grid := testSetup(t, 1, 25)
+	// The single sensor lives in exactly one cell; register every cell so
+	// 15 of the 16 slots are guaranteed empty.
+	for q := 0; q < grid.Side(); q++ {
+		for r := 0; r < grid.Side(); r++ {
+			ctrl.Register(budget.Key{Attr: "c", Cell: geom.CellID{Q: q, R: r}})
+		}
+	}
+	out, err := h.RunEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the populated cell spends: exactly its 25-request budget, with
+	// replacement onto the lone sensor.
+	if h.RequestsSent() != 25 {
+		t.Fatalf("requests = %d, want the one populated cell's budget of 25", h.RequestsSent())
+	}
+	for _, tp := range out["c"].Tuples {
+		if tp.Sensor != h.fleet.Sensors[0].ID {
+			t.Fatalf("tuple from unexpected sensor %d", tp.Sensor)
+		}
+	}
+}
+
+// TestZeroIncentiveResponseProbability: with no incentive source (and with
+// an explicit zero incentive) the response fraction must track the
+// response model's BaseProb, not MaxProb.
+func TestZeroIncentiveResponseProbability(t *testing.T) {
+	run := func(install bool) float64 {
+		h, ctrl, grid := testSetup(t, 400, 10)
+		for q := 0; q < grid.Side(); q++ {
+			for r := 0; r < grid.Side(); r++ {
+				ctrl.Register(budget.Key{Attr: "c", Cell: geom.CellID{Q: q, R: r}})
+			}
+		}
+		if install {
+			h.SetIncentive(func(budget.Key) float64 { return 0 })
+		}
+		for e := 0; e < 8; e++ {
+			if _, err := h.RunEpoch(float64(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(h.ResponsesReceived()) / float64(h.RequestsSent())
+	}
+	// BaseProb is 0.6; responses arriving past the epoch horizon shave a
+	// little off. Both the nil-incentive and explicit-zero paths must sit
+	// well below MaxProb (0.95).
+	for _, install := range []bool{false, true} {
+		frac := run(install)
+		if frac < 0.45 || frac > 0.7 {
+			t.Fatalf("install=%v: zero-incentive response fraction = %g, want ≈ BaseProb 0.6", install, frac)
+		}
+	}
+}
+
+// TestSkipUnknownAttrs: with the mixed-source flag set, budget slots for
+// externally fed attributes are skipped instead of failing the epoch.
+func TestSkipUnknownAttrs(t *testing.T) {
+	h, ctrl, _ := testSetup(t, 50, 5)
+	h.cfg.SkipUnknownAttrs = true
+	ctrl.Register(budget.Key{Attr: "c", Cell: geom.CellID{Q: 0, R: 0}})
+	ctrl.Register(budget.Key{Attr: "external-only", Cell: geom.CellID{Q: 1, R: 1}})
+	out, err := h.RunEpoch(0)
+	if err != nil {
+		t.Fatalf("unknown attr should be skipped, got %v", err)
+	}
+	if _, ok := out["external-only"]; ok {
+		t.Fatal("skipped attribute produced a batch")
+	}
+}
+
 func TestEpochLengthAccessor(t *testing.T) {
 	h, _, _ := testSetup(t, 5, 5)
 	if h.EpochLength() != 1 {

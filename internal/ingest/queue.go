@@ -1,0 +1,270 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// ErrClosed is returned by Push and WaitReady after Close.
+var ErrClosed = errors.New("ingest: queue closed")
+
+// Queue is the bounded per-session buffer between external producers and
+// the engine's epoch loop. Producers Push observation tuples at any rate;
+// the epoch loop asks Ready whether the next epoch may close and Drains it
+// when the watermark allows. The queue never blocks a producer: overflow
+// beyond Config.Buffer is rejected and counted, mirroring the explicit-drop
+// discipline of stream.ResultStore on the delivery side.
+//
+// Epoch assembly is deterministic: Drain returns the due tuples sorted by
+// the engine-wide (T, ID) order, so the fabricated stream of a closed epoch
+// depends only on which observations were pushed before it closed — not on
+// batch boundaries, arrival order, or producer interleaving.
+//
+// Queue is safe for concurrent use by any number of producers and one
+// epoch loop.
+type Queue struct {
+	mu  sync.Mutex
+	cfg Config
+
+	buf []stream.Tuple // pending tuples, unsorted until drain
+	// maxT is the largest event time observed; wmFloor the largest
+	// explicitly asserted watermark. The low watermark is
+	// max(maxT − Tolerance, wmFloor).
+	maxT    float64
+	wmFloor float64
+	// closedTo is the event-time horizon of the newest closed epoch;
+	// arrivals below it are late.
+	closedTo float64
+	seq      uint64 // gateway ID sequence for observations pushed without one
+	active   bool   // a push or watermark assertion has been seen
+	closed   bool
+	notify   chan struct{} // lazily created by WaitReady, closed on progress
+
+	ingested, dropped, late, lateDropped, rejected uint64
+}
+
+// NewQueue builds an empty queue (Buffer ≤ 0 means DefaultBuffer).
+func NewQueue(cfg Config) *Queue {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	return &Queue{
+		cfg:      cfg,
+		maxT:     negInf(),
+		wmFloor:  negInf(),
+		closedTo: negInf(),
+	}
+}
+
+// Push offers a batch of observation tuples, returning the per-batch ack.
+// Tuples with ID zero get a gateway-assigned ID (GatewayIDBase | seq) in
+// arrival order. watermark, when not NaN, asserts that no observation with
+// an event time below it will ever be pushed again — the idle-producer
+// heartbeat that lets epochs close without further data; a push with no
+// tuples and only a watermark is valid. The tuples slice is not retained.
+func (q *Queue) Push(tuples []stream.Tuple, watermark float64) (Ack, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Ack{}, ErrClosed
+	}
+	var ack Ack
+	for _, tp := range tuples {
+		if !validObservation(tp, q.cfg.Region) {
+			ack.Rejected++
+			continue
+		}
+		if tp.T < q.closedTo && q.cfg.Late == LateDrop {
+			ack.LateDropped++
+			continue
+		}
+		if len(q.buf) >= q.cfg.Buffer {
+			ack.Dropped++
+			// A dropped tuple still advances event time: it will never
+			// appear in any epoch, and a watermark frozen by a full queue
+			// would wedge the session — the epoch could never close, so the
+			// buffer could never drain.
+			if tp.T > q.maxT {
+				q.maxT = tp.T
+			}
+			continue
+		}
+		if tp.T < q.closedTo {
+			ack.Late++ // LateNextEpoch: admitted into the next epoch to close
+		}
+		if tp.ID == 0 {
+			q.seq++
+			tp.ID = GatewayIDBase | q.seq
+		}
+		q.buf = append(q.buf, tp)
+		ack.Accepted++
+		if tp.T > q.maxT {
+			q.maxT = tp.T
+		}
+	}
+	if !math.IsNaN(watermark) && watermark > q.wmFloor {
+		q.wmFloor = watermark
+	}
+	// Only a push that actually contributes — an accepted tuple or a
+	// watermark assertion — marks the producer active; an all-rejected (or
+	// all-late-dropped) push must not engage mixed-mode gating while the
+	// watermark is still unknown, which would freeze the simulation.
+	if ack.Accepted > 0 || ack.Dropped > 0 || !math.IsNaN(watermark) {
+		q.active = true
+	}
+	q.ingested += uint64(ack.Accepted)
+	q.dropped += uint64(ack.Dropped)
+	q.late += uint64(ack.Late)
+	q.lateDropped += uint64(ack.LateDropped)
+	q.rejected += uint64(ack.Rejected)
+	ack.Watermark = q.watermarkLocked()
+	ack.Pending = len(q.buf)
+	q.wake()
+	return ack, nil
+}
+
+// validObservation rejects tuples the map phase would silently discard or
+// that would poison watermark arithmetic.
+func validObservation(tp stream.Tuple, region geom.Rect) bool {
+	if tp.Attr == "" || math.IsNaN(tp.T) || math.IsInf(tp.T, 0) {
+		return false
+	}
+	if !region.IsEmpty() && !region.Contains(geom.Point{X: tp.X, Y: tp.Y}) {
+		return false
+	}
+	return true
+}
+
+func (q *Queue) watermarkLocked() float64 {
+	wm := q.wmFloor
+	if fromData := q.maxT - q.cfg.Tolerance; fromData > wm {
+		wm = fromData
+	}
+	return wm
+}
+
+// Watermark returns the low watermark: the event time below which no new
+// observations are expected (math.Inf(-1) before any push).
+func (q *Queue) Watermark() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.watermarkLocked()
+}
+
+// Ready reports whether the epoch ending at t1 may close: the watermark has
+// reached t1, or the queue was closed (final epochs drain what remains).
+func (q *Queue) Ready(t1 float64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed || q.watermarkLocked() >= t1
+}
+
+// Active reports whether the queue has ever seen a push or watermark
+// assertion — MixedSource free-runs the simulated fleet until the first
+// producer shows up.
+func (q *Queue) Active() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.active
+}
+
+// Drain closes the epoch ending at t1: every buffered tuple with an event
+// time below t1 — in-window ones and, under LateNextEpoch, older redirected
+// ones — is moved out, appended to dst (pass a borrowed arena slice to keep
+// epoch assembly allocation-free) and the result sorted by (T, ID). Tuples
+// at or past t1 stay buffered for later epochs. Arrivals below t1 after
+// this call are late.
+func (q *Queue) Drain(t1 float64, dst []stream.Tuple) []stream.Tuple {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	kept := q.buf[:0]
+	for _, tp := range q.buf {
+		if tp.T < t1 {
+			dst = append(dst, tp)
+		} else {
+			kept = append(kept, tp)
+		}
+	}
+	// Zero the tail so drained tuples don't pin anything via the backing
+	// array (tuples are value types today; this keeps the buffer tidy if
+	// they ever grow references).
+	for i := len(kept); i < len(q.buf); i++ {
+		q.buf[i] = stream.Tuple{}
+	}
+	q.buf = kept
+	if t1 > q.closedTo {
+		q.closedTo = t1
+	}
+	stream.SortTuples(dst)
+	return dst
+}
+
+// Stats snapshots the queue's cumulative accounting.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Ingested:    q.ingested,
+		Dropped:     q.dropped,
+		Late:        q.late,
+		LateDropped: q.lateDropped,
+		Rejected:    q.rejected,
+		Watermark:   q.watermarkLocked(),
+		ClosedTo:    q.closedTo,
+		Pending:     len(q.buf),
+	}
+}
+
+// WaitReady blocks until the epoch ending at t1 may close (nil), the queue
+// is closed (ErrClosed), or ctx is done (its error). A gated engine's
+// simulated clock parks here instead of spinning on an open epoch.
+func (q *Queue) WaitReady(ctx context.Context, t1 float64) error {
+	for {
+		q.mu.Lock()
+		if q.watermarkLocked() >= t1 {
+			q.mu.Unlock()
+			return nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return ErrClosed
+		}
+		if q.notify == nil {
+			q.notify = make(chan struct{})
+		}
+		ch := q.notify
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// wake releases parked WaitReady callers; q.mu must be held.
+func (q *Queue) wake() {
+	if q.notify != nil {
+		close(q.notify)
+		q.notify = nil
+	}
+}
+
+// Close retires the queue: further pushes fail with ErrClosed, parked
+// WaitReady callers return ErrClosed, and Ready reports true so a draining
+// engine can close its final epochs from whatever is buffered. Closing an
+// already-closed queue is a no-op.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.wake()
+}

@@ -1,0 +1,286 @@
+package ingest
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+func obs(id uint64, t float64) stream.Tuple {
+	return stream.Tuple{ID: id, Attr: "a", T: t, X: 1, Y: 1, Value: t, Sensor: -1}
+}
+
+func mustPush(t *testing.T, q *Queue, tuples []stream.Tuple, wm float64) Ack {
+	t.Helper()
+	ack, err := q.Push(tuples, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ack
+}
+
+func TestWatermarkAndReady(t *testing.T) {
+	q := NewQueue(Config{Tolerance: 0.5})
+	if !math.IsInf(q.Watermark(), -1) {
+		t.Fatalf("fresh queue watermark = %g, want -Inf", q.Watermark())
+	}
+	if q.Ready(1) {
+		t.Fatal("fresh queue should not be ready")
+	}
+	mustPush(t, q, []stream.Tuple{obs(1, 1.2)}, math.NaN())
+	if wm := q.Watermark(); wm != 0.7 {
+		t.Fatalf("watermark = %g, want maxT-tolerance = 0.7", wm)
+	}
+	if q.Ready(1) {
+		t.Fatal("epoch [0,1) must stay open at watermark 0.7")
+	}
+	mustPush(t, q, []stream.Tuple{obs(2, 1.6)}, math.NaN())
+	if !q.Ready(1) {
+		t.Fatal("epoch [0,1) should close at watermark 1.1")
+	}
+	// An asserted watermark floor wins over the data-driven one.
+	mustPush(t, q, nil, 5)
+	if wm := q.Watermark(); wm != 5 {
+		t.Fatalf("asserted watermark = %g, want 5", wm)
+	}
+	if !q.Ready(5) {
+		t.Fatal("asserted watermark should close epochs up to 5")
+	}
+}
+
+// TestDrainDeterministic is the queue-level half of acceptance (a): the
+// drained epoch content is a pure function of the pushed observations,
+// independent of batching and arrival order within the tolerance.
+func TestDrainDeterministic(t *testing.T) {
+	all := []stream.Tuple{obs(3, 0.3), obs(1, 0.1), obs(7, 0.7), obs(5, 0.5), obs(9, 0.95)}
+
+	oneShot := NewQueue(Config{Tolerance: 1})
+	mustPush(t, oneShot, all, 2)
+	a := oneShot.Drain(1, nil)
+
+	split := NewQueue(Config{Tolerance: 1})
+	// Same observations, different batching, reversed arrival order.
+	mustPush(t, split, []stream.Tuple{obs(9, 0.95), obs(5, 0.5)}, math.NaN())
+	mustPush(t, split, []stream.Tuple{obs(7, 0.7)}, math.NaN())
+	mustPush(t, split, []stream.Tuple{obs(1, 0.1), obs(3, 0.3)}, 2)
+	b := split.Drain(1, nil)
+
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("drains differ:\none-shot: %v\nsplit:    %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if !stream.TupleLess(a[i-1], a[i]) {
+			t.Fatalf("drain not (T,ID)-sorted at %d: %v", i, a)
+		}
+	}
+	// Tuples at or past t1 stay buffered.
+	future := NewQueue(Config{})
+	mustPush(t, future, []stream.Tuple{obs(1, 0.5), obs(2, 1.5)}, math.NaN())
+	got := future.Drain(1, nil)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("drain [0,1) = %v, want only tuple 1", got)
+	}
+	if st := future.Stats(); st.Pending != 1 {
+		t.Fatalf("pending = %d, want 1", st.Pending)
+	}
+}
+
+func TestOverflowAccounting(t *testing.T) {
+	q := NewQueue(Config{Buffer: 4})
+	ack := mustPush(t, q, []stream.Tuple{obs(1, 0.1), obs(2, 0.2), obs(3, 0.3), obs(4, 0.4), obs(5, 0.5), obs(6, 0.6)}, math.NaN())
+	if ack.Accepted != 4 || ack.Dropped != 2 {
+		t.Fatalf("ack = %+v, want 4 accepted / 2 dropped", ack)
+	}
+	st := q.Stats()
+	if st.Ingested != 4 || st.Dropped != 2 || st.Pending != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Draining frees capacity.
+	q.Drain(1, nil)
+	ack = mustPush(t, q, []stream.Tuple{obs(7, 1.1)}, math.NaN())
+	if ack.Accepted != 1 || ack.Dropped != 0 {
+		t.Fatalf("post-drain ack = %+v", ack)
+	}
+}
+
+// TestOverflowStillAdvancesWatermark: a queue smaller than one epoch's
+// volume must not wedge the session — overflow-dropped tuples still
+// advance event time, so the epoch can close, drain, and free the buffer.
+func TestOverflowStillAdvancesWatermark(t *testing.T) {
+	q := NewQueue(Config{Buffer: 2})
+	var batch []stream.Tuple
+	for i := 0; i < 6; i++ {
+		batch = append(batch, obs(uint64(i+1), float64(i)*0.25)) // up to T=1.25
+	}
+	ack := mustPush(t, q, batch, math.NaN())
+	if ack.Accepted != 2 || ack.Dropped != 4 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if !q.Ready(1) {
+		t.Fatalf("epoch [0,1) must close at watermark %g despite the full buffer", q.Watermark())
+	}
+	got := q.Drain(1, nil)
+	if len(got) != 2 {
+		t.Fatalf("drained %d", len(got))
+	}
+	// The freed buffer accepts again.
+	if ack := mustPush(t, q, []stream.Tuple{obs(9, 1.5)}, math.NaN()); ack.Accepted != 1 {
+		t.Fatalf("post-drain ack = %+v", ack)
+	}
+}
+
+// TestRejectedPushDoesNotActivate: an all-rejected push must not flip the
+// queue active (and so must not engage mixed-mode gating) while the
+// watermark is still unknown — one malformed push must not freeze a
+// simulation.
+func TestRejectedPushDoesNotActivate(t *testing.T) {
+	q := NewQueue(Config{Region: geom.NewRect(0, 0, 4, 4)})
+	ack := mustPush(t, q, []stream.Tuple{{ID: 1, Attr: "a", T: 0.5, X: 99, Y: 99}}, math.NaN())
+	if ack.Rejected != 1 || q.Active() {
+		t.Fatalf("all-rejected push activated the queue: ack=%+v active=%v", ack, q.Active())
+	}
+	// A watermark-only heartbeat does activate.
+	mustPush(t, q, nil, 1)
+	if !q.Active() {
+		t.Fatal("watermark assertion should activate the queue")
+	}
+}
+
+func TestLatePolicies(t *testing.T) {
+	// LateDrop: arrivals below the closed horizon are discarded, counted.
+	q := NewQueue(Config{Late: LateDrop})
+	q.Drain(1, nil) // close [.., 1)
+	ack := mustPush(t, q, []stream.Tuple{obs(1, 0.5), obs(2, 1.5)}, math.NaN())
+	if ack.Accepted != 1 || ack.LateDropped != 1 || ack.Late != 0 {
+		t.Fatalf("LateDrop ack = %+v", ack)
+	}
+	if st := q.Stats(); st.LateDropped != 1 {
+		t.Fatalf("LateDropped = %d, want 1", st.LateDropped)
+	}
+
+	// LateNextEpoch: the late tuple rides the next epoch to close, original
+	// timestamp intact.
+	qn := NewQueue(Config{Late: LateNextEpoch})
+	qn.Drain(1, nil)
+	ack = mustPush(t, qn, []stream.Tuple{obs(1, 0.5), obs(2, 1.5)}, math.NaN())
+	if ack.Accepted != 2 || ack.Late != 1 || ack.LateDropped != 0 {
+		t.Fatalf("LateNextEpoch ack = %+v", ack)
+	}
+	got := qn.Drain(2, nil)
+	if len(got) != 2 || got[0].ID != 1 || got[0].T != 0.5 {
+		t.Fatalf("next-epoch drain = %v, want late tuple first with original T", got)
+	}
+	if st := qn.Stats(); st.Late != 1 {
+		t.Fatalf("Late = %d, want 1", st.Late)
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	region := geom.NewRect(0, 0, 4, 4)
+	q := NewQueue(Config{Region: region})
+	bad := []stream.Tuple{
+		{ID: 1, Attr: "", T: 0.1, X: 1, Y: 1},         // missing attr
+		{ID: 2, Attr: "a", T: math.NaN(), X: 1, Y: 1}, // NaN time
+		{ID: 3, Attr: "a", T: 0.1, X: 9, Y: 1},        // outside region
+		{ID: 4, Attr: "a", T: 0.1, X: 1, Y: 1},        // fine
+	}
+	ack := mustPush(t, q, bad, math.NaN())
+	if ack.Rejected != 3 || ack.Accepted != 1 {
+		t.Fatalf("ack = %+v, want 3 rejected / 1 accepted", ack)
+	}
+	if st := q.Stats(); st.Rejected != 3 {
+		t.Fatalf("Rejected = %d, want 3", st.Rejected)
+	}
+}
+
+func TestGatewayIDs(t *testing.T) {
+	q := NewQueue(Config{})
+	mustPush(t, q, []stream.Tuple{obs(0, 0.2), obs(0, 0.1), obs(42, 0.3)}, math.NaN())
+	got := q.Drain(1, nil)
+	if len(got) != 3 {
+		t.Fatalf("drained %d", len(got))
+	}
+	// Arrival order assigned IDs 1, 2 under the gateway base; the client ID
+	// is preserved.
+	if got[0].ID != GatewayIDBase|2 || got[1].ID != GatewayIDBase|1 || got[2].ID != 42 {
+		t.Fatalf("ids = %x %x %x", got[0].ID, got[1].ID, got[2].ID)
+	}
+}
+
+func TestWaitReadyAndClose(t *testing.T) {
+	q := NewQueue(Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var waitErr error
+	go func() {
+		defer wg.Done()
+		waitErr = q.WaitReady(ctx, 1)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mustPush(t, q, []stream.Tuple{obs(1, 1.5)}, math.NaN())
+	wg.Wait()
+	if waitErr != nil {
+		t.Fatalf("WaitReady = %v", waitErr)
+	}
+
+	// Close wakes parked waiters with ErrClosed and fails further pushes,
+	// but Ready turns true so a draining engine can close what remains.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		waitErr = q.WaitReady(ctx, 99)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	wg.Wait()
+	if waitErr != ErrClosed {
+		t.Fatalf("WaitReady after close = %v, want ErrClosed", waitErr)
+	}
+	if _, err := q.Push([]stream.Tuple{obs(2, 2)}, math.NaN()); err != ErrClosed {
+		t.Fatalf("Push after close = %v, want ErrClosed", err)
+	}
+	if !q.Ready(99) {
+		t.Fatal("closed queue should report every epoch ready")
+	}
+}
+
+func TestConcurrentPushers(t *testing.T) {
+	q := NewQueue(Config{Buffer: 1 << 16})
+	var wg sync.WaitGroup
+	const pushers, per = 8, 200
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tp := obs(uint64(p*per+i+1), float64(i)/per)
+				if _, err := q.Push([]stream.Tuple{tp}, math.NaN()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	st := q.Stats()
+	if st.Ingested != pushers*per || st.Pending != pushers*per {
+		t.Fatalf("stats = %+v", st)
+	}
+	got := q.Drain(1, nil)
+	if len(got) != pushers*per {
+		t.Fatalf("drained %d, want %d", len(got), pushers*per)
+	}
+	for i := 1; i < len(got); i++ {
+		if stream.CompareTuples(got[i-1], got[i]) >= 0 {
+			t.Fatalf("drain out of order at %d", i)
+		}
+	}
+}

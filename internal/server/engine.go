@@ -20,8 +20,10 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/budget"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/handler"
 	"repro/internal/incentive"
+	"repro/internal/ingest"
 	"repro/internal/planner"
 	"repro/internal/pmat"
 	"repro/internal/query"
@@ -77,6 +80,68 @@ type Config struct {
 	// Adaptive parameterizes the rate-retune controller; the zero value uses
 	// DefaultAdaptiveConfig (with Budget.ViolationThreshold when set).
 	Adaptive budget.Config
+	// Source selects where epochs acquire observations from: the simulated
+	// fleet (default), externally pushed observations, or both (see
+	// DESIGN.md, "External ingestion and watermarks").
+	Source SourceConfig
+}
+
+// SourceMode selects an engine's observation source composition.
+type SourceMode int
+
+const (
+	// SourceSimulated acquires purely from the synthetic fleet via the
+	// request/response handler — the pre-ingest behavior.
+	SourceSimulated SourceMode = iota
+	// SourceExternal acquires purely from observations pushed through the
+	// ingest gateway; epochs close on the event-time watermark.
+	SourceExternal
+	// SourceMixed runs the fleet and the ingest queue side by side, merging
+	// per epoch; the watermark gates epochs once a producer is active.
+	SourceMixed
+)
+
+// String renders the mode ("simulated", "external", "mixed").
+func (m SourceMode) String() string {
+	switch m {
+	case SourceSimulated:
+		return "simulated"
+	case SourceExternal:
+		return "external"
+	case SourceMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("SourceMode(%d)", int(m))
+	}
+}
+
+// ParseSourceMode parses "simulated", "external" or "mixed".
+func ParseSourceMode(s string) (SourceMode, error) {
+	switch s {
+	case "simulated", "":
+		return SourceSimulated, nil
+	case "external":
+		return SourceExternal, nil
+	case "mixed":
+		return SourceMixed, nil
+	default:
+		return 0, fmt.Errorf("server: unknown source mode %q (want \"simulated\", \"external\" or \"mixed\")", s)
+	}
+}
+
+// SourceConfig composes an engine's observation sources.
+type SourceConfig struct {
+	// Mode selects the composition (default SourceSimulated).
+	Mode SourceMode
+	// Buffer bounds the ingest queue in tuples (0 = ingest.DefaultBuffer);
+	// pushes beyond it are rejected and counted, never blocked on.
+	Buffer int
+	// Tolerance is the allowed event-time out-of-orderness: the low
+	// watermark trails the maximum pushed event time by this much, so an
+	// epoch stays open that long after the first observation past its end.
+	Tolerance float64
+	// Late selects the late-tuple policy (default ingest.LateDrop).
+	Late ingest.LatePolicy
 }
 
 // PlannerConfig controls cost-based query planning in the engine.
@@ -115,11 +180,19 @@ type Engine struct {
 	planWeights planner.Weights
 	adaptive    *budget.Controller
 
+	// source yields every epoch's observations; queue is the external
+	// ingest buffer behind it (nil in SourceSimulated mode).
+	source ingest.Source
+	queue  *ingest.Queue
+
 	mu      sync.Mutex
 	stepMu  sync.Mutex // serializes epochs across callers (HTTP, tickers)
 	now     float64
 	epochs  int
 	results map[string]*stream.ResultStore
+	// attrScratch is Step's reusable attr list (guarded by stepMu), keeping
+	// the per-epoch attr walk allocation-free.
+	attrScratch []string
 	// plans retains the planner's chosen estimate per live query.
 	plans map[string]planner.CostEstimate
 	// nvSum/nvN accumulate every (cell, epoch) normalized-violation sample —
@@ -151,7 +224,12 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	h, err := handler.New(handler.Config{EpochLength: cfg.Epoch}, grid, fleet, fields, budgets, rng.Fork())
+	// Mixed-source epochs may materialize pipelines (and budget slots) for
+	// externally fed attributes the fleet has no ground truth for.
+	h, err := handler.New(handler.Config{
+		EpochLength:      cfg.Epoch,
+		SkipUnknownAttrs: cfg.Source.Mode == SourceMixed,
+	}, grid, fleet, fields, budgets, rng.Fork())
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -182,6 +260,31 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 			return nil, fmt.Errorf("server: adaptive: %w", err)
 		}
 	}
+	var (
+		queue *ingest.Queue
+		src   ingest.Source = ingest.FleetSource{H: h}
+	)
+	switch cfg.Source.Mode {
+	case SourceSimulated:
+	case SourceExternal, SourceMixed:
+		queue = ingest.NewQueue(ingest.Config{
+			Buffer:    cfg.Source.Buffer,
+			Tolerance: cfg.Source.Tolerance,
+			Late:      cfg.Source.Late,
+			Region:    cfg.Region,
+		})
+		qs, qerr := ingest.NewQueueSource(queue, cfg.Region)
+		if qerr != nil {
+			return nil, fmt.Errorf("server: %w", qerr)
+		}
+		if cfg.Source.Mode == SourceExternal {
+			src = qs
+		} else if src, err = ingest.NewMixedSource(src, qs); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown source mode %d", cfg.Source.Mode)
+	}
 	return &Engine{
 		cfg:         cfg,
 		grid:        grid,
@@ -193,6 +296,8 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 		rng:         rng,
 		planWeights: planWeights,
 		adaptive:    adaptive,
+		source:      src,
+		queue:       queue,
 		results:     make(map[string]*stream.ResultStore),
 		plans:       make(map[string]planner.CostEstimate),
 	}, nil
@@ -413,27 +518,45 @@ func (e *Engine) ReadResults(id string, cursor uint64, limit int) ([]stream.Tupl
 // Queries lists the live queries.
 func (e *Engine) Queries() []query.Query { return e.fab.Registry().List() }
 
-// Step runs one acquisition epoch: the handler spends its budgets on
-// requests, the responses are ingested through the fabricator — cell
-// pipelines executing on the fabricator's worker pool — violations tune the
-// budgets (wired via AttachBudgets), and — when enabled — the incentive
-// allocator reallocates from fresh pressure. Epochs are serialized; queries
-// submitted concurrently with Step take effect at the next epoch boundary.
+// ErrEpochOpen is returned by Step when the engine's source gates epochs on
+// an event-time watermark that has not yet passed the epoch's end: the
+// epoch is still open for observations and fabricating it now could miss
+// in-tolerance arrivals. Clocked engines skip the tick (or park until the
+// watermark advances); manual steppers retry after pushing more data or
+// asserting a watermark.
+var ErrEpochOpen = errors.New("server: epoch open: ingest watermark below epoch end")
+
+// Step runs one acquisition epoch: the source produces the epoch's
+// observations — the simulated handler spending its budgets, the ingest
+// queue draining externally pushed tuples, or both merged — the batches are
+// ingested through the fabricator (cell pipelines executing on the
+// fabricator's worker pool), violations tune the budgets (wired via
+// AttachBudgets), and — when enabled — the incentive allocator reallocates
+// from fresh pressure. Epochs are serialized; queries submitted
+// concurrently with Step take effect at the next epoch boundary. When the
+// source is watermark-gated and the epoch cannot close yet, Step returns
+// ErrEpochOpen without advancing time.
 func (e *Engine) Step() error {
 	e.stepMu.Lock()
 	defer e.stepMu.Unlock()
 	e.mu.Lock()
 	t0 := e.now
-	e.now += e.cfg.Epoch
-	e.epochs++
 	e.mu.Unlock()
-	batches, err := e.handler.RunEpoch(t0)
+	t1 := t0 + e.cfg.Epoch
+	if g, ok := e.source.(ingest.Gated); ok && !g.Ready(t1) {
+		return ErrEpochOpen
+	}
+	batches, err := e.source.Acquire(t0, t1)
 	if err != nil {
 		return fmt.Errorf("server: epoch at t=%g: %w", t0, err)
 	}
+	e.mu.Lock()
+	e.now = t1
+	e.epochs++
+	e.mu.Unlock()
 	// Ingest every attribute that has live pipelines, including attributes
-	// with no responses this epoch (empty batch → violation pressure).
-	window := geom.Window{T0: t0, T1: t0 + e.cfg.Epoch, Rect: e.grid.Region()}
+	// with no observations this epoch (empty batch → violation pressure).
+	window := geom.Window{T0: t0, T1: t1, Rect: e.grid.Region()}
 	seen := make(map[string]bool, len(batches))
 	for attr, b := range batches {
 		seen[attr] = true
@@ -441,7 +564,8 @@ func (e *Engine) Step() error {
 			return fmt.Errorf("server: ingest %s: %w", attr, err)
 		}
 	}
-	for attr := range e.fields {
+	e.attrScratch = e.fab.AppendAttrs(e.attrScratch[:0])
+	for _, attr := range e.attrScratch {
 		if !seen[attr] {
 			if err := e.fab.Ingest(stream.Batch{Attr: attr, Window: window}); err != nil {
 				return fmt.Errorf("server: ingest empty %s: %w", attr, err)
@@ -543,7 +667,9 @@ func (e *Engine) AdaptiveSlots() []AdaptiveSlot {
 	return out
 }
 
-// Run executes n epochs.
+// Run executes n epochs. With a watermark-gated source it returns
+// ErrEpochOpen as soon as an epoch cannot close; RunReady is the
+// stop-early variant.
 func (e *Engine) Run(n int) error {
 	for i := 0; i < n; i++ {
 		if err := e.Step(); err != nil {
@@ -551,4 +677,77 @@ func (e *Engine) Run(n int) error {
 		}
 	}
 	return nil
+}
+
+// RunReady executes up to n epochs, stopping early — without error — when
+// the source's watermark holds the next epoch open. It returns how many
+// epochs completed; completed < n means the engine is waiting for ingest.
+func (e *Engine) RunReady(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if err := e.Step(); err != nil {
+			if errors.Is(err, ErrEpochOpen) {
+				return i, nil
+			}
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// ErrNoIngest is returned by PushObservations on a simulated-source engine.
+var ErrNoIngest = errors.New("server: session source accepts no external observations (simulated mode)")
+
+// PushObservations feeds externally produced observation tuples into the
+// engine's ingest queue (SourceExternal or SourceMixed). Tuples carry event
+// times; watermark, when not NaN, asserts that no older observation will
+// follow (see ingest.Queue.Push). The returned ack accounts every tuple —
+// accepted, overflow-dropped, late, rejected — so producers see
+// backpressure explicitly; nothing is ever silently lost.
+func (e *Engine) PushObservations(tuples []stream.Tuple, watermark float64) (ingest.Ack, error) {
+	if e.queue == nil {
+		return ingest.Ack{}, ErrNoIngest
+	}
+	return e.queue.Push(tuples, watermark)
+}
+
+// SourceMode reports the engine's observation source composition.
+func (e *Engine) SourceMode() SourceMode { return e.cfg.Source.Mode }
+
+// IngestStats snapshots the ingest queue's accounting: tuples ingested,
+// overflow-dropped, late, rejected, the current low watermark and the
+// pending backlog. A simulated-source engine reports zeros with an unknown
+// (−Inf) watermark.
+func (e *Engine) IngestStats() ingest.Stats {
+	if e.queue == nil {
+		return ingest.Stats{Watermark: math.Inf(-1), ClosedTo: math.Inf(-1)}
+	}
+	return e.queue.Stats()
+}
+
+// Watermark returns the source's event-time low watermark, with ok=false
+// when the engine has no gated source or no watermark is known yet.
+func (e *Engine) Watermark() (float64, bool) {
+	g, ok := e.source.(ingest.Gated)
+	if !ok {
+		return 0, false
+	}
+	wm := g.Watermark()
+	if math.IsInf(wm, -1) {
+		return 0, false
+	}
+	return wm, true
+}
+
+// waitSourceReady parks until the source can close the next epoch, the
+// source is retired, or ctx is done — the simulated clock's alternative to
+// spinning on ErrEpochOpen.
+func (e *Engine) waitSourceReady(ctx context.Context) error {
+	g, ok := e.source.(ingest.Gated)
+	if !ok {
+		return nil
+	}
+	e.mu.Lock()
+	t1 := e.now + e.cfg.Epoch
+	e.mu.Unlock()
+	return g.WaitReady(ctx, t1)
 }

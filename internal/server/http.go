@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/craql"
 	"repro/internal/export"
+	"repro/internal/ingest"
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/stream"
@@ -101,6 +102,7 @@ func NewManagerHTTPServer(m *Manager, defaultSession string) (*HTTPServer, error
 	s.mux.HandleFunc("GET /v1/sessions/{session}/queries/{id}/plan", s.handleSessionQueryPlan)
 	s.mux.HandleFunc("POST /v1/sessions/{session}/script", s.handleSessionScript)
 	s.mux.HandleFunc("POST /v1/sessions/{session}/step", s.handleSessionStep)
+	s.mux.HandleFunc("POST /v1/sessions/{session}/ingest", s.handleSessionIngest)
 	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}", s.handleSessionResults)
 	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}/stream", s.handleSessionResultStream)
 
@@ -240,41 +242,55 @@ func toExplainJSON(ex planner.Explanation) explainJSON {
 	}
 }
 
-// sessionJSON is the wire form of a session.
+// sessionJSON is the wire form of a session. The ingest counters are
+// lifetime tuple counts (see docs/API.md, "Ingest accounting"); watermark
+// is the event-time low watermark in simulation time units, null until the
+// session has seen any pushed event time or watermark assertion.
 type sessionJSON struct {
-	Name      string  `json:"name"`
-	Created   string  `json:"created"`
-	Running   bool    `json:"running"`
-	ClockErr  string  `json:"clockError,omitempty"`
-	Pinned    bool    `json:"pinned"`
-	Simulated bool    `json:"simulated"`
-	Tick      string  `json:"tick,omitempty"`
-	Retention int     `json:"retention,omitempty"`
-	Seed      int64   `json:"seed,omitempty"`
-	Epochs    int     `json:"epochs"`
-	Now       float64 `json:"now"`
-	Queries   int     `json:"queries"`
-	Fused     bool    `json:"fused"`
-	Planner   bool    `json:"planner"`
-	Adaptive  bool    `json:"adaptive"`
+	Name          string   `json:"name"`
+	Created       string   `json:"created"`
+	Running       bool     `json:"running"`
+	ClockErr      string   `json:"clockError,omitempty"`
+	Pinned        bool     `json:"pinned"`
+	Simulated     bool     `json:"simulated"`
+	Tick          string   `json:"tick,omitempty"`
+	Retention     int      `json:"retention,omitempty"`
+	Seed          int64    `json:"seed,omitempty"`
+	Epochs        int      `json:"epochs"`
+	Now           float64  `json:"now"`
+	Queries       int      `json:"queries"`
+	Fused         bool     `json:"fused"`
+	Planner       bool     `json:"planner"`
+	Adaptive      bool     `json:"adaptive"`
+	Source        string   `json:"source"`
+	Ingested      uint64   `json:"ingested"`
+	IngestDropped uint64   `json:"ingestDropped"`
+	LateDropped   uint64   `json:"lateDropped"`
+	Watermark     *float64 `json:"watermark"`
 }
 
 func toSessionJSON(sess *Session) sessionJSON {
+	ist := sess.Engine.IngestStats()
 	sj := sessionJSON{
-		Name:      sess.Name,
-		Created:   sess.Created.UTC().Format(time.RFC3339Nano),
-		Running:   sess.Engine.Running(),
-		ClockErr:  errString(sess.Engine.ClockErr()),
-		Pinned:    sess.Spec.Pinned,
-		Simulated: sess.Spec.Clock.Simulated,
-		Retention: sess.Spec.Retention,
-		Seed:      sess.Spec.Seed,
-		Epochs:    sess.Engine.Epochs(),
-		Now:       sess.Engine.Now(),
-		Queries:   len(sess.Engine.Queries()),
-		Fused:     sess.Engine.FusedEnabled(),
-		Planner:   sess.Engine.PlannerEnabled(),
-		Adaptive:  sess.Engine.AdaptiveEnabled(),
+		Name:          sess.Name,
+		Created:       sess.Created.UTC().Format(time.RFC3339Nano),
+		Running:       sess.Engine.Running(),
+		ClockErr:      errString(sess.Engine.ClockErr()),
+		Pinned:        sess.Spec.Pinned,
+		Simulated:     sess.Spec.Clock.Simulated,
+		Retention:     sess.Spec.Retention,
+		Seed:          sess.Spec.Seed,
+		Epochs:        sess.Engine.Epochs(),
+		Now:           sess.Engine.Now(),
+		Queries:       len(sess.Engine.Queries()),
+		Fused:         sess.Engine.FusedEnabled(),
+		Planner:       sess.Engine.PlannerEnabled(),
+		Adaptive:      sess.Engine.AdaptiveEnabled(),
+		Source:        sess.Engine.SourceMode().String(),
+		Ingested:      ist.Ingested,
+		IngestDropped: ist.Dropped,
+		LateDropped:   ist.LateDropped,
+		Watermark:     finiteOrNil(ist.Watermark),
 	}
 	if sess.Spec.Clock.Interval > 0 {
 		sj.Tick = sess.Spec.Clock.Interval.String()
@@ -309,6 +325,14 @@ type sessionSpecJSON struct {
 	PlannerWeights  *plannerWeightsJSON `json:"plannerWeights"`
 	AdaptiveRates   bool                `json:"adaptiveRates"`
 	DisableAdaptive bool                `json:"disableAdaptive"`
+	// Source composition for the session's epochs: "simulated", "external"
+	// or "mixed" (empty inherits the server's -source template); the ingest
+	// queue bound in tuples, the event-time out-of-order tolerance in
+	// simulation time units, and the late-tuple policy ("drop" or "next").
+	Source          string  `json:"source"`
+	IngestBuffer    int     `json:"ingestBuffer"`
+	IngestTolerance float64 `json:"tolerance"`
+	LatePolicy      string  `json:"latePolicy"`
 }
 
 // plannerWeightsJSON is the wire form of planner.Weights.
@@ -334,6 +358,30 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 		DisablePlanner:  body.DisablePlanner,
 		AdaptiveRates:   body.AdaptiveRates,
 		DisableAdaptive: body.DisableAdaptive,
+		Source:          body.Source,
+		IngestBuffer:    body.IngestBuffer,
+		IngestTolerance: body.IngestTolerance,
+		LatePolicy:      body.LatePolicy,
+	}
+	// Validate here so a bad spec is a 400, not a factory 500 — or, worse,
+	// a silently ignored override.
+	if _, err := ParseSourceMode(body.Source); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body.LatePolicy != "" {
+		if _, err := ingest.ParseLatePolicy(body.LatePolicy); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if body.IngestBuffer < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("ingestBuffer must be non-negative, got %d", body.IngestBuffer))
+		return
+	}
+	if body.IngestTolerance < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("tolerance must be non-negative, got %g", body.IngestTolerance))
+		return
 	}
 	if body.PlannerWeights != nil {
 		pw := planner.Weights{
@@ -547,6 +595,9 @@ func (s *HTTPServer) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 
 // step advances the engine; epochs are serialized by Engine.stepMu, so
 // concurrent HTTP steps and a running clock interleave at epoch boundaries.
+// On a watermark-gated source the step stops early — without error — when
+// the next epoch is still open; "stepped" reports how many epochs ran and
+// "waiting" flags the early stop.
 func (s *HTTPServer) step(w http.ResponseWriter, r *http.Request, e *Engine) {
 	n := 1
 	if nv := r.URL.Query().Get("n"); nv != "" {
@@ -557,11 +608,19 @@ func (s *HTTPServer) step(w http.ResponseWriter, r *http.Request, e *Engine) {
 		}
 		n = parsed
 	}
-	if err := e.Run(n); err != nil {
+	done, err := e.RunReady(n)
+	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]interface{}{"epochs": e.Epochs(), "now": e.Now()})
+	resp := map[string]interface{}{"epochs": e.Epochs(), "now": e.Now(), "stepped": done}
+	if done < n {
+		resp["waiting"] = true
+		if wm, ok := e.Watermark(); ok {
+			resp["watermark"] = wm
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- results: cursor pagination and streaming -------------------------------
@@ -822,6 +881,12 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 			Scale: sl.Scale, LastNv: sl.LastNv, Infeasible: sl.Infeasible,
 		})
 	}
+	// Ingest accounting (lifetime tuple counts; see docs/API.md): ingested
+	// entered the queue, ingestDropped were overflow-rejected, lateDropped
+	// discarded as late, ingestLate redirected to a later epoch,
+	// ingestRejected failed validation; ingestPending is the current
+	// backlog and watermark the event-time low watermark (null unknown).
+	ist := e.IngestStats()
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"session":        sess.Name,
 		"running":        e.Running(),
@@ -841,6 +906,14 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		"requests":       e.Handler().RequestsSent(),
 		"responses":      e.Handler().ResponsesReceived(),
 		"retentionDrops": e.RetentionDrops(),
+		"source":         e.SourceMode().String(),
+		"ingested":       ist.Ingested,
+		"ingestDropped":  ist.Dropped,
+		"ingestLate":     ist.Late,
+		"lateDropped":    ist.LateDropped,
+		"ingestRejected": ist.Rejected,
+		"ingestPending":  ist.Pending,
+		"watermark":      finiteOrNil(ist.Watermark),
 		"budgets":        bj,
 	})
 }

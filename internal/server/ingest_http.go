@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+
+	"repro/internal/ingest"
+	"repro/internal/stream"
+)
+
+// The ingest gateway: POST /v1/sessions/{s}/ingest accepts externally
+// produced observations for sessions running in external or mixed source
+// mode.
+//
+// Two framings share one route, negotiated by Content-Type:
+//
+//   - application/json (default): the body is one observation batch; the
+//     response is its ack.
+//   - application/x-ndjson (or ?stream=1): the body is a stream of batch
+//     objects, one per line; the response streams one ack line per batch
+//     as it is applied, so a long-lived producer sees drop/late accounting
+//     per push. (Over HTTP/1.1 most clients deliver the acks once the
+//     request body is closed — half-duplex — while HTTP/2 gets them live.)
+//
+// A batch object is {"attr","watermark","observations":[…]}: attr is the
+// default attribute for observations that carry none; watermark, when
+// present, asserts that no observation with an older event time will
+// follow (a batch with only a watermark is the idle-producer heartbeat
+// that lets epochs close). Observations pushed without an id get a
+// gateway-assigned one in arrival order; producers that need replay-stable
+// streams assign their own ids (see ingest.GatewayIDBase).
+
+// ingestObservationJSON is the wire form of one pushed observation.
+type ingestObservationJSON struct {
+	ID     uint64  `json:"id,omitempty"`
+	Attr   string  `json:"attr,omitempty"`
+	T      float64 `json:"t"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Value  float64 `json:"value"`
+	Sensor *int    `json:"sensor,omitempty"`
+}
+
+// ingestBatchJSON is the wire form of one pushed batch.
+type ingestBatchJSON struct {
+	Attr         string                  `json:"attr,omitempty"`
+	Watermark    *float64                `json:"watermark,omitempty"`
+	Observations []ingestObservationJSON `json:"observations"`
+}
+
+// ingestAckJSON is the wire form of one ingest.Ack. All counts are tuples;
+// watermark is the post-push low watermark in simulation time units (null
+// until any event time or assertion is known).
+type ingestAckJSON struct {
+	Accepted    int      `json:"accepted"`
+	Dropped     int      `json:"dropped"`
+	Late        int      `json:"late"`
+	LateDropped int      `json:"lateDropped"`
+	Rejected    int      `json:"rejected"`
+	Watermark   *float64 `json:"watermark"`
+	Pending     int      `json:"pending"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// finiteOrNil maps the unknown (−Inf) watermark to null on the wire —
+// encoding/json cannot represent infinities.
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func toIngestAckJSON(ack ingest.Ack) ingestAckJSON {
+	return ingestAckJSON{
+		Accepted:    ack.Accepted,
+		Dropped:     ack.Dropped,
+		Late:        ack.Late,
+		LateDropped: ack.LateDropped,
+		Rejected:    ack.Rejected,
+		Watermark:   finiteOrNil(ack.Watermark),
+		Pending:     ack.Pending,
+	}
+}
+
+// ingestBatchLimit bounds one batch body / ndjson line.
+const ingestBatchLimit = 8 << 20
+
+// ingestPushStatus classifies a push failure: a queue closed by
+// shutdown/session-destroy is a retryable server condition (503), a
+// session that never accepts pushes is a conflict (409), anything else is
+// the producer's batch (400). Producers must not discard batches on 5xx.
+func ingestPushStatus(err error) int {
+	switch {
+	case errors.Is(err, ingest.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoIngest):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// applyIngestBatch converts one wire batch and pushes it into the engine.
+func applyIngestBatch(e *Engine, body ingestBatchJSON) (ingest.Ack, error) {
+	buf := stream.BorrowTuples(len(body.Observations))
+	defer buf.Release()
+	for _, o := range body.Observations {
+		attr := o.Attr
+		if attr == "" {
+			attr = body.Attr
+		}
+		if attr == "" {
+			return ingest.Ack{}, errors.New("observation missing attr (set it per observation or on the batch)")
+		}
+		sensor := -1
+		if o.Sensor != nil {
+			sensor = *o.Sensor
+		}
+		buf.Tuples = append(buf.Tuples, stream.Tuple{
+			ID: o.ID, Attr: attr, T: o.T, X: o.X, Y: o.Y, Value: o.Value, Sensor: sensor,
+		})
+	}
+	watermark := math.NaN()
+	if body.Watermark != nil {
+		watermark = *body.Watermark
+	}
+	return e.PushObservations(buf.Tuples, watermark)
+}
+
+// handleSessionIngest serves the push gateway (see the file comment for
+// the wire contract).
+func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r.PathValue("session"))
+	if sess == nil {
+		return
+	}
+	e := sess.Engine
+	if e.SourceMode() == SourceSimulated {
+		s.writeError(w, http.StatusConflict, ErrNoIngest)
+		return
+	}
+	streaming := r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Content-Type"), "ndjson")
+	if !streaming {
+		var body ingestBatchJSON
+		if err := json.NewDecoder(io.LimitReader(r.Body, ingestBatchLimit)).Decode(&body); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid ingest batch: %w", err))
+			return
+		}
+		ack, err := applyIngestBatch(e, body)
+		if err != nil {
+			s.writeError(w, ingestPushStatus(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, toIngestAckJSON(ack))
+		return
+	}
+
+	// ndjson: one batch per line in, one ack per line out, flushed per
+	// batch. A malformed line or a push failure ends the stream with a
+	// final error ack; everything before it was applied.
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	writeAck := func(aj ingestAckJSON) bool {
+		if err := enc.Encode(aj); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	scanner := bufio.NewScanner(r.Body)
+	scanner.Buffer(make([]byte, 64<<10), ingestBatchLimit)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		var body ingestBatchJSON
+		if err := json.Unmarshal([]byte(line), &body); err != nil {
+			writeAck(ingestAckJSON{Error: fmt.Sprintf("invalid ingest batch: %v", err)})
+			return
+		}
+		ack, err := applyIngestBatch(e, body)
+		if err != nil {
+			writeAck(ingestAckJSON{Error: err.Error()})
+			return
+		}
+		if !writeAck(toIngestAckJSON(ack)) {
+			return // client went away
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		writeAck(ingestAckJSON{Error: fmt.Sprintf("reading ingest stream: %v", err)})
+	}
+}

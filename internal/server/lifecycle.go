@@ -66,6 +66,10 @@ func (e *Engine) Start(ctx context.Context) error {
 
 // tickLoop drives epochs until ctx is done; it returns the first Step error
 // (the clock halts on failure rather than ticking a broken engine).
+// ErrEpochOpen is not a failure: a watermark-gated epoch makes the
+// wall-clock loop skip the tick, and the simulated loop park until the
+// watermark advances — the session's event-time clock is then effectively
+// driven by its producers.
 func (e *Engine) tickLoop(ctx context.Context, cfg ClockConfig) error {
 	if cfg.Simulated {
 		for {
@@ -75,6 +79,14 @@ func (e *Engine) tickLoop(ctx context.Context, cfg ClockConfig) error {
 			default:
 			}
 			if err := e.Step(); err != nil {
+				if errors.Is(err, ErrEpochOpen) {
+					if werr := e.waitSourceReady(ctx); werr != nil {
+						// Queue closed or ctx done: a clean stop, not an
+						// engine failure.
+						return nil
+					}
+					continue
+				}
 				return err
 			}
 		}
@@ -90,7 +102,7 @@ func (e *Engine) tickLoop(ctx context.Context, cfg ClockConfig) error {
 		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
-			if err := e.Step(); err != nil {
+			if err := e.Step(); err != nil && !errors.Is(err, ErrEpochOpen) {
 				return err
 			}
 		}
@@ -144,12 +156,15 @@ func (e *Engine) ClockErr() error {
 	return c.err
 }
 
-// Shutdown retires the engine: the epoch driver is stopped (drained) and
-// every live query's result store is closed so blocked streaming readers
-// terminate instead of waiting on a dead engine. The engine must not be
-// used afterwards.
+// Shutdown retires the engine: the epoch driver is stopped (drained), the
+// ingest queue is closed so producers get ErrClosed instead of feeding a
+// dead engine, and every live query's result store is closed so blocked
+// streaming readers terminate. The engine must not be used afterwards.
 func (e *Engine) Shutdown() error {
 	err := e.Stop()
+	if e.queue != nil {
+		e.queue.Close()
+	}
 	e.mu.Lock()
 	stores := make([]*stream.ResultStore, 0, len(e.results))
 	for _, store := range e.results {

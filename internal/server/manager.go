@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/planner"
 	"repro/internal/sensors"
 )
@@ -51,6 +52,18 @@ type SessionSpec struct {
 	// manager's template enables it (craqrd -budget), so a static control
 	// session can be created next to adaptive ones. Wins over AdaptiveRates.
 	DisableAdaptive bool
+	// Source selects the session's observation source composition:
+	// "simulated", "external" or "mixed" (see ParseSourceMode). Empty
+	// inherits the template's mode (craqrd -source).
+	Source string
+	// IngestBuffer overrides the ingest queue bound in tuples when positive.
+	IngestBuffer int
+	// IngestTolerance overrides the event-time out-of-order tolerance when
+	// positive (simulation time units).
+	IngestTolerance float64
+	// LatePolicy selects the late-tuple policy, "drop" or "next" (see
+	// ingest.ParseLatePolicy); empty inherits the template's policy.
+	LatePolicy string
 }
 
 // Session is one named engine hosted by a Manager.
@@ -109,6 +122,26 @@ func NewEngineFactory(template Config, fields func() (map[string]sensors.Field, 
 		}
 		if spec.DisableAdaptive {
 			cfg.AdaptiveRates = false
+		}
+		if spec.Source != "" {
+			mode, err := ParseSourceMode(spec.Source)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Source.Mode = mode
+		}
+		if spec.IngestBuffer > 0 {
+			cfg.Source.Buffer = spec.IngestBuffer
+		}
+		if spec.IngestTolerance > 0 {
+			cfg.Source.Tolerance = spec.IngestTolerance
+		}
+		if spec.LatePolicy != "" {
+			late, err := ingest.ParseLatePolicy(spec.LatePolicy)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Source.Late = late
 		}
 		cfg.Clock = spec.Clock
 		f, err := fields()

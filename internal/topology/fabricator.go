@@ -57,6 +57,9 @@ type Fabricator struct {
 	// shard list. Rebuilt under the write lock by every pipeline
 	// materialization or drop; read lock-free by Ingest under the read lock.
 	order map[string][]*CellPipeline
+	// attrs caches order's keys sorted — maintained alongside order so the
+	// per-epoch attr walk (AppendAttrs, VisitLastReports) never sorts.
+	attrs []string
 }
 
 // queryState tracks one inserted query's wiring.
@@ -92,8 +95,8 @@ func New(grid *geom.Grid, cfg Config, rng *stats.RNG) (*Fabricator, error) {
 // path (the default) or the unfused operator-graph walk.
 func (f *Fabricator) FusedEnabled() bool { return !f.cfg.Pipeline.DisableFused }
 
-// refreshOrder rebuilds the cached shard order for one attribute. Must be
-// called with f.mu held for writing.
+// refreshOrder rebuilds the cached shard order for one attribute (and the
+// sorted attr cache). Must be called with f.mu held for writing.
 func (f *Fabricator) refreshOrder(attr string) {
 	list := f.order[attr][:0]
 	for k, p := range f.cells {
@@ -103,16 +106,21 @@ func (f *Fabricator) refreshOrder(attr string) {
 	}
 	if len(list) == 0 {
 		delete(f.order, attr)
-		return
+	} else {
+		sort.Slice(list, func(i, j int) bool {
+			a, b := list[i].key.Cell, list[j].key.Cell
+			if a.R != b.R {
+				return a.R < b.R
+			}
+			return a.Q < b.Q
+		})
+		f.order[attr] = list
 	}
-	sort.Slice(list, func(i, j int) bool {
-		a, b := list[i].key.Cell, list[j].key.Cell
-		if a.R != b.R {
-			return a.R < b.R
-		}
-		return a.Q < b.Q
-	})
-	f.order[attr] = list
+	f.attrs = f.attrs[:0]
+	for a := range f.order {
+		f.attrs = append(f.attrs, a)
+	}
+	sort.Strings(f.attrs)
 }
 
 // Grid returns the fabricator's grid.
@@ -404,6 +412,22 @@ func (f *Fabricator) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Attrs returns the attributes with materialized pipelines, sorted — the
+// set of attributes an epoch must ingest (possibly empty batches) so merge
+// slices complete and F-operators report violations for starved cells.
+func (f *Fabricator) Attrs() []string {
+	return f.AppendAttrs(nil)
+}
+
+// AppendAttrs appends the sorted attribute set to dst and returns the
+// extended slice — the allocation-free variant of Attrs for the epoch hot
+// path (pass a scratch slice with capacity).
+func (f *Fabricator) AppendAttrs(dst []string) []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append(dst, f.attrs...)
+}
+
 // NumPipelines returns the number of materialized (cell, attribute) keys.
 func (f *Fabricator) NumPipelines() int {
 	f.mu.RLock()
@@ -467,14 +491,9 @@ func (f *Fabricator) Scale(key Key) (float64, bool) {
 // takes the write lock).
 func (f *Fabricator) VisitLastReports(fn func(Key, pmat.ViolationReport)) {
 	f.mu.RLock()
-	attrs := make([]string, 0, len(f.order))
-	for a := range f.order {
-		attrs = append(attrs, a)
-	}
-	sort.Strings(attrs)
 	keys := make([]Key, 0, len(f.cells))
 	reports := make([]pmat.ViolationReport, 0, len(f.cells))
-	for _, a := range attrs {
+	for _, a := range f.attrs {
 		for _, p := range f.order[a] {
 			keys = append(keys, p.key)
 			reports = append(reports, p.flatten.LastReport())

@@ -6,10 +6,12 @@
 #   BENCH='BenchmarkResultStore' scripts/bench.sh   # bounded result-store path
 #
 # BENCH filters benchmarks (default: all, including BenchmarkResultStore's
-# ring write/wraparound/cursor-read suite and BenchmarkFusedPipeline's
-# fused-vs-unfused depth/batch matrix), BENCHTIME sets -benchtime.
-# scripts/bench_guard.sh compares a fresh BenchmarkEndToEnd run against the
-# newest committed BENCH_*.json and fails on >15% ns/op regression.
+# ring write/wraparound/cursor-read suite, BenchmarkFusedPipeline's
+# fused-vs-unfused depth/batch matrix, and BenchmarkIngest's push-gateway
+# decode→enqueue→epoch-assembly path with B/op), BENCHTIME sets -benchtime.
+# scripts/bench_guard.sh compares fresh BenchmarkEndToEnd + BenchmarkIngest
+# runs against the newest committed BENCH_*.json and fails on >15% ns/op
+# regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Guards the end-to-end hot path against performance regressions: runs
-# BenchmarkEndToEnd and compares ns/op per sub-benchmark against the newest
-# committed BENCH_*.json trajectory file, failing when any sub-benchmark is
-# more than BENCH_TOLERANCE_PCT percent slower (default 15).
+# Guards the hot paths against performance regressions: runs
+# BenchmarkEndToEnd (epoch execution) and BenchmarkIngest (push-gateway
+# decode→enqueue→epoch assembly) and compares ns/op per sub-benchmark
+# against the newest committed BENCH_*.json trajectory file, failing when
+# any sub-benchmark is more than BENCH_TOLERANCE_PCT percent slower
+# (default 15). Benchmarks present in only one side are reported and
+# skipped, so adding a benchmark before its first committed baseline is
+# safe.
 #
 #   scripts/bench_guard.sh                      # guard against newest baseline
 #   BENCH_TOLERANCE_PCT=25 scripts/bench_guard.sh
@@ -24,16 +28,16 @@ echo "bench_guard: comparing against $base (tolerance ${tol}%)"
 raw=$(mktemp) basevals=$(mktemp) curvals=$(mktemp)
 trap 'rm -f "$raw" "$basevals" "$curvals"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEndToEnd' -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEndToEnd|BenchmarkIngest' -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 # Baseline pairs (name ns_per_op) from the JSON written by bench.sh.
-sed -n 's/.*"name": "\(BenchmarkEndToEnd[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \2/p' "$base" \
+sed -n 's/.*"name": "\(Benchmark\(EndToEnd\|Ingest\)[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \3/p' "$base" \
     | sed 's/-[0-9]* / /' > "$basevals"
 # Current pairs from the benchmark output.
-awk '/^BenchmarkEndToEnd/ {print $1, $3}' "$raw" | sed 's/-[0-9]* / /' > "$curvals"
+awk '/^Benchmark(EndToEnd|Ingest)/ {print $1, $3}' "$raw" | sed 's/-[0-9]* / /' > "$curvals"
 
 if [ ! -s "$curvals" ]; then
-    echo "bench_guard: BenchmarkEndToEnd produced no results" >&2
+    echo "bench_guard: guarded benchmarks produced no results" >&2
     exit 1
 fi
 
