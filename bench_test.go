@@ -28,6 +28,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/topology"
+	"repro/internal/wal"
 )
 
 // retime slides a batch's window to [t0, t0+1] and re-stamps every tuple's
@@ -782,4 +783,174 @@ func BenchmarkIngest(b *testing.B) {
 			b.SetBytes(int64(len(payload)))
 		})
 	}
+}
+
+// BenchmarkWALAppend measures the durability write path per fsync policy:
+// one accepted 64-observation push batch appended (and, for always,
+// synced) per iteration. The batch policy amortizes fsyncs via Commit
+// group-commit, so its per-append cost should sit near never while still
+// bounding ack durability.
+func BenchmarkWALAppend(b *testing.B) {
+	const n = 64
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = stream.Tuple{
+			ID: uint64(i + 1), Attr: "co2", T: float64(i) / n,
+			X: float64(i%8) + 0.5, Y: float64((i/8)%8) + 0.5, Value: 400, Sensor: -1,
+		}
+	}
+	for _, policy := range []wal.Policy{wal.FsyncNever, wal.FsyncBatch, wal.FsyncAlways} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			log, err := wal.Open(wal.Config{Dir: b.TempDir(), Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			if _, err := log.Replay(func(*wal.Record) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			rec := wal.Record{Type: wal.TypePush, Tuples: tuples, Watermark: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := log.Append(&rec); err != nil {
+					b.Fatal(err)
+				}
+				if policy == wal.FsyncBatch && i%16 == 15 {
+					if err := log.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures cold-start crash recovery: a durable external
+// session with 50 pushed epochs (64 observations each) is rebuilt from its
+// WAL by deterministic replay on every iteration.
+func BenchmarkRecovery(b *testing.B) {
+	const epochs, perEpoch = 50, 64
+	region := geom.NewRect(0, 0, 8, 8)
+	dir := b.TempDir()
+	cfg := server.Config{
+		Region:    region,
+		GridCells: 16,
+		Epoch:     1,
+		Budget:    budget.Config{Initial: 20, Delta: 5, Min: 5, Max: 200, ViolationThreshold: 10},
+		Fleet:     sensors.FleetConfig{N: 100, Response: sensors.ResponseModel{BaseProb: 0.7, MaxProb: 0.95, IncentiveScale: 1}},
+		Seed:      1,
+		Source:    server.SourceConfig{Mode: server.SourceExternal},
+		Durability: server.DurabilityConfig{
+			Dir: dir, Fsync: wal.FsyncNever, SnapshotEveryEpochs: 10,
+		},
+	}
+	fields := benchFields(b, region)
+	e, err := server.New(cfg, fields)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Submit(query.Query{Attr: "rain", Region: region, Rate: 8}); err != nil {
+		b.Fatal(err)
+	}
+	tuples := make([]stream.Tuple, perEpoch)
+	for t := 0; t < epochs; t++ {
+		for i := range tuples {
+			tuples[i] = stream.Tuple{
+				Attr: "rain", T: float64(t) + float64(i)/perEpoch,
+				X: float64(i%8) + 0.5, Y: float64((i/8)%8) + 0.5, Value: 1, Sensor: -1,
+			}
+		}
+		if _, err := e.PushObservations(tuples, float64(t+1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Shutdown(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Durability.ReadOnly = true // replay without rewriting state
+		re, err := server.New(cfg, fields)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re.Epochs() != epochs {
+			b.Fatalf("recovered %d epochs, want %d", re.Epochs(), epochs)
+		}
+		b.StopTimer()
+		if err := re.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkIngestDurable is BenchmarkIngest's end-to-end push path with
+// durability enabled at the default fsync=batch policy — the guardrail
+// that the WAL stays off the ingest hot path (bench_guard.sh holds its
+// ns/op within 15% of the committed baseline).
+func BenchmarkIngestDurable(b *testing.B) {
+	const n = 64
+	region := geom.NewRect(0, 0, 8, 8)
+	cfg := server.Config{
+		Region:    region,
+		GridCells: 16,
+		Epoch:     1,
+		Budget:    budget.Config{Initial: 20, Delta: 5, Min: 5, Max: 200, ViolationThreshold: 10},
+		Fleet:     sensors.FleetConfig{N: 100, Response: sensors.ResponseModel{BaseProb: 0.7, MaxProb: 0.95, IncentiveScale: 1}},
+		Seed:      1,
+		Source:    server.SourceConfig{Mode: server.SourceExternal, Buffer: 1 << 16},
+		Durability: server.DurabilityConfig{
+			Dir: b.TempDir(), Fsync: wal.FsyncBatch, SnapshotEveryEpochs: 1 << 30,
+		},
+	}
+	e, err := server.New(cfg, benchFields(b, region))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = e.Shutdown() }()
+	tuples := make([]stream.Tuple, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch := float64(i)
+		for j := range tuples {
+			tuples[j] = stream.Tuple{
+				ID: uint64(j + 1), Attr: "co2", T: epoch + float64(j)/n,
+				X: float64(j%8) + 0.5, Y: float64((j/8)%8) + 0.5, Value: 400, Sensor: -1,
+			}
+		}
+		ack, err := e.PushObservations(tuples, epoch+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ack.Accepted != n {
+			b.Fatalf("ack = %+v", ack)
+		}
+		// Periodically drain the closed epochs off the clock so the queue
+		// never overflows; only the push path itself is measured.
+		if i%256 == 255 {
+			b.StopTimer()
+			if _, err := e.RunReady(256); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// benchFields builds the minimal ground-truth fields the durability
+// benchmarks need.
+func benchFields(b *testing.B, region geom.Rect) map[string]sensors.Field {
+	b.Helper()
+	rain, err := sensors.NewRainField(region, []sensors.Storm{{X0: 2, Y0: 2, VX: 0.1, VY: 0, Radius: 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]sensors.Field{"rain": rain, "co2": rain}
 }

@@ -19,11 +19,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client talks to one craqrd server. The zero HTTPClient means
@@ -33,6 +37,10 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Retry governs automatic retry of retryable ingest failures (503 from
+	// a server that is restarting or destroying the session). The zero
+	// value retries with the defaults; set MaxAttempts to 1 to disable.
+	Retry RetryPolicy
 }
 
 // New returns a client for the server at base.
@@ -45,10 +53,104 @@ func New(base string) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent). A
+	// 503 with RetryAfter means the condition is transient — e.g. craqrd
+	// is shutting down for a restart — and the request can be retried
+	// without risking a double-apply (the batch was not acked).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("craqrd: %d: %s", e.StatusCode, e.Message)
+}
+
+// RetryPolicy shapes the exponential backoff used by Ingest and
+// AssertWatermark when the server answers 503 (ingest queue closed,
+// typically a restart in progress). Delays start at BaseDelay, double per
+// attempt, are capped at MaxDelay, never undercut the server's Retry-After
+// hint, and carry ±25% jitter so a producer fleet does not reconnect in
+// lockstep. Sleeps abort immediately when ctx is done.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (0 = DefaultRetryAttempts, 1 = no
+	// retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff (0 = DefaultRetryBaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = DefaultRetryMaxDelay).
+	MaxDelay time.Duration
+}
+
+// Retry defaults: 5 attempts spanning roughly 100ms+200ms+400ms+800ms ≈
+// 1.5s of patience — enough to ride out a craqrd restart, short enough
+// that a dead server fails fast.
+const (
+	DefaultRetryAttempts  = 5
+	DefaultRetryBaseDelay = 100 * time.Millisecond
+	DefaultRetryMaxDelay  = 2 * time.Second
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMaxDelay
+	}
+	return p
+}
+
+// retryable reports whether err is a transient server condition worth
+// retrying: only 503 qualifies (the batch was rejected before any state
+// change, so a retry cannot double-apply).
+func retryable(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable
+}
+
+// backoffDelay computes the attempt-th delay (0-based): exponential from
+// BaseDelay, floored by the server's Retry-After hint, capped at MaxDelay,
+// with ±25% jitter.
+func (p RetryPolicy) backoffDelay(attempt int, err error) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || d > p.MaxDelay { // <<-overflow or cap
+		d = p.MaxDelay
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+		if d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2 + 1)) // [0, d/4*2]
+	return d*3/4 + jitter
+}
+
+// withRetry runs op under the client's retry policy: transient (503)
+// failures back off and retry; everything else — and context cancellation
+// mid-sleep — returns immediately.
+func (c *Client) withRetry(ctx context.Context, op func() error) error {
+	policy := c.Retry.withDefaults()
+	var err error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if err = op(); err == nil || !retryable(err) {
+			return err
+		}
+		if attempt == policy.MaxAttempts-1 {
+			break
+		}
+		timer := time.NewTimer(policy.backoffDelay(attempt, err))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return errors.Join(ctx.Err(), err)
+		case <-timer.C:
+		}
+	}
+	return err
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -93,7 +195,11 @@ func decodeError(resp *http.Response) error {
 			envelope.Error = resp.Status
 		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: envelope.Error}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: envelope.Error}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return apiErr
 }
 
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out interface{}) error {
@@ -134,6 +240,13 @@ type SessionSpec struct {
 	DisablePlanner  bool `json:"disablePlanner,omitempty"`
 	AdaptiveRates   bool `json:"adaptiveRates,omitempty"`
 	DisableAdaptive bool `json:"disableAdaptive,omitempty"`
+	// Durability knobs (effective only when craqrd runs with -data-dir).
+	// DisableDurability opts this session out of WAL + snapshots;
+	// SnapshotEvery overrides the checkpoint cadence in epochs; FsyncPolicy
+	// is "always", "batch" or "never".
+	DisableDurability bool   `json:"disableDurability,omitempty"`
+	SnapshotEvery     int    `json:"snapshotEvery,omitempty"`
+	FsyncPolicy       string `json:"fsyncPolicy,omitempty"`
 }
 
 // Session is the server's session object. The ingest counters are lifetime
@@ -160,6 +273,14 @@ type Session struct {
 	IngestDropped uint64   `json:"ingestDropped"`
 	LateDropped   uint64   `json:"lateDropped"`
 	Watermark     *float64 `json:"watermark"`
+	// Durability surface (zero values when the session is not durable).
+	Durable           bool   `json:"durable,omitempty"`
+	Fsync             string `json:"fsync,omitempty"`
+	SnapshotEvery     int    `json:"snapshotEvery,omitempty"`
+	LastSnapshotEpoch int    `json:"lastSnapshotEpoch,omitempty"`
+	WALBytes          int64  `json:"walBytes,omitempty"`
+	WALSegments       int    `json:"walSegments,omitempty"`
+	Recovered         bool   `json:"recovered,omitempty"`
 }
 
 // CreateSession creates a session.
@@ -298,10 +419,17 @@ type Ack struct {
 }
 
 // Ingest pushes one observation batch into an external- or mixed-source
-// session and returns its ack.
+// session and returns its ack. A 503 (ingest queue closed — the server is
+// restarting or the session is churning) is retried under the client's
+// RetryPolicy with exponential backoff, honoring the server's Retry-After
+// hint; an un-acked batch is never applied, so retries cannot duplicate
+// observations.
 func (c *Client) Ingest(ctx context.Context, session string, b Batch) (Ack, error) {
 	var out Ack
-	err := c.doJSON(ctx, "POST", "/v1/sessions/"+url.PathEscape(session)+"/ingest", b, &out)
+	err := c.withRetry(ctx, func() error {
+		out = Ack{}
+		return c.doJSON(ctx, "POST", "/v1/sessions/"+url.PathEscape(session)+"/ingest", b, &out)
+	})
 	return out, err
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -237,5 +239,104 @@ func TestClientIngestStreamNDJSON(t *testing.T) {
 	}
 	if _, err := c.Ingest(ctx, "sim", client.Batch{Attr: "x", Observations: []client.Observation{{T: 1, X: 1, Y: 1}}}); err == nil {
 		t.Fatal("ingest into simulated session should fail")
+	}
+}
+
+// flakyIngestServer answers the ingest route with fail503 consecutive 503s
+// (carrying Retry-After) before succeeding.
+func flakyIngestServer(t *testing.T, fail503 int) (*httptest.Server, *int32) {
+	t.Helper()
+	var calls int32
+	h := http.NewServeMux()
+	h.HandleFunc("POST /v1/sessions/{s}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		if int(n) <= fail503 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"ingest queue closed"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"accepted":2,"watermark":null,"pending":0}`))
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestIngestRetries503 proves Ingest rides out transient 503s: two refusals
+// with Retry-After, then success — the caller sees only the final ack.
+func TestIngestRetries503(t *testing.T) {
+	ts, calls := flakyIngestServer(t, 2)
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	ack, err := c.Ingest(context.Background(), "s", client.Batch{Attr: "x"})
+	if err != nil {
+		t.Fatalf("ingest should have retried through the 503s: %v", err)
+	}
+	if ack.Accepted != 2 {
+		t.Fatalf("ack = %+v, want the post-retry ack", ack)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 refusals + success)", got)
+	}
+}
+
+// TestIngestRetryExhaustion: a persistent 503 surfaces as an APIError with
+// the server's Retry-After hint after MaxAttempts tries.
+func TestIngestRetryExhaustion(t *testing.T) {
+	ts, calls := flakyIngestServer(t, 1000)
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err := c.Ingest(context.Background(), "s", client.Batch{Attr: "x"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 {
+		t.Fatalf("err = %v, want a 503 APIError", err)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s from the header", apiErr.RetryAfter)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts", got)
+	}
+}
+
+// TestIngestRetryHonorsContext: cancellation mid-backoff aborts the wait
+// immediately instead of sleeping out the schedule.
+func TestIngestRetryHonorsContext(t *testing.T) {
+	ts, _ := flakyIngestServer(t, 1000)
+	c := client.New(ts.URL)
+	// Long backoff so only cancellation can end the wait promptly.
+	c.Retry = client.RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := c.Ingest(ctx, "s", client.Batch{Attr: "x"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep did not abort", elapsed)
+	}
+}
+
+// TestNonRetryableErrorsFailFast: a 400 is the producer's bug, never
+// retried.
+func TestNonRetryableErrorsFailFast(t *testing.T) {
+	var calls int32
+	h := http.NewServeMux()
+	h.HandleFunc("POST /v1/sessions/{s}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad batch"}`))
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	if _, err := c.Ingest(context.Background(), "s", client.Batch{}); err == nil {
+		t.Fatal("400 must surface")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries on 4xx)", got)
 	}
 }

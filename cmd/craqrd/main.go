@@ -32,6 +32,12 @@
 // next). Sessions can override any of these at POST /v1/sessions. See
 // docs/API.md for the full HTTP reference.
 //
+// -data-dir makes sessions durable: every accepted ingest batch and epoch
+// is written to a per-session WAL (fsync policy via -fsync) with periodic
+// snapshots (-snapshot-every); on restart with the same -data-dir every
+// session recovers by deterministic replay, resuming its result streams
+// where they left off (see DESIGN.md §11).
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
 // taking connections, in-flight requests get a drain deadline, and every
 // session's engine is stopped (ingest queues closed, result stores closed)
@@ -51,12 +57,10 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/budget"
-	"repro/internal/geom"
 	"repro/internal/ingest"
-	"repro/internal/mobility"
-	"repro/internal/sensors"
 	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/world"
 )
 
 func main() {
@@ -74,6 +78,9 @@ func main() {
 	ingestBuffer := flag.Int("ingest-buffer", 0, "per-session ingest queue bound in tuples (0 = default)")
 	tolerance := flag.Float64("tolerance", 0, "event-time out-of-order tolerance in epoch time units")
 	late := flag.String("late", "drop", "late-tuple policy: drop | next")
+	dataDir := flag.String("data-dir", "", "durability root: WAL + snapshots per session (empty disables durability)")
+	fsyncPolicy := flag.String("fsync", "batch", "WAL fsync policy with -data-dir: always | batch | never")
+	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot cadence in epochs with -data-dir (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
 
@@ -85,26 +92,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	region := geom.NewRect(0, 0, 8, 8)
-	template := server.Config{
-		Region:    region,
-		GridCells: 16,
-		Epoch:     1,
-		Budget:    budget.Config{Initial: 10, Delta: 4, Min: 2, Max: 300, ViolationThreshold: 10},
-		Fleet: sensors.FleetConfig{
-			N: *nSensors,
-			Hotspots: []mobility.Hotspot{
-				{Center: geom.Point{X: 2, Y: 2}, Sigma: 1, Weight: 2},
-				{Center: geom.Point{X: 6, Y: 5}, Sigma: 1.5, Weight: 1},
-			},
-			UniformFraction: 0.25,
-			Dwell:           3,
-			Response:        sensors.ResponseModel{BaseProb: 0.5, MaxProb: 0.95, IncentiveScale: 1, MeanLatency: 0.05},
-		},
-		Seed:      *seed,
-		Retention: *retention,
+	fsync, err := wal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	template := world.Template(*nSensors)
+	template.Seed = *seed
+	template.Retention = *retention
 	template.Fabricator.Workers = *workers
 	template.Planner.Disable = !*plan
 	template.AdaptiveRates = *budgetAdapt
@@ -114,38 +109,45 @@ func main() {
 		Tolerance: *tolerance,
 		Late:      latePolicy,
 	}
-
-	// Every session gets its own ground-truth world: a drifting storm and a
-	// smooth temperature field.
-	fields := func() (map[string]sensors.Field, error) {
-		rain, err := sensors.NewRainField(region, []sensors.Storm{{X0: 2, Y0: 2, VX: 0.15, VY: 0.05, Radius: 2}})
-		if err != nil {
-			return nil, err
+	if *dataDir != "" {
+		template.Durability = server.DurabilityConfig{
+			Dir:                 *dataDir,
+			Fsync:               fsync,
+			SnapshotEveryEpochs: *snapshotEvery,
 		}
-		temp, err := sensors.NewTempField(20, 0.3, -0.2, 4, 24, 0, nil)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]sensors.Field{"rain": rain, "temp": temp}, nil
 	}
 
 	manager, err := server.NewManager(server.ManagerConfig{
-		NewEngine:   server.NewEngineFactory(template, fields),
-		MaxSessions: *maxSessions,
-		IdleTTL:     *idleTTL,
+		NewEngine:     server.NewEngineFactory(template, world.Fields),
+		MaxSessions:   *maxSessions,
+		IdleTTL:       *idleTTL,
+		DurabilityDir: *dataDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The pinned default session backs the legacy single-session routes.
-	if _, err := manager.Create(server.SessionSpec{
-		Name:   server.DefaultSessionName,
-		Seed:   *seed,
-		Clock:  server.ClockConfig{Interval: *tick},
-		Pinned: true,
-	}); err != nil {
-		log.Fatal(err)
+	// Re-adopt sessions persisted under a previous run's -data-dir: each
+	// recovers by replaying its WAL before serving.
+	recovered, err := manager.Recover()
+	if err != nil {
+		log.Fatalf("craqrd: recovery: %v", err)
+	}
+	for _, name := range recovered {
+		log.Printf("craqrd: recovered session %q from %s", name, *dataDir)
+	}
+
+	// The pinned default session backs the legacy single-session routes
+	// (skipped when a recovered session already owns the name).
+	if _, err := manager.Get(server.DefaultSessionName); err != nil {
+		if _, err := manager.Create(server.SessionSpec{
+			Name:   server.DefaultSessionName,
+			Seed:   *seed,
+			Clock:  server.ClockConfig{Interval: *tick},
+			Pinned: true,
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	httpServer, err := server.NewManagerHTTPServer(manager, server.DefaultSessionName)
@@ -154,6 +156,9 @@ func main() {
 	}
 	if *tick > 0 {
 		fmt.Printf("craqrd: default session ticking every %v\n", *tick)
+	}
+	if *dataDir != "" {
+		fmt.Printf("craqrd: durable sessions under %s (fsync=%s); kill -9 and restart with the same -data-dir to recover\n", *dataDir, fsync)
 	}
 	if srcMode != server.SourceSimulated {
 		fmt.Printf("craqrd: %s source template (late=%s); push observations at POST /v1/sessions/{s}/ingest\n", srcMode, latePolicy)

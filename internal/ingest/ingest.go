@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/stream"
 )
 
 // LatePolicy decides the fate of a tuple whose event time precedes the
@@ -91,6 +92,22 @@ type Config struct {
 	// region of interest before they can reach the map phase, which would
 	// otherwise discard them silently.
 	Region geom.Rect
+	// Journal, when non-nil, observes every state-changing queue mutation
+	// for write-ahead logging (see internal/wal). Both hooks are invoked
+	// with the queue's lock held, so the journal records pushes and drains
+	// in exactly the order they took effect — the serialization a
+	// deterministic replay needs. Hooks must not call back into the queue.
+	Journal Journal
+}
+
+// Journal receives the queue's mutations in effect order. Push passes the
+// raw batch exactly as the producer sent it (pre-validation, original IDs)
+// plus the watermark argument; Drain passes the closed epoch's horizon.
+// Implementations must be fast and non-blocking: they run inside the
+// queue's critical section.
+type Journal interface {
+	JournalPush(tuples []stream.Tuple, watermark float64)
+	JournalDrain(t1 float64)
 }
 
 // Ack reports the fate of every tuple of one push — the per-batch

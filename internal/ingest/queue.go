@@ -124,6 +124,13 @@ func (q *Queue) Push(tuples []stream.Tuple, watermark float64) (Ack, error) {
 	q.rejected += uint64(ack.Rejected)
 	ack.Watermark = q.watermarkLocked()
 	ack.Pending = len(q.buf)
+	// Journal the raw input (not the ack): replaying it through Push
+	// re-derives every validation/late/overflow/gateway-ID decision, and
+	// even all-rejected pushes mutate counters and watermark state. Still
+	// under q.mu, so the journal's order is the effect order.
+	if q.cfg.Journal != nil {
+		q.cfg.Journal.JournalPush(tuples, watermark)
+	}
 	q.wake()
 	return ack, nil
 }
@@ -199,6 +206,11 @@ func (q *Queue) Drain(t1 float64, dst []stream.Tuple) []stream.Tuple {
 	q.buf = kept
 	if t1 > q.closedTo {
 		q.closedTo = t1
+	}
+	// The drain journal entry doubles as the epoch record: its position
+	// among the push entries fixes which observations the closing epoch saw.
+	if q.cfg.Journal != nil {
+		q.cfg.Journal.JournalDrain(t1)
 	}
 	stream.SortTuples(dst)
 	return dst

@@ -187,6 +187,16 @@ func (f *Flatten) LastReport() ViolationReport {
 	return f.last
 }
 
+// WarmTheta returns the warm-start θ carried from the last fitted batch and
+// whether one exists — the estimator state an engine snapshot records so an
+// operator inspecting a recovered session can compare the replayed fit
+// against the checkpoint.
+func (f *Flatten) WarmTheta() (intensity.Theta, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.prevTheta, f.hasPrev
+}
+
 // maxReports bounds the retained per-batch violation reports.
 const maxReports = 512
 

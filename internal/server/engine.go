@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/budget"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/topology"
+	"repro/internal/wal"
 )
 
 // Config assembles an engine.
@@ -84,6 +86,10 @@ type Config struct {
 	// fleet (default), externally pushed observations, or both (see
 	// DESIGN.md, "External ingestion and watermarks").
 	Source SourceConfig
+	// Durability, when Dir is non-empty, write-ahead logs every state
+	// mutation and recovers the session by deterministic replay on
+	// construction (see DESIGN.md, "Durability and recovery").
+	Durability DurabilityConfig
 }
 
 // SourceMode selects an engine's observation source composition.
@@ -185,6 +191,9 @@ type Engine struct {
 	source ingest.Source
 	queue  *ingest.Queue
 
+	// dur is the write-ahead log attachment (nil on non-durable engines).
+	dur *durableState
+
 	mu      sync.Mutex
 	stepMu  sync.Mutex // serializes epochs across callers (HTTP, tickers)
 	now     float64
@@ -260,6 +269,23 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 			return nil, fmt.Errorf("server: adaptive: %w", err)
 		}
 	}
+	// The WAL opens before the queue so the queue can journal through it;
+	// the log is replayed (initDurability) only once the engine is whole.
+	var dur *durableState
+	if cfg.Durability.Dir != "" {
+		dcfg := cfg.Durability.withDefaults()
+		wlog, werr := wal.Open(wal.Config{
+			Dir:          filepath.Join(dcfg.Dir, "wal"),
+			Fsync:        dcfg.Fsync,
+			SegmentBytes: dcfg.SegmentBytes,
+			ReadOnly:     dcfg.ReadOnly,
+			WrapFile:     dcfg.WrapFile,
+		})
+		if werr != nil {
+			return nil, fmt.Errorf("server: durability: %w", werr)
+		}
+		dur = &durableState{cfg: dcfg, log: wlog}
+	}
 	var (
 		queue *ingest.Queue
 		src   ingest.Source = ingest.FleetSource{H: h}
@@ -267,12 +293,16 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 	switch cfg.Source.Mode {
 	case SourceSimulated:
 	case SourceExternal, SourceMixed:
-		queue = ingest.NewQueue(ingest.Config{
+		icfg := ingest.Config{
 			Buffer:    cfg.Source.Buffer,
 			Tolerance: cfg.Source.Tolerance,
 			Late:      cfg.Source.Late,
 			Region:    cfg.Region,
-		})
+		}
+		if dur != nil {
+			icfg.Journal = dur
+		}
+		queue = ingest.NewQueue(icfg)
 		qs, qerr := ingest.NewQueueSource(queue, cfg.Region)
 		if qerr != nil {
 			return nil, fmt.Errorf("server: %w", qerr)
@@ -285,7 +315,7 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("server: unknown source mode %d", cfg.Source.Mode)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:         cfg,
 		grid:        grid,
 		fleet:       fleet,
@@ -298,9 +328,18 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 		adaptive:    adaptive,
 		source:      src,
 		queue:       queue,
+		dur:         dur,
 		results:     make(map[string]*stream.ResultStore),
 		plans:       make(map[string]planner.CostEstimate),
-	}, nil
+	}
+	if dur != nil {
+		// Recover: replay whatever the durability directory already holds
+		// through the engine's own machinery, then attach the journal.
+		if err := e.initDurability(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // Grid returns the engine's grid.
@@ -350,6 +389,13 @@ func (e *Engine) Epochs() int {
 // plan endpoint. With planning disabled — or when the planner cannot price
 // the query — the static Fabricator.Merge mode is used.
 func (e *Engine) Submit(q query.Query) (query.Query, error) {
+	if e.dur != nil {
+		// Durable engines serialize control-plane mutations on the epoch
+		// lock: the WAL's record order then is the effect order against
+		// epoch closes, which deterministic replay depends on.
+		e.stepMu.Lock()
+		defer e.stepMu.Unlock()
+	}
 	store := stream.NewResultStore(e.cfg.Retention)
 	var (
 		stored query.Query
@@ -370,6 +416,16 @@ func (e *Engine) Submit(q query.Query) (query.Query, error) {
 		e.plans[stored.ID] = est
 	}
 	e.mu.Unlock()
+	if e.dur != nil {
+		mode := ""
+		if m, ok := e.fab.QueryMergeMode(stored.ID); ok {
+			mode = m.String()
+		}
+		e.dur.logSubmit(stored, mode)
+		if cerr := e.dur.commit(); cerr != nil {
+			return query.Query{}, fmt.Errorf("server: durability: %w", cerr)
+		}
+	}
 	return stored, nil
 }
 
@@ -457,14 +513,23 @@ func (e *Engine) SubmitScript(src string) ([]query.Query, error) {
 }
 
 // SubmitWithSink registers a query whose stream is delivered to a custom
-// processor instead of an internal collector.
+// processor instead of an internal collector. Durable engines reject it: a
+// caller-owned sink cannot be reconstructed by replay, so the query would
+// silently vanish on recovery.
 func (e *Engine) SubmitWithSink(q query.Query, sink stream.Processor) (query.Query, error) {
+	if e.dur != nil {
+		return query.Query{}, errors.New("server: SubmitWithSink is unavailable on durable sessions (custom sinks cannot be recovered by replay)")
+	}
 	return e.fab.InsertQuery(q, sink)
 }
 
 // Delete removes a live query and closes its result store, unblocking any
 // streaming readers.
 func (e *Engine) Delete(id string) error {
+	if e.dur != nil {
+		e.stepMu.Lock()
+		defer e.stepMu.Unlock()
+	}
 	if err := e.fab.DeleteQuery(id); err != nil {
 		return err
 	}
@@ -475,6 +540,12 @@ func (e *Engine) Delete(id string) error {
 	e.mu.Unlock()
 	if store != nil {
 		store.Close()
+	}
+	if e.dur != nil {
+		e.dur.logDelete(id)
+		if cerr := e.dur.commit(); cerr != nil {
+			return fmt.Errorf("server: durability: %w", cerr)
+		}
 	}
 	return nil
 }
@@ -539,6 +610,13 @@ var ErrEpochOpen = errors.New("server: epoch open: ingest watermark below epoch 
 func (e *Engine) Step() error {
 	e.stepMu.Lock()
 	defer e.stepMu.Unlock()
+	if e.dur != nil {
+		// A failed WAL append poisons the engine: advancing state the log
+		// did not record would make the log a lie on the next recovery.
+		if err := e.dur.failed(); err != nil {
+			return fmt.Errorf("server: durability: %w", err)
+		}
+	}
 	e.mu.Lock()
 	t0 := e.now
 	e.mu.Unlock()
@@ -580,6 +658,23 @@ func (e *Engine) Step() error {
 	}
 	if err := e.observeEpoch(); err != nil {
 		return fmt.Errorf("server: epoch at t=%g: adaptive retune: %w", t0, err)
+	}
+	if e.dur != nil {
+		if e.queue == nil {
+			// Queue-sourced engines already wrote the epoch record at drain
+			// time (ingest.Journal); purely simulated epochs record it here,
+			// with the epoch count for replay verification.
+			e.mu.Lock()
+			now, epochs := e.now, uint64(e.epochs)
+			e.mu.Unlock()
+			e.dur.logEpoch(now, epochs)
+		}
+		if err := e.dur.commit(); err != nil {
+			return fmt.Errorf("server: durability: %w", err)
+		}
+		if err := e.maybeSnapshot(); err != nil {
+			return fmt.Errorf("server: snapshot at t=%g: %w", t0, err)
+		}
 	}
 	return nil
 }
@@ -707,7 +802,20 @@ func (e *Engine) PushObservations(tuples []stream.Tuple, watermark float64) (ing
 	if e.queue == nil {
 		return ingest.Ack{}, ErrNoIngest
 	}
-	return e.queue.Push(tuples, watermark)
+	ack, err := e.queue.Push(tuples, watermark)
+	if err != nil {
+		return ack, err
+	}
+	if e.dur != nil {
+		// The ack barrier: the push's WAL record (appended under the queue
+		// lock) must be durable under the configured fsync policy before the
+		// producer is told its batch was accepted. Under FsyncBatch
+		// concurrent producers coalesce onto one fsync.
+		if cerr := e.dur.commit(); cerr != nil {
+			return ingest.Ack{}, fmt.Errorf("server: durability: %w", cerr)
+		}
+	}
+	return ack, nil
 }
 
 // SourceMode reports the engine's observation source composition.

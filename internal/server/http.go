@@ -18,6 +18,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // HTTPServer exposes a session Manager over JSON/HTTP. Sessions are
@@ -267,6 +268,16 @@ type sessionJSON struct {
 	IngestDropped uint64   `json:"ingestDropped"`
 	LateDropped   uint64   `json:"lateDropped"`
 	Watermark     *float64 `json:"watermark"`
+	// Durability (see docs/API.md, "Durability"): present only on durable
+	// sessions — the WAL fsync policy, checkpoint cadence and size
+	// counters, plus whether this process recovered the session from disk.
+	Durable           bool   `json:"durable,omitempty"`
+	Fsync             string `json:"fsync,omitempty"`
+	SnapshotEvery     int    `json:"snapshotEvery,omitempty"`
+	LastSnapshotEpoch int    `json:"lastSnapshotEpoch,omitempty"`
+	WALBytes          int64  `json:"walBytes,omitempty"`
+	WALSegments       int    `json:"walSegments,omitempty"`
+	Recovered         bool   `json:"recovered,omitempty"`
 }
 
 func toSessionJSON(sess *Session) sessionJSON {
@@ -294,6 +305,15 @@ func toSessionJSON(sess *Session) sessionJSON {
 	}
 	if sess.Spec.Clock.Interval > 0 {
 		sj.Tick = sess.Spec.Clock.Interval.String()
+	}
+	if ds := sess.Engine.Durability(); ds.Enabled {
+		sj.Durable = true
+		sj.Fsync = ds.Fsync
+		sj.SnapshotEvery = ds.SnapshotEvery
+		sj.LastSnapshotEpoch = ds.LastSnapshotEpoch
+		sj.WALBytes = ds.WALBytes
+		sj.WALSegments = ds.WALSegments
+		sj.Recovered = ds.Recovered
 	}
 	return sj
 }
@@ -333,6 +353,14 @@ type sessionSpecJSON struct {
 	IngestBuffer    int     `json:"ingestBuffer"`
 	IngestTolerance float64 `json:"tolerance"`
 	LatePolicy      string  `json:"latePolicy"`
+	// Durability knobs (effective only when the server runs with
+	// -data-dir): disableDurability opts the session out of write-ahead
+	// logging, snapshotEvery overrides the checkpoint cadence in epochs,
+	// fsyncPolicy overrides the WAL fsync policy ("batch", "always",
+	// "never").
+	DisableDurability bool   `json:"disableDurability"`
+	SnapshotEvery     int    `json:"snapshotEvery"`
+	FsyncPolicy       string `json:"fsyncPolicy"`
 }
 
 // plannerWeightsJSON is the wire form of planner.Weights.
@@ -349,19 +377,22 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	spec := SessionSpec{
-		Name:            body.Name,
-		Seed:            body.Seed,
-		Retention:       body.Retention,
-		Clock:           ClockConfig{Simulated: body.Simulated},
-		Pinned:          body.Pinned,
-		DisableFused:    body.DisableFused,
-		DisablePlanner:  body.DisablePlanner,
-		AdaptiveRates:   body.AdaptiveRates,
-		DisableAdaptive: body.DisableAdaptive,
-		Source:          body.Source,
-		IngestBuffer:    body.IngestBuffer,
-		IngestTolerance: body.IngestTolerance,
-		LatePolicy:      body.LatePolicy,
+		Name:              body.Name,
+		Seed:              body.Seed,
+		Retention:         body.Retention,
+		Clock:             ClockConfig{Simulated: body.Simulated},
+		Pinned:            body.Pinned,
+		DisableFused:      body.DisableFused,
+		DisablePlanner:    body.DisablePlanner,
+		AdaptiveRates:     body.AdaptiveRates,
+		DisableAdaptive:   body.DisableAdaptive,
+		Source:            body.Source,
+		IngestBuffer:      body.IngestBuffer,
+		IngestTolerance:   body.IngestTolerance,
+		LatePolicy:        body.LatePolicy,
+		DisableDurability: body.DisableDurability,
+		SnapshotEvery:     body.SnapshotEvery,
+		FsyncPolicy:       body.FsyncPolicy,
 	}
 	// Validate here so a bad spec is a 400, not a factory 500 — or, worse,
 	// a silently ignored override.
@@ -382,6 +413,16 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 	if body.IngestTolerance < 0 {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("tolerance must be non-negative, got %g", body.IngestTolerance))
 		return
+	}
+	if body.SnapshotEvery < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("snapshotEvery must be non-negative, got %d", body.SnapshotEvery))
+		return
+	}
+	if body.FsyncPolicy != "" {
+		if _, err := wal.ParsePolicy(body.FsyncPolicy); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	if body.PlannerWeights != nil {
 		pw := planner.Weights{
@@ -887,6 +928,23 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 	// ingestRejected failed validation; ingestPending is the current
 	// backlog and watermark the event-time low watermark (null unknown).
 	ist := e.IngestStats()
+	// Durability state (see docs/API.md, "Durability"): null on
+	// non-durable sessions.
+	var durability interface{}
+	if ds := e.Durability(); ds.Enabled {
+		durability = map[string]interface{}{
+			"fsync":             ds.Fsync,
+			"snapshotEvery":     ds.SnapshotEvery,
+			"lastSnapshotEpoch": ds.LastSnapshotEpoch,
+			"walBytes":          ds.WALBytes,
+			"walSegments":       ds.WALSegments,
+			"walRecords":        ds.WALRecords,
+			"recovered":         ds.Recovered,
+			"replayedRecords":   ds.ReplayedRecords,
+			"tornTail":          ds.TornTail,
+			"snapshotVerified":  ds.SnapshotVerified,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"session":        sess.Name,
 		"running":        e.Running(),
@@ -914,6 +972,7 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		"ingestRejected": ist.Rejected,
 		"ingestPending":  ist.Pending,
 		"watermark":      finiteOrNil(ist.Watermark),
+		"durability":     durability,
 		"budgets":        bj,
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/ingest"
@@ -92,6 +93,11 @@ func toIngestAckJSON(ack ingest.Ack) ingestAckJSON {
 // ingestBatchLimit bounds one batch body / ndjson line.
 const ingestBatchLimit = 8 << 20
 
+// IngestRetryAfterSeconds is the Retry-After hint sent with 503 ingest
+// responses (queue closed mid-shutdown): long enough for a craqrd restart
+// to come back, short enough that producers drain their backlog promptly.
+const IngestRetryAfterSeconds = 1
+
 // ingestPushStatus classifies a push failure: a queue closed by
 // shutdown/session-destroy is a retryable server condition (503), a
 // session that never accepts pushes is a conflict (409), anything else is
@@ -156,7 +162,14 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 		}
 		ack, err := applyIngestBatch(e, body)
 		if err != nil {
-			s.writeError(w, ingestPushStatus(err), err)
+			status := ingestPushStatus(err)
+			if status == http.StatusServiceUnavailable {
+				// The queue is closed (shutdown or session churn): tell
+				// producers when to retry — the client library honors this
+				// (see client.RetryPolicy).
+				w.Header().Set("Retry-After", strconv.Itoa(IngestRetryAfterSeconds))
+			}
+			s.writeError(w, status, err)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, toIngestAckJSON(ack))

@@ -9,14 +9,16 @@ import (
 	"repro/internal/stream"
 )
 
-// ClockConfig selects how a started engine advances epochs.
+// ClockConfig selects how a started engine advances epochs. The JSON tags
+// serve the session manifest (Manager.Recover); Interval round-trips as
+// nanoseconds.
 type ClockConfig struct {
 	// Interval is the wall-clock time between epochs. Zero defaults to one
 	// second unless Simulated is set.
-	Interval time.Duration
+	Interval time.Duration `json:"interval,omitempty"`
 	// Simulated runs epochs back-to-back with no wall-clock pacing — the
 	// mode for simulations and tests that want maximum epoch throughput.
-	Simulated bool
+	Simulated bool `json:"simulated,omitempty"`
 }
 
 // clockState tracks the Start/Stop lifecycle of an engine's epoch driver.
@@ -158,12 +160,23 @@ func (e *Engine) ClockErr() error {
 
 // Shutdown retires the engine: the epoch driver is stopped (drained), the
 // ingest queue is closed so producers get ErrClosed instead of feeding a
-// dead engine, and every live query's result store is closed so blocked
-// streaming readers terminate. The engine must not be used afterwards.
+// dead engine, the durability layer (when enabled) writes a final
+// checkpoint and closes the WAL, and every live query's result store is
+// closed so blocked streaming readers terminate. The ordering is the
+// graceful-shutdown ack guarantee: the queue closes first (new pushes get
+// ErrClosed → 503 and retry elsewhere), then the WAL's final flush covers
+// every record already appended — an in-flight PushObservations that made
+// it into the queue before the close still commits and acks durably.
+// The engine must not be used afterwards.
 func (e *Engine) Shutdown() error {
 	err := e.Stop()
 	if e.queue != nil {
 		e.queue.Close()
+	}
+	if e.dur != nil {
+		e.stepMu.Lock()
+		err = errors.Join(err, e.finalizeDurability())
+		e.stepMu.Unlock()
 	}
 	e.mu.Lock()
 	stores := make([]*stream.ResultStore, 0, len(e.results))

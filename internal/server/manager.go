@@ -2,8 +2,12 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -11,59 +15,72 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/planner"
 	"repro/internal/sensors"
+	"repro/internal/wal"
 )
 
 // SessionSpec is the per-session configuration a client supplies when
-// creating a session; zero fields inherit the manager's template.
+// creating a session; zero fields inherit the manager's template. The JSON
+// form is the on-disk session manifest durable sessions are re-adopted
+// from on restart (Manager.Recover).
 type SessionSpec struct {
 	// Name identifies the session; empty auto-generates "s1", "s2", ….
-	Name string
+	Name string `json:"name,omitempty"`
 	// Seed overrides the template's seed when non-zero, so concurrent
 	// sessions fabricate independent worlds.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Retention overrides the template's per-query result retention when
 	// positive.
-	Retention int
+	Retention int `json:"retention,omitempty"`
 	// Clock configures the session's epoch driver. Sessions with a positive
 	// Interval or Simulated set are started on creation; others are stepped
 	// manually.
-	Clock ClockConfig
+	Clock ClockConfig `json:"clock,omitempty"`
 	// Pinned exempts the session from idle GC (the long-lived default
 	// session of a craqrd process is pinned).
-	Pinned bool
+	Pinned bool `json:"pinned,omitempty"`
 	// DisableFused forces this session's pipelines onto the unfused
 	// operator-graph walk — the A/B lever for compiled fused execution. Two
 	// sessions with equal seeds, one fused and one not, fabricate
 	// byte-identical streams.
-	DisableFused bool
+	DisableFused bool `json:"disableFused,omitempty"`
 	// DisablePlanner forces every query onto the static Fabricator.Merge
 	// mode instead of the cost-based per-query choice — the A/B lever for
 	// planning, mirroring DisableFused.
-	DisablePlanner bool
+	DisablePlanner bool `json:"disablePlanner,omitempty"`
 	// PlannerWeights overrides the cost-model weights for this session's
 	// planner (nil = the template's weights, or planner.DefaultWeights).
-	PlannerWeights *planner.Weights
+	PlannerWeights *planner.Weights `json:"plannerWeights,omitempty"`
 	// AdaptiveRates enables the per-epoch rate-retune feedback loop: the
 	// session's normalized violations drive budget.RateScale adjustments of
 	// starved pipelines (see DESIGN.md, "Planning and adaptivity"). Off by
 	// default so static-rate sessions stay byte-reproducible across PRs.
-	AdaptiveRates bool
+	AdaptiveRates bool `json:"adaptiveRates,omitempty"`
 	// DisableAdaptive forces the rate-retune loop off even when the
 	// manager's template enables it (craqrd -budget), so a static control
 	// session can be created next to adaptive ones. Wins over AdaptiveRates.
-	DisableAdaptive bool
+	DisableAdaptive bool `json:"disableAdaptive,omitempty"`
 	// Source selects the session's observation source composition:
 	// "simulated", "external" or "mixed" (see ParseSourceMode). Empty
 	// inherits the template's mode (craqrd -source).
-	Source string
+	Source string `json:"source,omitempty"`
 	// IngestBuffer overrides the ingest queue bound in tuples when positive.
-	IngestBuffer int
+	IngestBuffer int `json:"ingestBuffer,omitempty"`
 	// IngestTolerance overrides the event-time out-of-order tolerance when
 	// positive (simulation time units).
-	IngestTolerance float64
+	IngestTolerance float64 `json:"ingestTolerance,omitempty"`
 	// LatePolicy selects the late-tuple policy, "drop" or "next" (see
 	// ingest.ParseLatePolicy); empty inherits the template's policy.
-	LatePolicy string
+	LatePolicy string `json:"latePolicy,omitempty"`
+	// DisableDurability opts this session out of write-ahead logging even
+	// when the manager's template enables it (craqrd -data-dir) — for
+	// throwaway sessions that should not pay the fsync or survive restarts.
+	DisableDurability bool `json:"disableDurability,omitempty"`
+	// SnapshotEvery overrides the checkpoint cadence in epochs when positive.
+	SnapshotEvery int `json:"snapshotEvery,omitempty"`
+	// FsyncPolicy overrides the WAL fsync policy for this session: "batch",
+	// "always" or "never" (see wal.ParsePolicy); empty inherits the
+	// template's policy.
+	FsyncPolicy string `json:"fsyncPolicy,omitempty"`
 }
 
 // Session is one named engine hosted by a Manager.
@@ -101,55 +118,162 @@ type EngineFactory func(spec SessionSpec) (*Engine, error)
 // per session so each session owns its ground-truth fields.
 func NewEngineFactory(template Config, fields func() (map[string]sensors.Field, error)) EngineFactory {
 	return func(spec SessionSpec) (*Engine, error) {
-		cfg := template
-		if spec.Seed != 0 {
-			cfg.Seed = spec.Seed
+		cfg, err := ConfigForSpec(template, spec)
+		if err != nil {
+			return nil, err
 		}
-		if spec.Retention > 0 {
-			cfg.Retention = spec.Retention
-		}
-		if spec.DisableFused {
-			cfg.Fabricator.Pipeline.DisableFused = true
-		}
-		if spec.DisablePlanner {
-			cfg.Planner.Disable = true
-		}
-		if spec.PlannerWeights != nil {
-			cfg.Planner.Weights = *spec.PlannerWeights
-		}
-		if spec.AdaptiveRates {
-			cfg.AdaptiveRates = true
-		}
-		if spec.DisableAdaptive {
-			cfg.AdaptiveRates = false
-		}
-		if spec.Source != "" {
-			mode, err := ParseSourceMode(spec.Source)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Source.Mode = mode
-		}
-		if spec.IngestBuffer > 0 {
-			cfg.Source.Buffer = spec.IngestBuffer
-		}
-		if spec.IngestTolerance > 0 {
-			cfg.Source.Tolerance = spec.IngestTolerance
-		}
-		if spec.LatePolicy != "" {
-			late, err := ingest.ParseLatePolicy(spec.LatePolicy)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Source.Late = late
-		}
-		cfg.Clock = spec.Clock
 		f, err := fields()
 		if err != nil {
 			return nil, err
 		}
-		return New(cfg, f)
+		e, err := New(cfg, f)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Durability.Dir != "" {
+			if err := writeManifest(cfg.Durability.Dir, manifestSpec(cfg, spec)); err != nil {
+				_ = e.Shutdown()
+				return nil, err
+			}
+		}
+		return e, nil
 	}
+}
+
+// manifestSpec materializes template-derived settings into the persisted
+// spec, so recovery rebuilds the same engine even if the daemon restarts
+// with different flags (and offline tools need not repeat them). Only
+// settings that change replay semantics are pinned; levers like planner
+// weights stay spec-only.
+func manifestSpec(cfg Config, spec SessionSpec) SessionSpec {
+	m := spec
+	m.Seed = cfg.Seed
+	m.Retention = cfg.Retention
+	m.Source = cfg.Source.Mode.String()
+	m.IngestBuffer = cfg.Source.Buffer
+	m.IngestTolerance = cfg.Source.Tolerance
+	m.LatePolicy = cfg.Source.Late.String()
+	m.FsyncPolicy = cfg.Durability.Fsync.String()
+	m.SnapshotEvery = cfg.Durability.SnapshotEveryEpochs
+	return m
+}
+
+// ConfigForSpec applies a session spec's overrides onto a template engine
+// config — the pure half of NewEngineFactory, also used by offline tools
+// (craqr-replay) that must rebuild a session's exact engine from its
+// persisted manifest.
+func ConfigForSpec(template Config, spec SessionSpec) (Config, error) {
+	cfg := template
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	if spec.Retention > 0 {
+		cfg.Retention = spec.Retention
+	}
+	if spec.DisableFused {
+		cfg.Fabricator.Pipeline.DisableFused = true
+	}
+	if spec.DisablePlanner {
+		cfg.Planner.Disable = true
+	}
+	if spec.PlannerWeights != nil {
+		cfg.Planner.Weights = *spec.PlannerWeights
+	}
+	if spec.AdaptiveRates {
+		cfg.AdaptiveRates = true
+	}
+	if spec.DisableAdaptive {
+		cfg.AdaptiveRates = false
+	}
+	if spec.Source != "" {
+		mode, err := ParseSourceMode(spec.Source)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Source.Mode = mode
+	}
+	if spec.IngestBuffer > 0 {
+		cfg.Source.Buffer = spec.IngestBuffer
+	}
+	if spec.IngestTolerance > 0 {
+		cfg.Source.Tolerance = spec.IngestTolerance
+	}
+	if spec.LatePolicy != "" {
+		late, err := ingest.ParseLatePolicy(spec.LatePolicy)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Source.Late = late
+	}
+	// The template's Durability.Dir is the manager-wide root; each
+	// durable session gets its own subdirectory holding the WAL,
+	// snapshots and the manifest Recover re-adopts it from.
+	if spec.DisableDurability {
+		cfg.Durability = DurabilityConfig{}
+	}
+	if cfg.Durability.Dir != "" {
+		if spec.SnapshotEvery > 0 {
+			cfg.Durability.SnapshotEveryEpochs = spec.SnapshotEvery
+		}
+		if spec.FsyncPolicy != "" {
+			policy, err := wal.ParsePolicy(spec.FsyncPolicy)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.Durability.Fsync = policy
+		}
+		cfg.Durability.Dir = sessionDir(cfg.Durability.Dir, spec.Name)
+	}
+	cfg.Clock = spec.Clock
+	return cfg, nil
+}
+
+// manifestName is the per-session spec file Recover re-adopts sessions from.
+const manifestName = "session.json"
+
+// sessionDir maps a session name onto its durability subdirectory:
+// root/sessions/<escaped-name>. Escaping keeps arbitrary session names
+// (slashes, dots, spaces) inside the root.
+func sessionDir(root, name string) string {
+	escaped := url.QueryEscape(name)
+	switch escaped {
+	case "", ".", "..":
+		escaped = "%00" + escaped
+	}
+	return filepath.Join(root, "sessions", escaped)
+}
+
+// ReadManifest loads the SessionSpec persisted in a session's durability
+// directory (root/sessions/<name>/session.json). Offline tools use it to
+// rebuild the session's exact engine config via ConfigForSpec.
+func ReadManifest(dir string) (SessionSpec, error) {
+	var spec SessionSpec
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("server: session manifest %s: %w", dir, err)
+	}
+	return spec, nil
+}
+
+// writeManifest persists the session's spec next to its WAL (atomic
+// tmp+rename), so a restarted manager can rebuild the same engine.
+func writeManifest(dir string, spec SessionSpec) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: session manifest: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("server: session manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: session manifest: %w", err)
+	}
+	return nil
 }
 
 // ManagerConfig assembles a session manager.
@@ -162,6 +286,11 @@ type ManagerConfig struct {
 	// resolved for IdleTTL is destroyed on the next manager operation. There
 	// is no background sweeper; GC piggybacks on Create/Get/List.
 	IdleTTL time.Duration
+	// DurabilityDir is the manager-wide durability root (the same directory
+	// the engine factory's template points at). When set, Recover scans
+	// root/sessions/*/session.json and re-creates every session found —
+	// each engine then replays its own WAL inside the factory.
+	DurabilityDir string
 }
 
 // DefaultMaxSessions bounds a manager whose config leaves MaxSessions zero.
@@ -261,6 +390,69 @@ func (m *Manager) Create(spec SessionSpec) (*Session, error) {
 	m.sessions[spec.Name] = sess
 	m.mu.Unlock()
 	return sess, nil
+}
+
+// Recover re-adopts every durable session found under the manager's
+// durability root: each sessions/<name>/session.json manifest is loaded
+// and the session re-created through the normal factory, which replays its
+// WAL — queries, watermark, estimator state and result cursors resume
+// where the previous process stopped. Sessions whose name is already live
+// are skipped (not an error), so Recover is safe to call once on startup
+// before any default-session creation. It returns the recovered session
+// names sorted; per-session failures are joined into the error but do not
+// stop the scan.
+func (m *Manager) Recover() ([]string, error) {
+	if m.cfg.DurabilityDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(m.cfg.DurabilityDir, "sessions"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // fresh data dir: nothing to recover
+		}
+		return nil, fmt.Errorf("server: recover: %w", err)
+	}
+	dirs := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if ent.IsDir() {
+			dirs = append(dirs, ent.Name())
+		}
+	}
+	sort.Strings(dirs)
+	var recovered []string
+	var errs error
+	for _, dir := range dirs {
+		path := filepath.Join(m.cfg.DurabilityDir, "sessions", dir, manifestName)
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // not a session directory (no manifest)
+			}
+			errs = errors.Join(errs, fmt.Errorf("server: recover %s: %w", dir, rerr))
+			continue
+		}
+		var spec SessionSpec
+		if jerr := json.Unmarshal(data, &spec); jerr != nil {
+			errs = errors.Join(errs, fmt.Errorf("server: recover %s: %w", dir, jerr))
+			continue
+		}
+		if spec.Name == "" {
+			errs = errors.Join(errs, fmt.Errorf("server: recover %s: manifest has no session name", dir))
+			continue
+		}
+		m.mu.Lock()
+		_, taken := m.sessions[spec.Name]
+		m.mu.Unlock()
+		if taken {
+			continue
+		}
+		if _, cerr := m.Create(spec); cerr != nil {
+			errs = errors.Join(errs, fmt.Errorf("server: recover %s: %w", spec.Name, cerr))
+			continue
+		}
+		recovered = append(recovered, spec.Name)
+	}
+	return recovered, errs
 }
 
 // Adopt registers a pre-built engine as a pinned session — the bridge for

@@ -1,0 +1,527 @@
+// Package wal provides the per-session write-ahead log behind CrAQR's
+// durable sessions: a segmented, CRC32-checksummed append log of the
+// engine-state mutations (query submits/deletes, raw observation pushes,
+// epoch closes) from which a crashed engine is rebuilt by deterministic
+// replay (see DESIGN.md, "Durability and recovery").
+//
+// The on-disk format is a directory of fixed-prefix segment files
+// ("wal-00000001.seg", …), each a sequence of frames:
+//
+//	[u32 payload length][u32 CRC32-IEEE of payload][payload]
+//
+// with every integer little-endian. A torn tail — a partial frame or a
+// frame whose checksum fails — marks the end of the usable log: Replay
+// truncates it (and removes any later segments) instead of failing, so a
+// crash mid-append never loses the prefix that was acked.
+//
+// Durability is policy-driven (FsyncAlways / FsyncBatch / FsyncNever).
+// Under FsyncBatch, Commit is a group-commit barrier: the first committer
+// fsyncs for everyone that appended before it, and committers arriving
+// during an in-flight fsync coalesce onto the next one — one disk flush
+// acks many concurrent producers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Policy selects when appended records become durable.
+type Policy int
+
+const (
+	// FsyncBatch (the default) makes Commit a group-commit fsync barrier:
+	// appends land in the OS page cache and the first committer flushes for
+	// every record appended before it.
+	FsyncBatch Policy = iota
+	// FsyncAlways fsyncs on every Append, before it returns.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache; Commit is a no-op.
+	// Crash recovery then replays only what the kernel wrote back.
+	FsyncNever
+)
+
+// String renders the policy ("batch", "always", "never").
+func (p Policy) String() string {
+	switch p {
+	case FsyncBatch:
+		return "batch"
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses "batch", "always" or "never" (empty means batch).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "batch", "":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want \"batch\", \"always\" or \"never\")", s)
+	}
+}
+
+// File is the mutable-file surface the log appends through; *os.File
+// satisfies it. Config.WrapFile interposes fault injection in tests.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Config assembles a log.
+type Config struct {
+	// Dir is the segment directory; created if missing.
+	Dir string
+	// Fsync selects the durability policy (zero value: FsyncBatch).
+	Fsync Policy
+	// SegmentBytes rotates to a fresh segment once the current one reaches
+	// this size (0 = DefaultSegmentBytes). Rotation bounds single-file size;
+	// old segments are retained — the full log is the replay source.
+	SegmentBytes int64
+	// ReadOnly opens the log for Replay only: no truncation of torn tails,
+	// no appending. The offline craqr-replay tool uses it to inspect a live
+	// session's log without mutating it.
+	ReadOnly bool
+	// WrapFile, when set, wraps every segment file opened for appending —
+	// the fault-injection hook the torn-write crash tests use. Production
+	// leaves it nil.
+	WrapFile func(f *os.File) (File, error)
+}
+
+const (
+	// DefaultSegmentBytes is the rotation threshold when Config.SegmentBytes
+	// is zero.
+	DefaultSegmentBytes = 8 << 20
+	// MaxRecordBytes bounds one record's payload; a frame claiming more is
+	// treated as corruption (a torn length field reads as garbage).
+	MaxRecordBytes = 64 << 20
+
+	frameHeaderSize = 8
+	segPrefix       = "wal-"
+	segSuffix       = ".seg"
+)
+
+// ErrClosed is returned by Append/Commit after Close when the requested
+// records were not made durable before the log closed.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrReadOnly is returned by Append/Commit on a read-only log.
+var ErrReadOnly = errors.New("wal: log is read-only")
+
+// Stats is an observable snapshot of the log.
+type Stats struct {
+	Segments int   // live segment files
+	Bytes    int64 // total bytes across segments
+	Records  uint64
+}
+
+// ReplayReport describes what Replay found.
+type ReplayReport struct {
+	Records int
+	// Torn is set when a torn or corrupt frame ended the scan early; the log
+	// was truncated at that point (unless read-only) so the next append
+	// continues from the last valid record.
+	Torn bool
+	// TornSegment/TornOffset locate the truncation point; TruncatedBytes is
+	// how much was discarded (including any segments after the torn one).
+	TornSegment    string
+	TornOffset     int64
+	TruncatedBytes int64
+}
+
+// Log is an append-only segmented record log. It is safe for concurrent
+// Append/Commit from many goroutines; Replay must complete before the
+// first Append.
+type Log struct {
+	cfg Config
+
+	mu       sync.Mutex
+	segs     []string // segment paths, oldest first
+	f        File     // current segment, open for append (nil until Replay)
+	segSize  int64    // bytes in the current segment
+	total    int64    // bytes across all segments
+	appended uint64   // records appended (incl. replayed prefix)
+	synced   uint64   // records known durable
+	closed   bool
+	replayed bool
+	// retired holds rotated-out segment files until a safe close point: a
+	// group-commit leader may still be fsyncing one outside mu, so rotation
+	// never closes eagerly (see Commit).
+	retired []File
+	scratch []byte
+
+	// syncMu serializes group-commit leaders (and final close) so a file is
+	// never closed under an in-flight Sync. Lock order: syncMu before mu.
+	syncMu sync.Mutex
+}
+
+// Open prepares a log over dir, creating the directory if needed. No
+// records are read until Replay, which every caller must run (even on a
+// fresh log) before appending.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("wal: Config.Dir is required")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if !cfg.ReadOnly {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	l := &Log{cfg: cfg}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		if cfg.ReadOnly && os.IsNotExist(err) {
+			return l, nil // empty read-only log
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || len(name) <= len(segPrefix)+len(segSuffix) ||
+			name[:len(segPrefix)] != segPrefix || filepath.Ext(name) != segSuffix {
+			continue
+		}
+		l.segs = append(l.segs, filepath.Join(cfg.Dir, name))
+	}
+	sort.Strings(l.segs)
+	return l, nil
+}
+
+// Replay scans every segment from the beginning, decoding each record and
+// invoking fn in log order. A framing or checksum failure truncates the
+// log there — the torn tail and any later segments are discarded (the
+// suffix of an append-ordered log is exactly what a crash may lose) — and
+// the scan ends without error; fn errors abort the scan and are returned.
+// After Replay the log is positioned for Append.
+func (l *Log) Replay(fn func(*Record) error) (ReplayReport, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.replayed {
+		return ReplayReport{}, errors.New("wal: Replay called twice")
+	}
+	var rep ReplayReport
+	tornAt := -1 // index into l.segs of the segment holding the torn tail
+	var tornOff int64
+scan:
+	for i, path := range l.segs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, fmt.Errorf("wal: %w", err)
+		}
+		off := int64(0)
+		for int64(len(data))-off >= frameHeaderSize {
+			n := binary.LittleEndian.Uint32(data[off:])
+			sum := binary.LittleEndian.Uint32(data[off+4:])
+			if n == 0 || n > MaxRecordBytes || off+frameHeaderSize+int64(n) > int64(len(data)) {
+				tornAt, tornOff = i, off
+				break scan
+			}
+			payload := data[off+frameHeaderSize : off+frameHeaderSize+int64(n)]
+			if crc32.ChecksumIEEE(payload) != sum {
+				tornAt, tornOff = i, off
+				break scan
+			}
+			var rec Record
+			if err := rec.decode(payload); err != nil {
+				tornAt, tornOff = i, off
+				break scan
+			}
+			if fn != nil {
+				if err := fn(&rec); err != nil {
+					return rep, err
+				}
+			}
+			rep.Records++
+			off += frameHeaderSize + int64(n)
+			l.appended++
+		}
+		if off != int64(len(data)) && tornAt < 0 {
+			tornAt, tornOff = i, off // trailing partial frame
+			break scan
+		}
+		l.total += off
+	}
+	if tornAt >= 0 {
+		rep.Torn = true
+		rep.TornSegment = filepath.Base(l.segs[tornAt])
+		rep.TornOffset = tornOff
+		for i := tornAt; i < len(l.segs); i++ {
+			info, err := os.Stat(l.segs[i])
+			if err == nil {
+				if i == tornAt {
+					rep.TruncatedBytes += info.Size() - tornOff
+				} else {
+					rep.TruncatedBytes += info.Size()
+				}
+			}
+		}
+		if !l.cfg.ReadOnly {
+			if err := os.Truncate(l.segs[tornAt], tornOff); err != nil {
+				return rep, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			for _, path := range l.segs[tornAt+1:] {
+				if err := os.Remove(path); err != nil {
+					return rep, fmt.Errorf("wal: removing segment past torn tail: %w", err)
+				}
+			}
+		}
+		l.segs = l.segs[:tornAt+1]
+		l.total += tornOff
+	}
+	l.synced = l.appended
+	l.replayed = true
+	if l.cfg.ReadOnly {
+		return rep, nil
+	}
+	// Position for append: reopen the last segment (or create the first).
+	if len(l.segs) == 0 {
+		return rep, l.openSegmentLocked(1)
+	}
+	last := l.segs[len(l.segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		return rep, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return rep, fmt.Errorf("wal: %w", err)
+	}
+	l.segSize = info.Size()
+	if l.f, err = l.wrap(f); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+func (l *Log) wrap(f *os.File) (File, error) {
+	if l.cfg.WrapFile == nil {
+		return f, nil
+	}
+	wf, err := l.cfg.WrapFile(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: wrapping segment: %w", err)
+	}
+	return wf, nil
+}
+
+// openSegmentLocked creates segment n and makes it current; l.mu held.
+func (l *Log) openSegmentLocked(n int) error {
+	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	wf, err := l.wrap(f)
+	if err != nil {
+		return err
+	}
+	l.segs = append(l.segs, path)
+	l.f = wf
+	l.segSize = 0
+	return nil
+}
+
+// Append encodes rec into one checksummed frame and writes it to the
+// current segment, rotating first when the segment is full. Under
+// FsyncAlways the record is durable when Append returns; otherwise
+// durability is deferred to Commit (FsyncBatch) or the OS (FsyncNever).
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.cfg.ReadOnly {
+		return ErrReadOnly
+	}
+	if !l.replayed {
+		return errors.New("wal: Append before Replay")
+	}
+	if l.segSize >= l.cfg.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	// Encode the frame in place: header placeholder, payload appended after.
+	frame := append(l.scratch[:0], make([]byte, frameHeaderSize)...)
+	frame = rec.encode(frame)
+	payload := frame[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	l.scratch = frame
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.total += int64(len(frame))
+	l.appended++
+	if l.cfg.Fsync == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.synced = l.appended
+	}
+	return nil
+}
+
+// rotateLocked syncs and retires the current segment and opens the next;
+// l.mu held. The retired file stays open until a group-commit leader or
+// Close reaps it — an in-flight Sync elsewhere must never see it closed.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync on rotate: %w", err)
+	}
+	l.synced = l.appended
+	l.retired = append(l.retired, l.f)
+	return l.openSegmentLocked(len(l.segs) + 1)
+}
+
+// Commit is the durability barrier producers ack behind: it returns once
+// every record appended before the call is durable under the configured
+// policy. Under FsyncBatch concurrent committers coalesce onto one fsync;
+// under FsyncAlways appends are already durable and under FsyncNever
+// Commit asserts nothing. Commit after Close succeeds only if the final
+// flush covered the caller's records.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	target := l.appended
+	l.mu.Unlock()
+	for {
+		l.mu.Lock()
+		switch {
+		case l.synced >= target:
+			l.mu.Unlock()
+			return nil
+		case l.closed:
+			l.mu.Unlock()
+			return ErrClosed
+		case l.cfg.ReadOnly:
+			l.mu.Unlock()
+			return ErrReadOnly
+		case l.cfg.Fsync == FsyncNever:
+			l.mu.Unlock()
+			return nil
+		}
+		l.mu.Unlock()
+
+		l.syncMu.Lock()
+		l.mu.Lock()
+		if l.synced >= target || l.closed {
+			l.mu.Unlock()
+			l.syncMu.Unlock()
+			continue // resolved while waiting for the leader slot
+		}
+		f := l.f
+		covers := l.appended
+		retired := l.retired
+		l.retired = nil
+		l.mu.Unlock()
+		// Reap rotated-out segments: the leader slot guarantees no Sync is
+		// in flight on them, and rotation already made them durable.
+		for _, rf := range retired {
+			rf.Close()
+		}
+		err := f.Sync()
+		l.mu.Lock()
+		if err == nil && l.synced < covers {
+			l.synced = covers
+		}
+		l.mu.Unlock()
+		l.syncMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+}
+
+// Sync unconditionally flushes the current segment (used before writing a
+// snapshot, so a snapshot never claims records the log could lose).
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.closed || l.cfg.ReadOnly || l.f == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	f := l.f
+	covers := l.appended
+	l.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.mu.Lock()
+	if l.synced < covers {
+		l.synced = covers
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Close flushes and closes the log. Committers still waiting on records
+// the final flush covered succeed; anything appended after Close fails
+// with ErrClosed. Closing twice is a no-op.
+func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	f := l.f
+	covers := l.appended
+	l.mu.Unlock()
+	var err error
+	if f != nil {
+		err = f.Sync()
+	}
+	l.mu.Lock()
+	if err == nil {
+		l.synced = covers
+	}
+	l.closed = true
+	retired := l.retired
+	l.retired = nil
+	l.f = nil
+	l.mu.Unlock()
+	for _, rf := range retired {
+		rf.Close()
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Stats snapshots segment count, total bytes and record count.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Segments: len(l.segs), Bytes: l.total, Records: l.appended}
+}

@@ -1,0 +1,412 @@
+package wal
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func openForAppend(t *testing.T, dir string, cfg Config) (*Log, ReplayReport, []Record) {
+	t.Helper()
+	cfg.Dir = dir
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var got []Record
+	rep, err := l.Replay(func(r *Record) error {
+		cp := *r
+		cp.Tuples = append([]stream.Tuple(nil), r.Tuples...)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return l, rep, got
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: TypeSubmit, QueryID: "Q1", Attr: "rain", Rect: [4]float64{0, 0, 4, 4}, Rate: 3.5, Mode: "hier"},
+		{Type: TypePush, Watermark: math.NaN(), Tuples: []stream.Tuple{
+			{ID: 7, Attr: "rain", T: 0.25, X: 1, Y: 2, Value: 0.9, Sensor: -1},
+			{ID: 0, Attr: "temp", T: 0.5, X: 3, Y: 3.5, Value: 21.25, Sensor: 4},
+		}},
+		{Type: TypePush, Watermark: 2.5},
+		{Type: TypeEpoch, T1: 1, Epoch: 1},
+		{Type: TypeDelete, QueryID: "Q1"},
+	}
+}
+
+func recordsEqual(t *testing.T, want, got []Record) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		// NaN-aware comparison for the watermark field.
+		wWM, gWM := w.Watermark, g.Watermark
+		w.Watermark, g.Watermark = 0, 0
+		if math.IsNaN(wWM) != math.IsNaN(gWM) || (!math.IsNaN(wWM) && wWM != gWM) {
+			t.Fatalf("record %d watermark: got %v want %v", i, gWM, wWM)
+		}
+		wT, gT := w.Tuples, g.Tuples
+		w.Tuples, g.Tuples = nil, nil
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+		if len(wT) != len(gT) {
+			t.Fatalf("record %d: got %d tuples want %d", i, len(gT), len(wT))
+		}
+		for j := range wT {
+			if wT[j] != gT[j] {
+				t.Fatalf("record %d tuple %d: got %+v want %+v", i, j, gT[j], wT[j])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{})
+	want := sampleRecords()
+	for i := range want {
+		if err := l.Append(&want[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, rep, got := openForAppend(t, dir, Config{})
+	defer l2.Close()
+	if rep.Torn {
+		t.Fatalf("unexpected torn report: %+v", rep)
+	}
+	recordsEqual(t, want, got)
+	if st := l2.Stats(); st.Records != uint64(len(want)) {
+		t.Fatalf("Stats.Records = %d, want %d", st.Records, len(want))
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{SegmentBytes: 256})
+	var want []Record
+	for i := 0; i < 64; i++ {
+		rec := Record{Type: TypeEpoch, T1: float64(i + 1), Epoch: uint64(i + 1)}
+		want = append(want, rec)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, rep, got := openForAppend(t, dir, Config{SegmentBytes: 256})
+	defer l2.Close()
+	if rep.Torn {
+		t.Fatalf("unexpected torn report: %+v", rep)
+	}
+	recordsEqual(t, want, got)
+	// Appending after recovery continues in the last segment.
+	if err := l2.Append(&Record{Type: TypeEpoch, T1: 65, Epoch: 65}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{})
+	want := sampleRecords()
+	for i := range want {
+		if err := l.Append(&want[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate a crash mid-append: a partial frame at the tail.
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{42, 0, 0, 0, 99, 99}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, rep, got := openForAppend(t, dir, Config{})
+	if !rep.Torn || rep.TruncatedBytes != 6 {
+		t.Fatalf("report = %+v, want torn with 6 truncated bytes", rep)
+	}
+	recordsEqual(t, want, got)
+	// The torn bytes are gone: appending and re-replaying yields a clean log.
+	if err := l2.Append(&Record{Type: TypeEpoch, T1: 9, Epoch: 9}); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l3, rep3, got3 := openForAppend(t, dir, Config{})
+	defer l3.Close()
+	if rep3.Torn || len(got3) != len(want)+1 {
+		t.Fatalf("after repair: report %+v, %d records", rep3, len(got3))
+	}
+}
+
+func TestBadCRCTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{})
+	want := sampleRecords()
+	for i := range want {
+		if err := l.Append(&want[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the last record (offset -1 is inside it).
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep, got := openForAppend(t, dir, Config{})
+	defer l2.Close()
+	if !rep.Torn {
+		t.Fatalf("corrupted record did not report torn: %+v", rep)
+	}
+	recordsEqual(t, want[:len(want)-1], got)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != rep.TornOffset {
+		t.Fatalf("segment not truncated: size %d, torn offset %d", info.Size(), rep.TornOffset)
+	}
+}
+
+func TestCorruptionMidLogDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{SegmentBytes: 128})
+	var want []Record
+	for i := 0; i < 32; i++ {
+		rec := Record{Type: TypeEpoch, T1: float64(i + 1), Epoch: uint64(i + 1)}
+		want = append(want, rec)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	// Corrupt the first record of the second segment.
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep, got := openForAppend(t, dir, Config{SegmentBytes: 128})
+	defer l2.Close()
+	if !rep.Torn {
+		t.Fatal("expected torn report")
+	}
+	recordsEqual(t, want[:len(got)], got)
+	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(after) != 2 {
+		t.Fatalf("segments past the corruption not removed: %v", after)
+	}
+}
+
+func TestReadOnlyDoesNotTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{})
+	rec := Record{Type: TypeEpoch, T1: 1, Epoch: 1}
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	f, _ := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	before, _ := os.Stat(seg)
+	ro, err := Open(Config{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ro.Replay(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.Records != 1 {
+		t.Fatalf("read-only replay report: %+v", rep)
+	}
+	after, _ := os.Stat(seg)
+	if before.Size() != after.Size() {
+		t.Fatal("read-only replay truncated the segment")
+	}
+	if err := ro.Append(&rec); err != ErrReadOnly {
+		t.Fatalf("Append on read-only log: %v", err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{Fsync: FsyncBatch, SegmentBytes: 4 << 10})
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := Record{Type: TypeEpoch, T1: float64(i), Epoch: uint64(i + 1)}
+			if err := l.Append(&rec); err != nil {
+				errs <- err
+				return
+			}
+			errs <- l.Commit()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("append/commit: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, rep, got := openForAppend(t, dir, Config{})
+	defer l2.Close()
+	if rep.Torn || len(got) != n {
+		t.Fatalf("replay: torn=%v records=%d want %d", rep.Torn, len(got), n)
+	}
+}
+
+func TestCommitAfterCloseCoversFlushedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{Fsync: FsyncBatch})
+	rec := Record{Type: TypeEpoch, T1: 1, Epoch: 1}
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The final flush covered the append: the ack barrier must succeed even
+	// though the log is closed (shutdown ordering satellite).
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit after Close: %v", err)
+	}
+	if err := l.Append(&rec); err != ErrClosed {
+		t.Fatalf("Append after Close: %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"", FsyncBatch}, {"batch", FsyncBatch}, {"always", FsyncAlways}, {"never", FsyncNever}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted junk")
+	}
+}
+
+// tornFile drops everything after a byte budget — the injectable torn-write
+// wrapper the crash tests use to model a power cut mid-append.
+type tornFile struct {
+	f      *os.File
+	budget int
+}
+
+func (tf *tornFile) Write(p []byte) (int, error) {
+	if tf.budget <= 0 {
+		return len(p), nil // swallowed: the "disk" never saw it
+	}
+	n := len(p)
+	if n > tf.budget {
+		n = tf.budget
+	}
+	if _, err := tf.f.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	tf.budget -= n
+	return len(p), nil // lie like a crashed page cache would
+}
+
+func (tf *tornFile) Sync() error  { return tf.f.Sync() }
+func (tf *tornFile) Close() error { return tf.f.Close() }
+
+func TestWrapFileTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir,
+		WrapFile: func(f *os.File) (File, error) {
+			return &tornFile{f: f, budget: 70}, nil
+		},
+	}
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for i := range recs {
+		if err := l.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Only a prefix hit the disk; recovery must land on a record boundary.
+	l2, rep, got := openForAppend(t, dir, Config{})
+	defer l2.Close()
+	if len(got) >= len(recs) {
+		t.Fatalf("torn write persisted all %d records", len(got))
+	}
+	recordsEqual(t, recs[:len(got)], got)
+	_ = rep
+}

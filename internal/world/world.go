@@ -1,0 +1,59 @@
+// Package world defines the default simulated deployment shared by the
+// service binaries: an 8×8 urban region gridded 16×16 with a hotspot-biased
+// sensor fleet, plus its ground-truth fields (a drifting storm and a smooth
+// diurnal temperature surface). craqrd builds its session template from it
+// and craqr-replay rebuilds the identical engine offline — recovery by
+// replay only works when both sides construct the same world.
+package world
+
+import (
+	"repro/internal/budget"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/sensors"
+	"repro/internal/server"
+)
+
+// Region is the default deployment area.
+func Region() geom.Rect { return geom.NewRect(0, 0, 8, 8) }
+
+// Template returns craqrd's default session engine config over the default
+// region: n mobile sensors (0 = 500) drawn to two hotspots, per-cell
+// incentive budgets, one time-unit epochs.
+func Template(n int) server.Config {
+	if n <= 0 {
+		n = 500
+	}
+	return server.Config{
+		Region:    Region(),
+		GridCells: 16,
+		Epoch:     1,
+		Budget:    budget.Config{Initial: 10, Delta: 4, Min: 2, Max: 300, ViolationThreshold: 10},
+		Fleet: sensors.FleetConfig{
+			N: n,
+			Hotspots: []mobility.Hotspot{
+				{Center: geom.Point{X: 2, Y: 2}, Sigma: 1, Weight: 2},
+				{Center: geom.Point{X: 6, Y: 5}, Sigma: 1.5, Weight: 1},
+			},
+			UniformFraction: 0.25,
+			Dwell:           3,
+			Response:        sensors.ResponseModel{BaseProb: 0.5, MaxProb: 0.95, IncentiveScale: 1, MeanLatency: 0.05},
+		},
+		Seed: 1,
+	}
+}
+
+// Fields builds the ground-truth sensed phenomena for one session: "rain",
+// a storm cell drifting northeast, and "temp", a diurnal temperature field.
+// Each call returns fresh field instances so sessions do not share state.
+func Fields() (map[string]sensors.Field, error) {
+	rain, err := sensors.NewRainField(Region(), []sensors.Storm{{X0: 2, Y0: 2, VX: 0.15, VY: 0.05, Radius: 2}})
+	if err != nil {
+		return nil, err
+	}
+	temp, err := sensors.NewTempField(20, 0.3, -0.2, 4, 24, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]sensors.Field{"rain": rain, "temp": temp}, nil
+}

@@ -7,11 +7,13 @@
 #
 # BENCH filters benchmarks (default: all, including BenchmarkResultStore's
 # ring write/wraparound/cursor-read suite, BenchmarkFusedPipeline's
-# fused-vs-unfused depth/batch matrix, and BenchmarkIngest's push-gateway
-# decode→enqueue→epoch-assembly path with B/op), BENCHTIME sets -benchtime.
-# scripts/bench_guard.sh compares fresh BenchmarkEndToEnd + BenchmarkIngest
-# runs against the newest committed BENCH_*.json and fails on >15% ns/op
-# regression.
+# fused-vs-unfused depth/batch matrix, BenchmarkIngest's push-gateway
+# decode→enqueue→epoch-assembly path with B/op, and the durability suite:
+# BenchmarkWALAppend per fsync policy, BenchmarkRecovery's cold-start
+# replay, and BenchmarkIngestDurable's WAL-enabled push path), BENCHTIME
+# sets -benchtime. scripts/bench_guard.sh compares fresh BenchmarkEndToEnd
+# + BenchmarkIngest* runs against the newest committed BENCH_*.json and
+# fails on >15% ns/op regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

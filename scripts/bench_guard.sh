@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Guards the hot paths against performance regressions: runs
-# BenchmarkEndToEnd (epoch execution) and BenchmarkIngest (push-gateway
-# decode→enqueue→epoch assembly) and compares ns/op per sub-benchmark
+# BenchmarkEndToEnd (epoch execution) and BenchmarkIngest* (push-gateway
+# decode→enqueue→epoch assembly, plus BenchmarkIngestDurable — the same
+# push path with WAL durability at fsync=batch, holding the write-ahead
+# log to within tolerance of the non-durable ingest baseline) and
+# compares ns/op per sub-benchmark
 # against the newest committed BENCH_*.json trajectory file, failing when
 # any sub-benchmark is more than BENCH_TOLERANCE_PCT percent slower
 # (default 15). Benchmarks present in only one side are reported and

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# crash_e2e.sh — kill-and-restart durability end-to-end:
+#
+#   1. start craqrd with -data-dir and an external-source default session,
+#   2. submit a query, push observation batches, step epochs, page results,
+#   3. SIGKILL the daemon mid-flight (no drain, no final fsync beyond policy),
+#   4. restart on the same -data-dir,
+#   5. assert the session recovered — same epochs, same query, and the
+#      result cursor resumes exactly where the pre-crash consumer stopped.
+#
+# Needs only bash + curl + python3 (for JSON asserts). Run from the repo
+# root: scripts/crash_e2e.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18990}"
+BASE="http://localhost:$PORT"
+DATA="$(mktemp -d "${TMPDIR:-/tmp}/craqr-crash-e2e.XXXXXX")"
+BIN="$DATA/craqrd"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+json() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+wait_up() {
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "crash_e2e: craqrd did not come up on $BASE" >&2
+  exit 1
+}
+
+start_daemon() {
+  "$BIN" -addr ":$PORT" -data-dir "$DATA/state" -fsync always -source external &
+  PID=$!
+  wait_up
+}
+
+echo "crash_e2e: building craqrd"
+go build -o "$BIN" ./cmd/craqrd
+
+echo "crash_e2e: starting craqrd (data-dir=$DATA/state, fsync=always)"
+start_daemon
+
+# Submit a query and feed three epochs of observations.
+QID=$(curl -fsS -X POST -d 'ACQUIRE rain FROM RECT(0,0,8,8) RATE 5' \
+  "$BASE/v1/sessions/default/queries" | json "['id']")
+for e in 0 1 2; do
+  curl -fsS -X POST -H 'Content-Type: application/json' -d @- \
+    "$BASE/v1/sessions/default/ingest" >/dev/null <<EOF
+{"attr":"rain","watermark":$((e + 1)),"observations":[
+  {"t":$e.1,"x":1,"y":1,"value":1},{"t":$e.3,"x":2,"y":2,"value":2},
+  {"t":$e.5,"x":3,"y":3,"value":3},{"t":$e.7,"x":4,"y":4,"value":4}]}
+EOF
+  curl -fsS -X POST "$BASE/v1/sessions/default/step" >/dev/null
+done
+
+EPOCHS=$(curl -fsS "$BASE/v1/sessions/default" | json "['epochs']")
+[ "$EPOCHS" -eq 3 ] || { echo "crash_e2e: pre-crash epochs=$EPOCHS, want 3" >&2; exit 1; }
+
+# A consumer pages partway through the stream, remembering its cursor and
+# what remains unread.
+PAGE=$(curl -fsS "$BASE/v1/sessions/default/results/$QID?limit=3")
+CURSOR=$(echo "$PAGE" | json "['nextCursor']")
+REST_BEFORE=$(curl -fsS "$BASE/v1/sessions/default/results/$QID?cursor=$CURSOR" | json "['tuples']")
+
+echo "crash_e2e: SIGKILL craqrd (pid $PID) with cursor=$CURSOR outstanding"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "crash_e2e: restarting on the same data-dir"
+start_daemon
+
+SESSION=$(curl -fsS "$BASE/v1/sessions/default")
+EPOCHS2=$(echo "$SESSION" | json "['epochs']")
+RECOVERED=$(echo "$SESSION" | json "['recovered']")
+[ "$EPOCHS2" -eq "$EPOCHS" ] || { echo "crash_e2e: recovered epochs=$EPOCHS2, want $EPOCHS" >&2; exit 1; }
+[ "$RECOVERED" = "True" ] || { echo "crash_e2e: session does not report recovered" >&2; exit 1; }
+curl -fsS "$BASE/v1/sessions/default/status" | json "['durability']['replayedRecords']" >/dev/null
+
+# The pre-crash cursor resumes mid-stream with an identical unread suffix.
+REST_AFTER=$(curl -fsS "$BASE/v1/sessions/default/results/$QID?cursor=$CURSOR" | json "['tuples']")
+if [ "$REST_BEFORE" != "$REST_AFTER" ]; then
+  echo "crash_e2e: resumed result stream differs from pre-crash read" >&2
+  echo "before: $REST_BEFORE" >&2
+  echo "after:  $REST_AFTER" >&2
+  exit 1
+fi
+
+# The recovered session keeps working: another epoch of pushes lands.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"attr":"rain","watermark":4,"observations":[{"t":3.2,"x":1,"y":2,"value":5}]}' \
+  "$BASE/v1/sessions/default/ingest" >/dev/null
+curl -fsS -X POST "$BASE/v1/sessions/default/step" >/dev/null
+EPOCHS3=$(curl -fsS "$BASE/v1/sessions/default" | json "['epochs']")
+[ "$EPOCHS3" -eq $((EPOCHS + 1)) ] || { echo "crash_e2e: post-recovery step failed" >&2; exit 1; }
+
+kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null || true
+PID=""
+echo "crash_e2e: OK — kill -9 recovery resumed $EPOCHS epochs and the open cursor"
