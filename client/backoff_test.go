@@ -1,0 +1,31 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestBackoffNeverUndercutsRetryAfter: the documented contract is that the
+// post-jitter delay never sleeps less than the server's Retry-After hint —
+// a fleet retrying early would hammer a server that said when it will be
+// back. The hint also wins over MaxDelay.
+func TestBackoffNeverUndercutsRetryAfter(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, MaxAttempts: 5}
+	hint := &APIError{StatusCode: http.StatusServiceUnavailable, RetryAfter: 3 * time.Second}
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		for i := 0; i < 100; i++ { // jitter is random: sample it
+			if d := p.backoffDelay(attempt, hint); d < hint.RetryAfter {
+				t.Fatalf("attempt %d: delay %v undercuts Retry-After %v", attempt, d, hint.RetryAfter)
+			}
+		}
+	}
+	// Without a hint the cap still holds (jitter reaches MaxDelay * 1.25).
+	plain := errors.New("503")
+	for i := 0; i < 100; i++ {
+		if d := p.backoffDelay(10, plain); d > p.MaxDelay*5/4 || d < p.MaxDelay*3/4 {
+			t.Fatalf("capped delay %v outside [%v, %v]", d, p.MaxDelay*3/4, p.MaxDelay*5/4)
+		}
+	}
+}

@@ -67,9 +67,10 @@ func (e *APIError) Error() string {
 // RetryPolicy shapes the exponential backoff used by Ingest and
 // AssertWatermark when the server answers 503 (ingest queue closed,
 // typically a restart in progress). Delays start at BaseDelay, double per
-// attempt, are capped at MaxDelay, never undercut the server's Retry-After
-// hint, and carry ±25% jitter so a producer fleet does not reconnect in
-// lockstep. Sleeps abort immediately when ctx is done.
+// attempt, are capped at MaxDelay and carry ±25% jitter so a producer
+// fleet does not reconnect in lockstep; the post-jitter delay never
+// undercuts the server's Retry-After hint (which may exceed MaxDelay).
+// Sleeps abort immediately when ctx is done.
 type RetryPolicy struct {
 	// MaxAttempts bounds total tries (0 = DefaultRetryAttempts, 1 = no
 	// retries).
@@ -111,22 +112,20 @@ func retryable(err error) bool {
 }
 
 // backoffDelay computes the attempt-th delay (0-based): exponential from
-// BaseDelay, floored by the server's Retry-After hint, capped at MaxDelay,
-// with ±25% jitter.
+// BaseDelay, capped at MaxDelay, with ±25% jitter — then floored at the
+// server's Retry-After hint, which the jitter never undercuts (a hint
+// above MaxDelay wins over the cap: the server knows when it will be back).
 func (p RetryPolicy) backoffDelay(attempt int, err error) time.Duration {
 	d := p.BaseDelay << uint(attempt)
 	if d <= 0 || d > p.MaxDelay { // <<-overflow or cap
 		d = p.MaxDelay
 	}
+	d = d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1)) // ±25% jitter
 	var apiErr *APIError
-	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
+	if errors.As(err, &apiErr) && d < apiErr.RetryAfter {
 		d = apiErr.RetryAfter
-		if d > p.MaxDelay {
-			d = p.MaxDelay
-		}
 	}
-	jitter := time.Duration(rand.Int63n(int64(d)/2 + 1)) // [0, d/4*2]
-	return d*3/4 + jitter
+	return d
 }
 
 // withRetry runs op under the client's retry policy: transient (503)

@@ -128,10 +128,14 @@ func main() {
 	}
 
 	// Re-adopt sessions persisted under a previous run's -data-dir: each
-	// recovers by replaying its WAL before serving.
+	// recovers by replaying its WAL before serving. Recover isolates
+	// failures per session, so one corrupt or spec-mismatched directory
+	// must not take the healthy sessions down with it: log it and serve
+	// what recovered — the failed directory is left on disk for inspection
+	// (DELETE /v1/sessions/{name} purges it).
 	recovered, err := manager.Recover()
 	if err != nil {
-		log.Fatalf("craqrd: recovery: %v", err)
+		log.Printf("craqrd: recovery: %v (serving the sessions that recovered)", err)
 	}
 	for _, name := range recovered {
 		log.Printf("craqrd: recovered session %q from %s", name, *dataDir)

@@ -76,6 +76,18 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 	return c
 }
 
+// DurabilityError marks a server-side durability failure — a WAL append or
+// fsync error, or a log closed mid-shutdown — on a request that was
+// therefore not durably acked. The fault is the server's, not the caller's
+// input: the HTTP layer maps it to 5xx (503 for the retryable closed-log
+// case, 500 otherwise) so producers retry or surface an operational error
+// instead of discarding a batch as malformed.
+type DurabilityError struct{ Err error }
+
+func (e *DurabilityError) Error() string { return "server: durability: " + e.Err.Error() }
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
 // durableState is the engine's attachment to its WAL. It implements
 // ingest.Journal, so the queue records pushes and drains in effect order;
 // submits, deletes and simulated-mode epoch closes are appended by the
@@ -204,6 +216,16 @@ type DurabilityStats struct {
 	// SnapshotVerified reports that replay reached a checkpoint's log
 	// position and the re-derived state matched it.
 	SnapshotVerified bool
+}
+
+// DurabilityDir returns the engine's durability directory ("" for
+// non-durable engines). Manager.Destroy uses it to purge a destroyed
+// session's on-disk state so the name is reusable for a fresh session.
+func (e *Engine) DurabilityDir() string {
+	if e.dur == nil {
+		return ""
+	}
+	return e.dur.cfg.Dir
 }
 
 // Durability reports the engine's durability state; Enabled is false for

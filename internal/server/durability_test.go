@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -605,5 +606,172 @@ func TestSessionDirEscaping(t *testing.T) {
 	}
 	if sessionDir(root, "a") == sessionDir(root, "b") {
 		t.Fatal("distinct names must map to distinct dirs")
+	}
+}
+
+// --- journal framing bounds -----------------------------------------------
+
+// TestUnjournalableInputsRejected: inputs the WAL cannot frame (an attr
+// over wal.MaxStringLen) must fail the request up front — before the
+// queue or registry applies them — leaving the engine unpoisoned and the
+// log replayable. Without the bound, the uint16 length prefix truncates,
+// the frame's CRC still passes, and recovery silently drops the record
+// plus every acked record after it.
+func TestUnjournalableInputsRejected(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(externalConfig(dir, wal.FsyncAlways), testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigAttr := strings.Repeat("x", wal.MaxStringLen+1)
+	if _, err := e.PushObservations([]stream.Tuple{{ID: 1, Attr: bigAttr, T: 0.5, X: 1, Y: 1}}, math.NaN()); !errors.Is(err, wal.ErrRecordTooLarge) {
+		t.Fatalf("oversize push: err = %v, want wal.ErrRecordTooLarge", err)
+	}
+	if _, err := e.Submit(query.Query{Attr: bigAttr, Region: geom.NewRect(0, 0, 8, 8), Rate: 3}); !errors.Is(err, wal.ErrRecordTooLarge) {
+		t.Fatalf("oversize submit: err = %v, want wal.ErrRecordTooLarge", err)
+	}
+	// The rejection left no trace: the normal workload still runs (a
+	// sticky WAL failure would poison Step) …
+	if _, err := e.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 3}); err != nil {
+		t.Fatal(err)
+	}
+	applyOp(t, e, pushOp(0, 10, "rain", 1))
+	applyOp(t, e, durOp{kind: "step"})
+	st := e.IngestStats()
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// … and recovery replays cleanly, with no torn tail and the oversize
+	// batch absent from the accounting.
+	e2, err := New(externalConfig(dir, wal.FsyncAlways), testFields(t))
+	if err != nil {
+		t.Fatalf("recovery after oversize rejections: %v", err)
+	}
+	defer e2.Shutdown()
+	d := e2.Durability()
+	if !d.Recovered || d.TornTail {
+		t.Fatalf("recovery state = %+v, want recovered without torn tail", d)
+	}
+	if got := e2.IngestStats(); got.Ingested != st.Ingested || got.Rejected != st.Rejected {
+		t.Fatalf("recovered ingest stats %+v, want %+v", got, st)
+	}
+}
+
+// --- destroy-vs-close durable state ---------------------------------------
+
+// TestDestroyPurgesDurableState: Destroy means forget — the session's
+// durability directory is removed, so re-creating the name yields a fresh
+// session instead of silently resurrecting the old state (Close keeps it;
+// that's the restart path).
+func TestDestroyPurgesDurableState(t *testing.T) {
+	root := t.TempDir()
+	template := testConfig()
+	template.Source = SourceConfig{Mode: SourceExternal}
+	template.Durability = DurabilityConfig{Dir: root, Fsync: wal.FsyncAlways}
+	fields := testFields(t)
+	m, err := NewManager(ManagerConfig{
+		NewEngine:     NewEngineFactory(template, func() (map[string]sensors.Field, error) { return fields, nil }),
+		DurabilityDir: root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	sess, err := m.Create(SessionSpec{Name: "phoenix", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Engine.Submit(query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 5}); err != nil {
+		t.Fatal(err)
+	}
+	applyOp(t, sess.Engine, pushOp(0, 10, "rain", 1))
+	applyOp(t, sess.Engine, durOp{kind: "step"})
+	dir := sess.Engine.DurabilityDir()
+	if dir == "" {
+		t.Fatal("durable session reports no durability dir")
+	}
+	if err := m.Destroy("phoenix"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("durability dir survives Destroy: stat err = %v", err)
+	}
+	// The name is reusable for a genuinely fresh session.
+	fresh, err := m.Create(SessionSpec{Name: "phoenix", Seed: 8})
+	if err != nil {
+		t.Fatalf("recreate after Destroy: %v", err)
+	}
+	if d := fresh.Engine.Durability(); d.Recovered || fresh.Engine.Epochs() != 0 {
+		t.Fatalf("recreated session resurrected state: %+v, epochs %d", d, fresh.Engine.Epochs())
+	}
+}
+
+// TestCreateOverLeftoverStateConflicts: durable state left behind without a
+// Destroy (idle GC, or a crashed run that was never recovered) is
+// re-adopted by an equivalent spec, but a conflicting spec must fail with
+// an actionable error up front — not a replay-verification failure deep in
+// recovery. Destroying the non-live name purges the leftovers.
+func TestCreateOverLeftoverStateConflicts(t *testing.T) {
+	root := t.TempDir()
+	newMgr := func() *Manager {
+		template := testConfig()
+		template.Source = SourceConfig{Mode: SourceExternal}
+		template.Durability = DurabilityConfig{Dir: root, Fsync: wal.FsyncAlways}
+		fields := testFields(t)
+		m, err := NewManager(ManagerConfig{
+			NewEngine:     NewEngineFactory(template, func() (map[string]sensors.Field, error) { return fields, nil }),
+			DurabilityDir: root,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := newMgr()
+	sess, err := m1.Create(SessionSpec{Name: "held", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOp(t, sess.Engine, pushOp(0, 10, "rain", 1))
+	applyOp(t, sess.Engine, durOp{kind: "step"})
+	wantEpochs := sess.Engine.Epochs()
+	if err := m1.Close(); err != nil { // Close keeps durable state
+		t.Fatal(err)
+	}
+
+	m2 := newMgr()
+	defer m2.Close()
+	// Conflicting spec over the leftover directory: loud, actionable error.
+	if _, err := m2.Create(SessionSpec{Name: "held", Seed: 9}); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("conflicting create over leftover state: err = %v, want spec-conflict error", err)
+	}
+	// The equivalent spec re-adopts the state.
+	adopted, err := m2.Create(SessionSpec{Name: "held", Seed: 7})
+	if err != nil {
+		t.Fatalf("equivalent create over leftover state: %v", err)
+	}
+	if !adopted.Engine.Durability().Recovered || adopted.Engine.Epochs() != wantEpochs {
+		t.Fatalf("equivalent spec did not re-adopt: %+v, epochs %d want %d",
+			adopted.Engine.Durability(), adopted.Engine.Epochs(), wantEpochs)
+	}
+	if err := m2.Destroy("held"); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy of a non-live name with leftover state purges the directory.
+	leftover, err := m2.Create(SessionSpec{Name: "gone", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := leftover.Engine.DurabilityDir()
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m3 := newMgr()
+	defer m3.Close()
+	if err := m3.Destroy("gone"); err != nil {
+		t.Fatalf("destroy of non-live durable name: %v", err)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("leftover dir survives Destroy: stat err = %v", err)
 	}
 }

@@ -390,6 +390,13 @@ func (e *Engine) Epochs() int {
 // the query — the static Fabricator.Merge mode is used.
 func (e *Engine) Submit(q query.Query) (query.Query, error) {
 	if e.dur != nil {
+		// Reject queries the journal cannot frame before anything mutates:
+		// the submit record must be appendable or the engine's state would
+		// diverge from its log (the engine-assigned ID and merge mode are
+		// short; only the caller's attr can blow the string bound).
+		if err := (&wal.Record{Type: wal.TypeSubmit, Attr: q.Attr}).Check(); err != nil {
+			return query.Query{}, fmt.Errorf("server: query is not journalable: %w", err)
+		}
 		// Durable engines serialize control-plane mutations on the epoch
 		// lock: the WAL's record order then is the effect order against
 		// epoch closes, which deterministic replay depends on.
@@ -423,7 +430,7 @@ func (e *Engine) Submit(q query.Query) (query.Query, error) {
 		}
 		e.dur.logSubmit(stored, mode)
 		if cerr := e.dur.commit(); cerr != nil {
-			return query.Query{}, fmt.Errorf("server: durability: %w", cerr)
+			return query.Query{}, &DurabilityError{Err: cerr}
 		}
 	}
 	return stored, nil
@@ -544,7 +551,7 @@ func (e *Engine) Delete(id string) error {
 	if e.dur != nil {
 		e.dur.logDelete(id)
 		if cerr := e.dur.commit(); cerr != nil {
-			return fmt.Errorf("server: durability: %w", cerr)
+			return &DurabilityError{Err: cerr}
 		}
 	}
 	return nil
@@ -614,7 +621,7 @@ func (e *Engine) Step() error {
 		// A failed WAL append poisons the engine: advancing state the log
 		// did not record would make the log a lie on the next recovery.
 		if err := e.dur.failed(); err != nil {
-			return fmt.Errorf("server: durability: %w", err)
+			return &DurabilityError{Err: err}
 		}
 	}
 	e.mu.Lock()
@@ -670,7 +677,7 @@ func (e *Engine) Step() error {
 			e.dur.logEpoch(now, epochs)
 		}
 		if err := e.dur.commit(); err != nil {
-			return fmt.Errorf("server: durability: %w", err)
+			return &DurabilityError{Err: err}
 		}
 		if err := e.maybeSnapshot(); err != nil {
 			return fmt.Errorf("server: snapshot at t=%g: %w", t0, err)
@@ -802,6 +809,17 @@ func (e *Engine) PushObservations(tuples []stream.Tuple, watermark float64) (ing
 	if e.queue == nil {
 		return ingest.Ack{}, ErrNoIngest
 	}
+	if e.dur != nil {
+		// Reject batches the journal cannot frame (an attr over
+		// wal.MaxStringLen, or a batch whose record would exceed
+		// wal.MaxRecordBytes) before the queue applies them: once applied,
+		// an unloggable batch would desynchronize state from the log. This
+		// is the producer's batch failing, not a durability fault.
+		rec := wal.Record{Type: wal.TypePush, Tuples: tuples, Watermark: watermark}
+		if err := rec.Check(); err != nil {
+			return ingest.Ack{}, fmt.Errorf("server: batch is not journalable: %w", err)
+		}
+	}
 	ack, err := e.queue.Push(tuples, watermark)
 	if err != nil {
 		return ack, err
@@ -812,7 +830,7 @@ func (e *Engine) PushObservations(tuples []stream.Tuple, watermark float64) (ing
 		// producer is told its batch was accepted. Under FsyncBatch
 		// concurrent producers coalesce onto one fsync.
 		if cerr := e.dur.commit(); cerr != nil {
-			return ingest.Ack{}, fmt.Errorf("server: durability: %w", cerr)
+			return ingest.Ack{}, &DurabilityError{Err: cerr}
 		}
 	}
 	return ack, nil

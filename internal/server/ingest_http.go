@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ingest"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // The ingest gateway: POST /v1/sessions/{s}/ingest accepts externally
@@ -98,14 +99,19 @@ const ingestBatchLimit = 8 << 20
 // to come back, short enough that producers drain their backlog promptly.
 const IngestRetryAfterSeconds = 1
 
-// ingestPushStatus classifies a push failure: a queue closed by
-// shutdown/session-destroy is a retryable server condition (503), a
-// session that never accepts pushes is a conflict (409), anything else is
-// the producer's batch (400). Producers must not discard batches on 5xx.
+// ingestPushStatus classifies a push failure: a queue or WAL closed by
+// shutdown/session-destroy is a retryable server condition (503), any
+// other durability failure — fsync error, disk full — is a server fault
+// (500; the batch was NOT durably acked), a session that never accepts
+// pushes is a conflict (409), and anything else is the producer's batch
+// (400). Producers must not discard batches on 5xx.
 func ingestPushStatus(err error) int {
+	var durErr *DurabilityError
 	switch {
-	case errors.Is(err, ingest.ErrClosed):
+	case errors.Is(err, ingest.ErrClosed), errors.Is(err, wal.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.As(err, &durErr):
+		return http.StatusInternalServerError
 	case errors.Is(err, ErrNoIngest):
 		return http.StatusConflict
 	default:

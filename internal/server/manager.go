@@ -122,6 +122,18 @@ func NewEngineFactory(template Config, fields func() (map[string]sensors.Field, 
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Durability.Dir != "" {
+			// Guard against silently resurrecting another session's durable
+			// state: a leftover directory under the same name (idle-GC'd, or
+			// from a previous daemon run) is re-adopted only when the specs
+			// are replay-equivalent; a conflicting spec fails here with an
+			// actionable error instead of a replay-verification failure deep
+			// inside recovery. New (below) then replays whatever the
+			// directory holds.
+			if err := checkDurableDir(cfg.Durability.Dir, manifestSpec(cfg, spec)); err != nil {
+				return nil, err
+			}
+		}
 		f, err := fields()
 		if err != nil {
 			return nil, err
@@ -274,6 +286,62 @@ func writeManifest(dir string, spec SessionSpec) error {
 		return fmt.Errorf("server: session manifest: %w", err)
 	}
 	return nil
+}
+
+// checkDurableDir refuses to build a session on top of durable state
+// written under a conflicting spec. A directory with no manifest is fresh
+// (or died before its first manifest write — its WAL is empty either way);
+// a manifest equivalent to next means re-adoption of the same session
+// (the Recover path, or a deliberate resume of an idle-GC'd session) and
+// is allowed.
+func checkDurableDir(dir string, next SessionSpec) error {
+	existing, err := ReadManifest(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("server: session %q: unreadable manifest under %s (destroy the session to discard it): %w", next.Name, dir, err)
+	}
+	if conflict := manifestConflict(existing, next); conflict != "" {
+		return fmt.Errorf("server: session %q already has durable state under %s with a different spec (%s); destroy the session to discard it, or recreate it with the original spec", next.Name, dir, conflict)
+	}
+	return nil
+}
+
+// manifestConflict compares the persisted manifest against the one a new
+// Create would write and names the first replay-affecting difference (""
+// when compatible). Zero/empty numeric and string fields mean "inherit the
+// template" in older manifests, so they conflict only with a concrete
+// value on both sides — a daemon restarted with different flags must still
+// re-adopt its sessions. Clock and Pinned are lifecycle knobs with no
+// effect on replay; PlannerWeights is deliberately spec-only (see
+// manifestSpec).
+func manifestConflict(a, b SessionSpec) string {
+	num := func(x, y float64) bool { return x != y && x != 0 && y != 0 }
+	str := func(x, y string) bool { return x != y && x != "" && y != "" }
+	switch {
+	case num(float64(a.Seed), float64(b.Seed)):
+		return fmt.Sprintf("seed %d vs %d", a.Seed, b.Seed)
+	case num(float64(a.Retention), float64(b.Retention)):
+		return fmt.Sprintf("retention %d vs %d", a.Retention, b.Retention)
+	case str(a.Source, b.Source):
+		return fmt.Sprintf("source %q vs %q", a.Source, b.Source)
+	case num(float64(a.IngestBuffer), float64(b.IngestBuffer)):
+		return fmt.Sprintf("ingestBuffer %d vs %d", a.IngestBuffer, b.IngestBuffer)
+	case num(a.IngestTolerance, b.IngestTolerance):
+		return fmt.Sprintf("ingestTolerance %g vs %g", a.IngestTolerance, b.IngestTolerance)
+	case str(a.LatePolicy, b.LatePolicy):
+		return fmt.Sprintf("latePolicy %q vs %q", a.LatePolicy, b.LatePolicy)
+	case a.DisableFused != b.DisableFused:
+		return "disableFused differs"
+	case a.DisablePlanner != b.DisablePlanner:
+		return "disablePlanner differs"
+	case a.AdaptiveRates != b.AdaptiveRates:
+		return "adaptiveRates differs"
+	case a.DisableAdaptive != b.DisableAdaptive:
+		return "disableAdaptive differs"
+	}
+	return ""
 }
 
 // ManagerConfig assembles a session manager.
@@ -522,7 +590,12 @@ func (m *Manager) Len() int {
 
 // Destroy removes a session and shuts its engine down: the clock drains and
 // every query's result store is closed, so streaming readers see a clean
-// end of stream rather than hanging on a dead engine.
+// end of stream rather than hanging on a dead engine. Destroy means
+// forget: a durable session's on-disk state (WAL, snapshots, manifest) is
+// purged, so the name is reusable for a fresh session — unlike Close and
+// idle GC, which keep the directory for later re-adoption. Destroying a
+// name that has no live session but does have leftover durable state
+// purges the directory and succeeds.
 func (m *Manager) Destroy(name string) error {
 	m.mu.Lock()
 	sess := m.sessions[name]
@@ -531,9 +604,27 @@ func (m *Manager) Destroy(name string) error {
 	}
 	m.mu.Unlock()
 	if sess == nil {
+		// No live session, but durable state may linger on disk — an
+		// idle-GC'd session, or a directory whose recovery failed. DELETE
+		// is the purge path for those too.
+		if m.cfg.DurabilityDir != "" {
+			dir := sessionDir(m.cfg.DurabilityDir, name)
+			if _, serr := os.Stat(dir); serr == nil {
+				if rerr := os.RemoveAll(dir); rerr != nil {
+					return fmt.Errorf("server: purging durable state of %q: %w", name, rerr)
+				}
+				return nil
+			}
+		}
 		return fmt.Errorf("%w: %q", ErrNoSession, name)
 	}
-	return sess.Engine.Shutdown()
+	err := sess.Engine.Shutdown()
+	if dir := sess.Engine.DurabilityDir(); dir != "" {
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			err = errors.Join(err, fmt.Errorf("server: purging durable state of %q: %w", name, rerr))
+		}
+	}
+	return err
 }
 
 // gcLocked destroys unpinned sessions idle past IdleTTL. Callers hold m.mu;

@@ -78,6 +78,52 @@ type Record struct {
 // — treated as a torn tail by Replay.
 var errCorruptRecord = errors.New("wal: corrupt record payload")
 
+// MaxStringLen bounds every string field (query IDs, attrs, merge modes):
+// the on-disk framing prefixes strings with a uint16 length.
+const MaxStringLen = math.MaxUint16
+
+// ErrRecordTooLarge is returned by Append (without writing anything) when a
+// record cannot be framed: a string field longer than MaxStringLen or a
+// payload over MaxRecordBytes. The log stays intact and appendable.
+var ErrRecordTooLarge = errors.New("wal: record too large")
+
+// Check verifies the record fits the on-disk framing: every string length
+// must fit its uint16 prefix and the whole payload must stay within
+// MaxRecordBytes. Append enforces it; callers that journal after applying a
+// mutation (the engine's ingest path) call it first, so an unloggable
+// input fails the request instead of desynchronizing state from the log.
+func (r *Record) Check() error {
+	size := 1 // type byte
+	str := func(s string) bool {
+		size += 2 + len(s)
+		return len(s) <= MaxStringLen
+	}
+	switch r.Type {
+	case TypeSubmit:
+		size += 4*8 + 8
+		if !str(r.QueryID) || !str(r.Attr) || !str(r.Mode) {
+			return fmt.Errorf("%w: string field exceeds %d bytes", ErrRecordTooLarge, MaxStringLen)
+		}
+	case TypeDelete:
+		if !str(r.QueryID) {
+			return fmt.Errorf("%w: string field exceeds %d bytes", ErrRecordTooLarge, MaxStringLen)
+		}
+	case TypePush:
+		size += 8 + 4 + len(r.Tuples)*(8+4*8+8)
+		for i := range r.Tuples {
+			if !str(r.Tuples[i].Attr) {
+				return fmt.Errorf("%w: tuple attr exceeds %d bytes", ErrRecordTooLarge, MaxStringLen)
+			}
+		}
+	case TypeEpoch:
+		size += 8 + 8
+	}
+	if size > MaxRecordBytes {
+		return fmt.Errorf("%w: %d-byte payload exceeds MaxRecordBytes (%d)", ErrRecordTooLarge, size, MaxRecordBytes)
+	}
+	return nil
+}
+
 func appendUint64(dst []byte, v uint64) []byte {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)

@@ -342,9 +342,11 @@ func (l *Log) openSegmentLocked(n int) error {
 }
 
 // Append encodes rec into one checksummed frame and writes it to the
-// current segment, rotating first when the segment is full. Under
-// FsyncAlways the record is durable when Append returns; otherwise
-// durability is deferred to Commit (FsyncBatch) or the OS (FsyncNever).
+// current segment, rotating first when the segment is full. Records that
+// cannot be framed (Record.Check) fail with ErrRecordTooLarge before
+// anything is written. Under FsyncAlways the record is durable when Append
+// returns; otherwise durability is deferred to Commit (FsyncBatch) or the
+// OS (FsyncNever).
 func (l *Log) Append(rec *Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -356,6 +358,13 @@ func (l *Log) Append(rec *Record) error {
 	}
 	if !l.replayed {
 		return errors.New("wal: Append before Replay")
+	}
+	if err := rec.Check(); err != nil {
+		// Rejected before any byte is written: an oversize string would
+		// truncate its uint16 length prefix and an oversize payload would
+		// read as corruption on replay — either way a frame whose CRC passes
+		// but whose payload lies, silently truncating every later record.
+		return err
 	}
 	if l.segSize >= l.cfg.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -409,4 +410,45 @@ func TestWrapFileTornWrite(t *testing.T) {
 	}
 	recordsEqual(t, recs[:len(got)], got)
 	_ = rep
+}
+
+// TestAppendRejectsOversizeRecords: a record the framing cannot represent
+// — a string over MaxStringLen (its uint16 length prefix would truncate)
+// or a payload past MaxRecordBytes — must fail with ErrRecordTooLarge
+// before any byte is written. A silently truncated length prefix would
+// produce a frame whose CRC passes but whose payload lies, making replay
+// drop it as a torn tail along with every later acked record.
+func TestAppendRejectsOversizeRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openForAppend(t, dir, Config{Fsync: FsyncAlways})
+	bigAttr := string(make([]byte, MaxStringLen+1))
+	oversize := []Record{
+		{Type: TypePush, Watermark: math.NaN(), Tuples: []stream.Tuple{{ID: 1, Attr: bigAttr, T: 0.5}}},
+		{Type: TypeSubmit, QueryID: "Q1", Attr: bigAttr},
+		{Type: TypeDelete, QueryID: bigAttr},
+		{Type: TypePush, Watermark: math.NaN(), Tuples: make([]stream.Tuple, MaxRecordBytes/(8+2+4*8+8)+1)},
+	}
+	good := Record{Type: TypeEpoch, T1: 1, Epoch: 1}
+	if err := l.Append(&good); err != nil {
+		t.Fatal(err)
+	}
+	for i := range oversize {
+		if err := l.Append(&oversize[i]); !errors.Is(err, ErrRecordTooLarge) {
+			t.Fatalf("oversize record %d: err = %v, want ErrRecordTooLarge", i, err)
+		}
+	}
+	// The log is not poisoned: later appends land, and replay sees exactly
+	// the two good records with nothing truncated.
+	good2 := Record{Type: TypeEpoch, T1: 2, Epoch: 2}
+	if err := l.Append(&good2); err != nil {
+		t.Fatalf("append after oversize rejection: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, got := openForAppend(t, dir, Config{})
+	if rep.Torn {
+		t.Fatalf("replay reports torn tail: %+v", rep)
+	}
+	recordsEqual(t, []Record{good, good2}, got)
 }
