@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	"repro/internal/budget"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/topology"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // retime slides a batch's window to [t0, t0+1] and re-stamps every tuple's
@@ -710,14 +712,11 @@ func BenchmarkCoverageEstimator(b *testing.B) {
 
 // --- external ingestion: decode → enqueue → epoch assembly -------------------
 
-// BenchmarkIngest measures the push-gateway hot path end to end: decoding
-// one JSON observation batch (the wire form of POST /ingest), enqueueing it
-// into the bounded watermark queue, and assembling the epoch (drain, (T,ID)
-// sort, per-attribute grouping). B/op is the tracked number: the enqueue and
-// assembly halves reuse borrowed/scratch storage, so steady-state cost is
-// dominated by the unavoidable JSON decode.
-func BenchmarkIngest(b *testing.B) {
-	region := geom.NewRect(0, 0, 8, 8)
+// ingestPayloads renders one n-observation batch in both wire forms: the
+// JSON body of POST /ingest and the equivalent binary frame
+// (Content-Type application/x-craqr-batch). Tuple times span [0,1) so full-
+// path benchmarks can slide them one epoch per iteration.
+func ingestPayloads(b *testing.B, n int) (jsonBody, frame []byte) {
 	type obsJSON struct {
 		ID    uint64  `json:"id"`
 		T     float64 `json:"t"`
@@ -729,41 +728,169 @@ func BenchmarkIngest(b *testing.B) {
 		Attr         string    `json:"attr"`
 		Observations []obsJSON `json:"observations"`
 	}
+	body := batchJSON{Attr: "co2"}
+	batch := wire.Batch{Attr: "co2", Watermark: math.NaN()}
+	for i := 0; i < n; i++ {
+		o := obsJSON{
+			ID: uint64(i + 1), T: float64(i) / float64(n),
+			X: float64(i%8) + 0.5, Y: float64((i/8)%8) + 0.5, Value: 400,
+		}
+		body.Observations = append(body.Observations, o)
+		batch.Tuples = append(batch.Tuples, stream.Tuple{
+			ID: o.ID, Attr: "co2", T: o.T, X: o.X, Y: o.Y, Value: o.Value, Sensor: -1,
+		})
+	}
+	jsonBody, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err = wire.AppendFrame(nil, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jsonBody, frame
+}
+
+// reportTuples converts the run into a tuples/s rate — the number the load
+// harness (scripts/load.sh) and the ingest acceptance targets track.
+func reportTuples(b *testing.B, n int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/s, "tuples/s")
+	}
+}
+
+// BenchmarkWireDecode isolates the decode stage of the ingest gateway:
+// internal/wire parsing one observation batch from its JSON body or binary
+// frame into borrowed tuple storage. Steady state must not allocate —
+// TestDecodeJSONZeroAllocs/TestDecodeBinaryZeroAllocs pin allocs/op to 0.
+func BenchmarkWireDecode(b *testing.B) {
 	for _, n := range []int{64, 1024} {
-		wire := batchJSON{Attr: "co2"}
-		for i := 0; i < n; i++ {
-			wire.Observations = append(wire.Observations, obsJSON{
-				ID: uint64(i + 1), T: float64(i) / float64(n),
-				X: float64(i%8) + 0.5, Y: float64((i/8)%8) + 0.5, Value: 400,
-			})
+		jsonBody, frame := ingestPayloads(b, n)
+		b.Run(fmt.Sprintf("json/n=%d", n), func(b *testing.B) {
+			d := wire.BorrowDecoder()
+			defer d.Release()
+			b.SetBytes(int64(len(jsonBody)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DecodeJSON(jsonBody); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportTuples(b, n)
+		})
+		b.Run(fmt.Sprintf("binary/n=%d", n), func(b *testing.B) {
+			d := wire.BorrowDecoder()
+			defer d.Release()
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DecodeBinary(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportTuples(b, n)
+		})
+	}
+}
+
+// BenchmarkIngestAck renders one ingest ack (the response body of POST
+// /ingest) into a reused buffer — the pooled replacement for a per-request
+// json.Encoder. Steady state must not allocate.
+func BenchmarkIngestAck(b *testing.B) {
+	ack := ingest.Ack{Accepted: 64, Late: 3, Watermark: 41.5, Pending: 128}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = server.AppendIngestAck(buf[:0], ack, "")
+	}
+	_ = buf
+}
+
+// BenchmarkIngest measures the push-gateway hot path end to end per codec:
+// decoding one observation batch (JSON body or binary frame, via
+// internal/wire), enqueueing it into the bounded watermark queue, and
+// assembling the epoch (drain, (T,ID) sort, per-attribute grouping). The
+// enqueue+drain sub-benchmark runs the same path minus the decode, so the
+// codec cost is the difference. tuples/s is the tracked rate; steady-state
+// storage is borrowed, so allocs/op stays near zero.
+func BenchmarkIngest(b *testing.B) {
+	region := geom.NewRect(0, 0, 8, 8)
+	for _, n := range []int{64, 1024} {
+		jsonBody, frame := ingestPayloads(b, n)
+
+		// fullPath decodes each iteration's batch with decode, slides its
+		// tuples one epoch forward, pushes, and closes the epoch.
+		fullPath := func(wireBytes int, decode func(d *wire.Decoder) (wire.Batch, error)) func(b *testing.B) {
+			return func(b *testing.B) {
+				q := ingest.NewQueue(ingest.Config{Buffer: 1 << 16, Region: region})
+				src, err := ingest.NewQueueSource(q, region)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := wire.BorrowDecoder()
+				defer d.Release()
+				b.SetBytes(int64(wireBytes))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					batch, err := decode(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Producer time marches one epoch per iteration.
+					epoch := float64(i)
+					for j := range batch.Tuples {
+						batch.Tuples[j].T += epoch
+					}
+					ack, err := q.Push(batch.Tuples, epoch+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if ack.Accepted != n {
+						b.Fatalf("ack = %+v", ack)
+					}
+					out, err := src.Acquire(epoch, epoch+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(out["co2"].Tuples) != n {
+						b.Fatalf("assembled %d tuples", len(out["co2"].Tuples))
+					}
+				}
+				reportTuples(b, n)
+			}
 		}
-		payload, err := json.Marshal(wire)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(fmt.Sprintf("decode+push+drain/n=%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("decode+push+drain/n=%d", n),
+			fullPath(len(jsonBody), func(d *wire.Decoder) (wire.Batch, error) { return d.DecodeJSON(jsonBody) }))
+		b.Run(fmt.Sprintf("binary/decode+push+drain/n=%d", n),
+			fullPath(len(frame), func(d *wire.Decoder) (wire.Batch, error) { return d.DecodeBinary(frame) }))
+
+		b.Run(fmt.Sprintf("enqueue+drain/n=%d", n), func(b *testing.B) {
 			q := ingest.NewQueue(ingest.Config{Buffer: 1 << 16, Region: region})
 			src, err := ingest.NewQueueSource(q, region)
 			if err != nil {
 				b.Fatal(err)
 			}
+			d := wire.BorrowDecoder()
+			template, err := d.DecodeJSON(jsonBody)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tuples := append([]stream.Tuple(nil), template.Tuples...)
+			d.Release()
 			buf := stream.BorrowTuples(n)
 			defer buf.Release()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				var decoded batchJSON
-				if err := json.Unmarshal(payload, &decoded); err != nil {
-					b.Fatal(err)
-				}
-				// Producer time marches one epoch per iteration.
 				epoch := float64(i)
 				buf.Tuples = buf.Tuples[:0]
-				for _, o := range decoded.Observations {
-					buf.Tuples = append(buf.Tuples, stream.Tuple{
-						ID: o.ID, Attr: decoded.Attr, T: epoch + o.T,
-						X: o.X, Y: o.Y, Value: o.Value, Sensor: -1,
-					})
+				for j := range tuples {
+					tp := tuples[j]
+					tp.T += epoch
+					buf.Tuples = append(buf.Tuples, tp)
 				}
 				ack, err := q.Push(buf.Tuples, epoch+1)
 				if err != nil {
@@ -780,7 +907,7 @@ func BenchmarkIngest(b *testing.B) {
 					b.Fatalf("assembled %d tuples", len(out["co2"].Tuples))
 				}
 			}
-			b.SetBytes(int64(len(payload)))
+			reportTuples(b, n)
 		})
 	}
 }

@@ -2,7 +2,8 @@
 // CRUD, CrAQL submission, observation ingest (unary and streaming), epoch
 // stepping, and result delivery (cursor pages and ndjson streaming). It
 // speaks only the public wire protocol (docs/API.md) — no engine internals
-// — so an external producer/consumer pair is a few dozen lines:
+// beyond internal/wire, which IS the ingest wire protocol (both ends share
+// one codec) — so an external producer/consumer pair is a few dozen lines:
 //
 //	c := client.New("http://localhost:8080")
 //	_, _ = c.CreateSession(ctx, client.SessionSpec{Name: "bridge", Source: "mixed"})
@@ -22,12 +23,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // Client talks to one craqrd server. The zero HTTPClient means
@@ -41,7 +48,25 @@ type Client struct {
 	// a server that is restarting or destroying the session). The zero
 	// value retries with the defaults; set MaxAttempts to 1 to disable.
 	Retry RetryPolicy
+	// Codec selects the ingest framing: "" negotiates (the compact binary
+	// framing when the server advertises it, JSON otherwise), "json" and
+	// "binary" force one. Negotiation probes GET /v1/healthz once and
+	// caches the answer.
+	Codec string
+	// Compression names the Content-Encoding for unary ingest and script
+	// bodies: "" sends identity, "gzip" compresses. Streaming pushes are
+	// sent uncompressed.
+	Compression string
+
+	capMu sync.Mutex
+	caps  *Capabilities
 }
+
+// Ingest codec names accepted by Client.Codec.
+const (
+	CodecJSON   = "json"
+	CodecBinary = "binary"
+)
 
 // New returns a client for the server at base.
 func New(base string) *Client {
@@ -211,6 +236,59 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out interf
 		body = bytes.NewReader(data)
 	}
 	return c.do(ctx, method, path, "application/json", body, out)
+}
+
+// --- capabilities -----------------------------------------------------------
+
+// Capabilities is the gateway's ingest capability advertisement (from
+// GET /v1/healthz): the Content-Types its ingest route decodes and the
+// Content-Encodings it inflates.
+type Capabilities struct {
+	Codecs    []string `json:"codecs"`
+	Encodings []string `json:"encodings"`
+}
+
+// SupportsCodec reports whether the server decodes the given ingest
+// Content-Type.
+func (c Capabilities) SupportsCodec(contentType string) bool {
+	return slices.Contains(c.Codecs, contentType)
+}
+
+// Capabilities probes the server's ingest capabilities, caching the first
+// successful answer for the client's lifetime.
+func (c *Client) Capabilities(ctx context.Context) (Capabilities, error) {
+	c.capMu.Lock()
+	if c.caps != nil {
+		caps := *c.caps
+		c.capMu.Unlock()
+		return caps, nil
+	}
+	c.capMu.Unlock()
+	var health struct {
+		Ingest Capabilities `json:"ingest"`
+	}
+	if err := c.doJSON(ctx, "GET", "/v1/healthz", nil, &health); err != nil {
+		return Capabilities{}, err
+	}
+	c.capMu.Lock()
+	c.caps = &health.Ingest
+	c.capMu.Unlock()
+	return health.Ingest, nil
+}
+
+// ingestBinary resolves the codec choice for an ingest push: an explicit
+// Codec wins; otherwise binary iff the server advertises it (a server too
+// old to advertise — or unreachable for the probe — gets JSON, which every
+// server speaks).
+func (c *Client) ingestBinary(ctx context.Context) bool {
+	switch c.Codec {
+	case CodecBinary:
+		return true
+	case CodecJSON:
+		return false
+	}
+	caps, err := c.Capabilities(ctx)
+	return err == nil && caps.SupportsCodec(wire.ContentTypeBinary)
 }
 
 // --- sessions ---------------------------------------------------------------
@@ -417,17 +495,85 @@ type Ack struct {
 	Error       string   `json:"error,omitempty"`
 }
 
+// toWire converts a client batch to the shared codec representation (a
+// nil Watermark becomes NaN, a nil Sensor −1 — the wire conventions).
+func (b Batch) toWire() wire.Batch {
+	wb := wire.Batch{Attr: b.Attr, Watermark: math.NaN()}
+	if b.Watermark != nil {
+		wb.Watermark = *b.Watermark
+	}
+	if len(b.Observations) > 0 {
+		wb.Tuples = make([]stream.Tuple, 0, len(b.Observations))
+	}
+	for _, o := range b.Observations {
+		sensor := -1
+		if o.Sensor != nil {
+			sensor = *o.Sensor
+		}
+		wb.Tuples = append(wb.Tuples, stream.Tuple{
+			ID: o.ID, Attr: o.Attr, T: o.T, X: o.X, Y: o.Y, Value: o.Value, Sensor: sensor,
+		})
+	}
+	return wb
+}
+
+// encodeIngestBody renders one batch in the chosen codec and applies the
+// client's Compression, returning body bytes and the Content-Type /
+// Content-Encoding headers to send.
+func (c *Client) encodeIngestBody(ctx context.Context, b Batch) (body []byte, ctype, encoding string, err error) {
+	if c.ingestBinary(ctx) {
+		ctype = wire.ContentTypeBinary
+		body, err = wire.AppendFrame(nil, b.toWire())
+	} else {
+		ctype = "application/json"
+		body, err = json.Marshal(b)
+	}
+	if err != nil {
+		return nil, "", "", err
+	}
+	switch c.Compression {
+	case "":
+	case "gzip":
+		body, encoding = wire.AppendGzip(nil, body), "gzip"
+	default:
+		return nil, "", "", fmt.Errorf("craqrd: unsupported compression %q", c.Compression)
+	}
+	return body, ctype, encoding, nil
+}
+
 // Ingest pushes one observation batch into an external- or mixed-source
-// session and returns its ack. A 503 (ingest queue closed — the server is
-// restarting or the session is churning) is retried under the client's
+// session and returns its ack, using the densest codec the server speaks
+// (see Client.Codec/Compression). A 503 (ingest queue closed — the server
+// is restarting or the session is churning) is retried under the client's
 // RetryPolicy with exponential backoff, honoring the server's Retry-After
 // hint; an un-acked batch is never applied, so retries cannot duplicate
 // observations.
 func (c *Client) Ingest(ctx context.Context, session string, b Batch) (Ack, error) {
+	body, ctype, encoding, err := c.encodeIngestBody(ctx, b)
+	if err != nil {
+		return Ack{}, err
+	}
+	path := "/v1/sessions/" + url.PathEscape(session) + "/ingest"
 	var out Ack
-	err := c.withRetry(ctx, func() error {
+	err = c.withRetry(ctx, func() error {
 		out = Ack{}
-		return c.doJSON(ctx, "POST", "/v1/sessions/"+url.PathEscape(session)+"/ingest", b, &out)
+		req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ctype)
+		if encoding != "" {
+			req.Header.Set("Content-Encoding", encoding)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return decodeError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&out)
 	})
 	return out, err
 }
@@ -439,29 +585,40 @@ func (c *Client) AssertWatermark(ctx context.Context, session string, wm float64
 	return c.Ingest(ctx, session, Batch{Watermark: &wm})
 }
 
-// IngestStream is a long-lived ndjson push connection: Send writes one
-// batch line; Close ends the stream and returns the server's per-batch
-// acks. Over HTTP/1.1 the acks arrive only at Close (half-duplex); HTTP/2
-// transports deliver them live but Close still collects them all.
+// IngestStream is a long-lived push connection (ndjson lines or binary
+// frames, whichever OpenIngest negotiated): Send writes one batch; Close
+// ends the stream and returns the server's per-batch acks. Over HTTP/1.1
+// the acks arrive only at Close (half-duplex); HTTP/2 transports deliver
+// them live but Close still collects them all.
 type IngestStream struct {
 	w      *io.PipeWriter
-	enc    *json.Encoder
+	enc    *json.Encoder // JSON framing (nil when binary)
+	frame  []byte        // reused binary frame scratch (nil when JSON)
+	binary bool
 	done   chan struct{}
 	acks   []Ack
 	ackErr error
 }
 
-// OpenIngest starts a streaming ingest push to a session.
+// OpenIngest starts a streaming ingest push to a session, picking the
+// compact binary framing when the server advertises it (Client.Codec
+// overrides). The response is ndjson acks either way.
 func (c *Client) OpenIngest(ctx context.Context, session string) (*IngestStream, error) {
+	binary := c.ingestBinary(ctx)
 	pr, pw := io.Pipe()
 	req, err := http.NewRequestWithContext(ctx, "POST",
-		c.BaseURL+"/v1/sessions/"+url.PathEscape(session)+"/ingest", pr)
+		c.BaseURL+"/v1/sessions/"+url.PathEscape(session)+"/ingest?stream=1", pr)
 	if err != nil {
 		pw.Close()
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	st := &IngestStream{w: pw, enc: json.NewEncoder(pw), done: make(chan struct{})}
+	st := &IngestStream{w: pw, binary: binary, done: make(chan struct{})}
+	if binary {
+		req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	} else {
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		st.enc = json.NewEncoder(pw)
+	}
 	go func() {
 		defer close(st.done)
 		resp, err := c.httpClient().Do(req)
@@ -495,8 +652,20 @@ func (c *Client) OpenIngest(ctx context.Context, session string) (*IngestStream,
 	return st, nil
 }
 
-// Send writes one batch line onto the stream.
-func (s *IngestStream) Send(b Batch) error { return s.enc.Encode(b) }
+// Send writes one batch onto the stream (a JSON line or a binary frame).
+// Send is not safe for concurrent use.
+func (s *IngestStream) Send(b Batch) error {
+	if !s.binary {
+		return s.enc.Encode(b)
+	}
+	frame, err := wire.AppendFrame(s.frame[:0], b.toWire())
+	if err != nil {
+		return err
+	}
+	s.frame = frame
+	_, err = s.w.Write(frame)
+	return err
+}
 
 // Close ends the push stream and returns every ack the server produced (in
 // batch order) plus the first error, if any — including the server's

@@ -1,0 +1,503 @@
+// Command craqr-loadgen is a wrk-style load harness for craqrd's ingest
+// wire path. It drives a live daemon over HTTP with configurable
+// connection count, batch size, codec (json or binary framing) and
+// compression, then reports requests, accepted tuples/sec and p50/p99
+// request latency as one JSON object on stdout — the shape scripts/load.sh
+// merges into BENCH_*.json next to the micro-benchmarks.
+//
+//	craqrd -addr :8080 &
+//	craqr-loadgen -url http://127.0.0.1:8080 -codec binary -conns 8 -duration 10s
+//
+// By default it creates (or reuses) a session configured for load: external
+// source, simulated clock (epochs drain back-to-back as fast as the
+// watermark allows), a deep ingest buffer, and durability off so the disk
+// does not gate the wire path. Synthetic observations advance event time at
+// -rate units per wall-clock second; alternatively -trace replays a binary
+// frame corpus produced by craqr-replay -dump-trace.
+//
+// Exit status is nonzero when -min-accepted or -max-p99 is violated, which
+// is how CI's load-smoke step asserts the path end to end.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+type options struct {
+	url      string
+	session  string
+	create   bool
+	codec    string
+	compress string
+	conns    int
+	batch    int
+	duration time.Duration
+	attr     string
+	rate     float64
+	trace    string
+	name     string
+	outFile  string
+	minAcc   int64
+	maxP99   time.Duration
+}
+
+// result is the machine-readable run summary. Field names mirror the
+// benchmark-entry convention of BENCH_*.json so scripts/load.sh can splice
+// runs straight into the trajectory file: ns_per_op is the p50 request
+// latency in nanoseconds, tuples_per_s the accepted-tuple rate.
+type result struct {
+	Name         string  `json:"name"`
+	Codec        string  `json:"codec"`
+	Compress     string  `json:"compress,omitempty"`
+	Connections  int     `json:"connections"`
+	Batch        int     `json:"batch"`
+	DurationSec  float64 `json:"duration_sec"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	TuplesSent   int64   `json:"tuples_sent"`
+	Accepted     int64   `json:"accepted"`
+	Dropped      int64   `json:"dropped"`
+	Late         int64   `json:"late"`
+	LateDropped  int64   `json:"lateDropped"`
+	Rejected     int64   `json:"rejected"`
+	TuplesPerSec float64 `json:"tuples_per_s"`
+	NsOp         float64 `json:"ns_per_op"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+type ackJSON struct {
+	Accepted    int      `json:"accepted"`
+	Dropped     int      `json:"dropped"`
+	Late        int      `json:"late"`
+	LateDropped int      `json:"lateDropped"`
+	Rejected    int      `json:"rejected"`
+	Watermark   *float64 `json:"watermark"`
+	Pending     int      `json:"pending"`
+	Error       string   `json:"error,omitempty"`
+}
+
+type workerStats struct {
+	requests, errors int64
+	sent             int64
+	ack              ackJSON // running sums, int fields only
+	lats             []time.Duration
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.url, "url", "http://127.0.0.1:8080", "craqrd base URL")
+	flag.StringVar(&opt.session, "session", "loadgen", "session name to ingest into")
+	flag.BoolVar(&opt.create, "create", true, "create the session if missing (external source, simulated clock, durability off)")
+	flag.StringVar(&opt.codec, "codec", "json", "ingest codec: json or binary")
+	flag.StringVar(&opt.compress, "compress", "", "request Content-Encoding: empty or gzip")
+	flag.IntVar(&opt.conns, "conns", 4, "concurrent connections")
+	flag.IntVar(&opt.batch, "batch", 64, "observations per request")
+	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "how long to drive load")
+	flag.StringVar(&opt.attr, "attr", "rain", "attribute name for synthetic observations")
+	flag.Float64Var(&opt.rate, "rate", 50, "event-time units per wall-clock second (synthetic mode)")
+	flag.StringVar(&opt.trace, "trace", "", "replay this binary frame corpus (craqr-replay -dump-trace) instead of synthetic batches")
+	flag.StringVar(&opt.name, "name", "", "result name (default loadgen/<codec>[+<compress>]/c<conns>/b<batch>)")
+	flag.StringVar(&opt.outFile, "out", "", "also write the result JSON to this file")
+	flag.Int64Var(&opt.minAcc, "min-accepted", 0, "exit nonzero unless at least this many tuples were accepted")
+	flag.DurationVar(&opt.maxP99, "max-p99", 0, "exit nonzero when p99 request latency exceeds this (0 = no bound)")
+	flag.Parse()
+
+	if opt.codec != "json" && opt.codec != "binary" {
+		fmt.Fprintf(os.Stderr, "craqr-loadgen: unknown -codec %q (json or binary)\n", opt.codec)
+		os.Exit(2)
+	}
+	if opt.compress != "" && opt.compress != "gzip" {
+		fmt.Fprintf(os.Stderr, "craqr-loadgen: unknown -compress %q (empty or gzip)\n", opt.compress)
+		os.Exit(2)
+	}
+	if opt.conns < 1 || opt.batch < 1 {
+		fmt.Fprintln(os.Stderr, "craqr-loadgen: -conns and -batch must be positive")
+		os.Exit(2)
+	}
+	if opt.name == "" {
+		codec := opt.codec
+		if opt.compress != "" {
+			codec += "+" + opt.compress
+		}
+		opt.name = fmt.Sprintf("loadgen/%s/c%d/b%d", codec, opt.conns, opt.batch)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.conns * 2,
+		MaxIdleConnsPerHost: opt.conns * 2,
+	}}
+
+	if err := waitHealthy(client, opt.url, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "craqr-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if opt.create {
+		if err := ensureSession(client, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "craqr-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var corpus [][]byte
+	if opt.trace != "" {
+		var err error
+		corpus, err = loadCorpus(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "craqr-loadgen: loading trace: %v\n", err)
+			os.Exit(1)
+		}
+		if len(corpus) == 0 {
+			fmt.Fprintln(os.Stderr, "craqr-loadgen: trace holds no frames")
+			os.Exit(1)
+		}
+	}
+
+	res := run(client, opt, corpus)
+	out, _ := json.Marshal(res)
+	fmt.Println(string(out))
+	if opt.outFile != "" {
+		if err := os.WriteFile(opt.outFile, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "craqr-loadgen: writing -out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d req (%d errors), %d/%d tuples accepted, %.0f tuples/s, p50 %.2fms p99 %.2fms\n",
+		res.Name, res.Requests, res.Errors, res.Accepted, res.TuplesSent, res.TuplesPerSec, res.P50Ms, res.P99Ms)
+
+	if res.Accepted < opt.minAcc {
+		fmt.Fprintf(os.Stderr, "craqr-loadgen: accepted %d < -min-accepted %d\n", res.Accepted, opt.minAcc)
+		os.Exit(1)
+	}
+	if opt.maxP99 > 0 && res.P99Ms > float64(opt.maxP99)/1e6 {
+		fmt.Fprintf(os.Stderr, "craqr-loadgen: p99 %.2fms exceeds -max-p99 %v\n", res.P99Ms, opt.maxP99)
+		os.Exit(1)
+	}
+}
+
+func waitHealthy(c *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.Get(base + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon not healthy after %v: %v", timeout, err)
+			}
+			return fmt.Errorf("daemon not healthy after %v", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// ensureSession creates the load session: external-only source so synthetic
+// fleets don't compete for CPU, simulated clock so epochs drain the queue
+// back-to-back instead of on wall-clock ticks, a deep ingest buffer, and no
+// durability so fsync never gates the wire path being measured.
+func ensureSession(c *http.Client, opt options) error {
+	spec := map[string]any{
+		"name":              opt.session,
+		"source":            "external",
+		"simulated":         true,
+		"ingestBuffer":      1 << 18,
+		"tolerance":         1.0,
+		"disableDurability": true,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := c.Post(opt.url+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("creating session: %v", err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	if resp.StatusCode == http.StatusConflict || bytes.Contains(msg, []byte("already exists")) {
+		return nil // reuse it
+	}
+	return fmt.Errorf("creating session: %s: %s", resp.Status, bytes.TrimSpace(msg))
+}
+
+// loadCorpus decodes a -dump-trace file and pre-encodes every frame as a
+// request body in the selected codec/compression, so replay workers do no
+// encoding on the hot path.
+func loadCorpus(opt options) ([][]byte, error) {
+	f, err := os.Open(opt.trace)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d := wire.BorrowDecoder()
+	defer d.Release()
+	fr := wire.NewFrameReader(f, d)
+	var bodies [][]byte
+	for {
+		b, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			return bodies, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The decoder arena is reused by the next frame; copy out.
+		batch := wire.Batch{
+			Attr:      b.Attr,
+			Watermark: b.Watermark,
+			Tuples:    append([]stream.Tuple(nil), b.Tuples...),
+		}
+		body, err := encodeBody(nil, opt, batch)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+}
+
+// encodeBody renders one batch as a request body in the run's codec, then
+// applies compression. dst is recycled across synthetic batches.
+func encodeBody(dst []byte, opt options, b wire.Batch) ([]byte, error) {
+	var err error
+	switch opt.codec {
+	case "binary":
+		dst, err = wire.AppendFrame(dst[:0], b)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		dst = appendJSONBatch(dst[:0], b)
+	}
+	return dst, nil
+}
+
+// appendJSONBatch renders the ingest JSON body by hand — the load generator
+// must not be slower than the server it measures.
+func appendJSONBatch(dst []byte, b wire.Batch) []byte {
+	dst = append(dst, '{')
+	if b.Attr != "" {
+		dst = append(dst, `"attr":"`...)
+		dst = append(dst, b.Attr...)
+		dst = append(dst, `",`...)
+	}
+	if !math.IsNaN(b.Watermark) {
+		dst = append(dst, `"watermark":`...)
+		dst = strconv.AppendFloat(dst, b.Watermark, 'g', -1, 64)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, `"observations":[`...)
+	for i := range b.Tuples {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		tp := &b.Tuples[i]
+		dst = append(dst, '{')
+		if tp.ID != 0 {
+			dst = append(dst, `"id":`...)
+			dst = strconv.AppendUint(dst, tp.ID, 10)
+			dst = append(dst, ',')
+		}
+		if tp.Attr != "" && tp.Attr != b.Attr {
+			dst = append(dst, `"attr":"`...)
+			dst = append(dst, tp.Attr...)
+			dst = append(dst, `",`...)
+		}
+		dst = append(dst, `"t":`...)
+		dst = strconv.AppendFloat(dst, tp.T, 'g', -1, 64)
+		dst = append(dst, `,"x":`...)
+		dst = strconv.AppendFloat(dst, tp.X, 'g', -1, 64)
+		dst = append(dst, `,"y":`...)
+		dst = strconv.AppendFloat(dst, tp.Y, 'g', -1, 64)
+		dst = append(dst, `,"value":`...)
+		dst = strconv.AppendFloat(dst, tp.Value, 'g', -1, 64)
+		if tp.Sensor >= 0 {
+			dst = append(dst, `,"sensor":`...)
+			dst = strconv.AppendInt(dst, int64(tp.Sensor), 10)
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']', '}')
+	return dst
+}
+
+// sessionBaseT asks the session where event time stands, so synthetic
+// observations resume past the watermark instead of arriving late when the
+// same session is driven by consecutive runs.
+func sessionBaseT(c *http.Client, opt options) float64 {
+	resp, err := c.Get(opt.url + "/v1/sessions/" + opt.session + "/status")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Now       float64  `json:"now"`
+		Watermark *float64 `json:"watermark"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&st) != nil {
+		return 0
+	}
+	base := st.Now
+	if st.Watermark != nil && *st.Watermark > base {
+		base = *st.Watermark
+	}
+	return base + 1
+}
+
+func run(c *http.Client, opt options, corpus [][]byte) result {
+	ingestURL := opt.url + "/v1/sessions/" + opt.session + "/ingest"
+	ctype := "application/json"
+	if opt.codec == "binary" {
+		ctype = wire.ContentTypeBinary
+	}
+	baseT := sessionBaseT(c, opt)
+
+	start := time.Now()
+	deadline := start.Add(opt.duration)
+	stats := make([]workerStats, opt.conns)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.lats = make([]time.Duration, 0, 1<<14)
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			tuples := make([]stream.Tuple, opt.batch)
+			var body, zbuf []byte
+			var next int
+			for time.Now().Before(deadline) {
+				var req []byte
+				var n int64
+				if corpus != nil {
+					req = corpus[next%len(corpus)]
+					next++
+					n = int64(opt.batch) // approximate; trace frames vary
+				} else {
+					// Event time tracks the wall clock so the session's
+					// watermark — and with it the draining epochs — advances.
+					tNow := baseT + time.Since(start).Seconds()*opt.rate
+					for i := range tuples {
+						tuples[i] = stream.Tuple{
+							Attr:   opt.attr,
+							T:      tNow - rng.Float64()*0.5,
+							X:      rng.Float64() * 8,
+							Y:      rng.Float64() * 8,
+							Value:  rng.Float64() * 10,
+							Sensor: -1,
+						}
+					}
+					var err error
+					body, err = encodeBody(body, opt, wire.Batch{Attr: opt.attr, Watermark: math.NaN(), Tuples: tuples})
+					if err != nil {
+						st.errors++
+						continue
+					}
+					req = body
+					n = int64(opt.batch)
+				}
+				if opt.compress == "gzip" {
+					zbuf = wire.AppendGzip(zbuf[:0], req)
+					req = zbuf
+				}
+				st.sent += n
+				t0 := time.Now()
+				ack, err := postBatch(c, ingestURL, ctype, opt.compress, req)
+				lat := time.Since(t0)
+				st.requests++
+				if err != nil {
+					st.errors++
+					continue
+				}
+				st.lats = append(st.lats, lat)
+				st.ack.Accepted += ack.Accepted
+				st.ack.Dropped += ack.Dropped
+				st.ack.Late += ack.Late
+				st.ack.LateDropped += ack.LateDropped
+				st.ack.Rejected += ack.Rejected
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := result{
+		Name:        opt.name,
+		Codec:       opt.codec,
+		Compress:    opt.compress,
+		Connections: opt.conns,
+		Batch:       opt.batch,
+		DurationSec: elapsed.Seconds(),
+	}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		res.Requests += st.requests
+		res.Errors += st.errors
+		res.TuplesSent += st.sent
+		res.Accepted += int64(st.ack.Accepted)
+		res.Dropped += int64(st.ack.Dropped)
+		res.Late += int64(st.ack.Late)
+		res.LateDropped += int64(st.ack.LateDropped)
+		res.Rejected += int64(st.ack.Rejected)
+		all = append(all, st.lats...)
+	}
+	res.TuplesPerSec = float64(res.Accepted) / elapsed.Seconds()
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p50 := all[len(all)/2]
+		p99 := all[min(len(all)-1, len(all)*99/100)]
+		res.P50Ms = float64(p50) / 1e6
+		res.P99Ms = float64(p99) / 1e6
+		res.NsOp = float64(p50)
+	}
+	return res
+}
+
+func postBatch(c *http.Client, url, ctype, encoding string, body []byte) (ackJSON, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return ackJSON{}, err
+	}
+	req.Header.Set("Content-Type", ctype)
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return ackJSON{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return ackJSON{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ackJSON{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var ack ackJSON
+	if err := json.Unmarshal(data, &ack); err != nil {
+		return ackJSON{}, err
+	}
+	return ack, nil
+}

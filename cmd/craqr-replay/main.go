@@ -8,6 +8,12 @@
 //	craqr-replay -data-dir /var/lib/craqr              # list sessions
 //	craqr-replay -data-dir /var/lib/craqr -session default
 //	craqr-replay -data-dir /var/lib/craqr -session default -dump Q1 > q1.ndjson
+//	craqr-replay -data-dir /var/lib/craqr -session default -dump-trace ingest.cqb
+//
+// -dump-trace re-encodes the session's journaled ingest pushes as a stream
+// of binary wire frames (internal/wire, Content-Type application/x-craqr-batch).
+// The trace file is byte-compatible with a streaming binary ingest body, so
+// craqr-loadgen -trace can replay a production workload as a bench corpus.
 //
 // The engine template (fleet size, grid, fields) must match the daemon's:
 // both sides build it from internal/world plus the persisted session
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +31,8 @@ import (
 	"sort"
 
 	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/wire"
 	"repro/internal/world"
 )
 
@@ -32,6 +41,7 @@ func main() {
 	session := flag.String("session", "", "session name to replay (empty lists sessions)")
 	nSensors := flag.Int("sensors", 0, "fleet size the daemon ran with (0 = default)")
 	dump := flag.String("dump", "", "after replay, write this query's retained results as ndjson to stdout")
+	dumpTrace := flag.String("dump-trace", "", "write the session's journaled ingest pushes as binary wire frames to this file (\"-\" = stdout) and exit")
 	flag.Parse()
 	if *dataDir == "" {
 		flag.Usage()
@@ -39,6 +49,12 @@ func main() {
 	}
 	if *session == "" {
 		listSessions(*dataDir)
+		return
+	}
+	if *dumpTrace != "" {
+		if err := dumpTraceFile(sessionPath(*dataDir, *session), *dumpTrace); err != nil {
+			log.Fatalf("craqr-replay: dump-trace: %v", err)
+		}
 		return
 	}
 
@@ -88,6 +104,60 @@ func sessionPath(root, name string) string {
 		return filepath.Join(root, "sessions", name)
 	}
 	return cfg.Durability.Dir
+}
+
+// dumpTraceFile walks the session's WAL read-only and re-encodes every
+// TypePush record — tuples exactly as the producer sent them, plus the
+// watermark assertion — as one binary wire frame. It needs no engine and no
+// matching -sensors template: the push journal is self-contained.
+func dumpTraceFile(sessionDir, out string) error {
+	l, err := wal.Open(wal.Config{Dir: filepath.Join(sessionDir, "wal"), ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var frame []byte
+	frames, tuples := 0, 0
+	rep, err := l.Replay(func(rec *wal.Record) error {
+		if rec.Type != wal.TypePush {
+			return nil
+		}
+		// Watermark-only pushes (no tuples) still matter: they assert event
+		// time forward, and a replayed load should do the same.
+		frame, err = wire.AppendFrame(frame[:0], wire.Batch{Watermark: rec.Watermark, Tuples: rec.Tuples})
+		if err != nil {
+			return err
+		}
+		if _, werr := bw.Write(frame); werr != nil {
+			return werr
+		}
+		frames++
+		tuples += len(rec.Tuples)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace     %d frames, %d tuples (from %d WAL records)\n",
+		frames, tuples, rep.Records)
+	if rep.Torn {
+		fmt.Fprintf(os.Stderr, "torn tail detected: trailing incomplete record skipped\n")
+	}
+	return nil
 }
 
 func listSessions(root string) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/craql"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // HTTPServer exposes a session Manager over JSON/HTTP. Sessions are
@@ -133,13 +136,39 @@ func (s *HTTPServer) SetLogf(f func(format string, args ...interface{})) {
 // ServeHTTP implements http.Handler.
 func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// writeJSON encodes v; an encode failure after the header is committed can
-// only be logged, not reported to the client.
+// jsonEncoder pairs a reusable buffer with an encoder bound to it, so
+// writeJSON neither allocates an encoder per response nor writes to the
+// socket in encoder-sized dribbles.
+type jsonEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncoderPool = sync.Pool{
+	New: func() interface{} {
+		e := &jsonEncoder{}
+		e.enc = json.NewEncoder(&e.buf)
+		return e
+	},
+}
+
+// writeJSON encodes v through a pooled encoder. Encoding into the buffer
+// first means an encode failure is reported as a 500 instead of a torn
+// 200 body.
 func (s *HTTPServer) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	e := jsonEncoderPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		jsonEncoderPool.Put(e)
+		s.logf("server: http: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logf("server: http: encoding %T response: %v", v, err)
+	w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= 1<<20 { // don't pin giant result pages in the pool
+		jsonEncoderPool.Put(e)
 	}
 }
 
@@ -320,10 +349,18 @@ func toSessionJSON(sess *Session) sessionJSON {
 
 // --- /v1 session lifecycle -------------------------------------------------
 
+// handleHealthz reports liveness plus the gateway's ingest capabilities:
+// the Content-Types the ingest route decodes and the Content-Encodings it
+// inflates. Clients probe this once to pick the densest codec the server
+// speaks (see client.Client capabilities).
 func (s *HTTPServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":   "ok",
 		"sessions": s.manager.Len(),
+		"ingest": map[string]interface{}{
+			"codecs":    IngestCodecs,
+			"encodings": wire.Encodings(),
+		},
 	})
 }
 
@@ -609,11 +646,21 @@ func (s *HTTPServer) handleSessionScript(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *HTTPServer) submitScript(w http.ResponseWriter, r *http.Request, e *Engine) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// Scripts accept the same Content-Encodings as ingest (gzip/deflate,
+	// registered hooks), with the decompressed size capped at the script
+	// limit.
+	rc, err := wire.Decompress(r.Body, strings.TrimSpace(r.Header.Get("Content-Encoding")))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, wireStatus(err), err)
 		return
 	}
+	defer rc.Close()
+	body, err := wire.ReadBody(rc, 1<<20, wire.BorrowBuf())
+	if err != nil {
+		s.writeError(w, wireStatus(err), err)
+		return
+	}
+	defer wire.ReleaseBuf(body)
 	qs, err := e.SubmitScript(string(body))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)

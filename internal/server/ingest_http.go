@@ -2,7 +2,7 @@ package server
 
 import (
 	"bufio"
-	"encoding/json"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -10,17 +10,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/ingest"
-	"repro/internal/stream"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // The ingest gateway: POST /v1/sessions/{s}/ingest accepts externally
 // produced observations for sessions running in external or mixed source
 // mode.
 //
-// Two framings share one route, negotiated by Content-Type:
+// Three framings share one route, negotiated by Content-Type (the
+// decoders live in internal/wire; the gateway owns only the HTTP
+// plumbing):
 //
 //   - application/json (default): the body is one observation batch; the
 //     response is its ack.
@@ -29,6 +32,14 @@ import (
 //     as it is applied, so a long-lived producer sees drop/late accounting
 //     per push. (Over HTTP/1.1 most clients deliver the acks once the
 //     request body is closed — half-duplex — while HTTP/2 gets them live.)
+//   - application/x-craqr-batch: the compact binary framing (wire/binary.go).
+//     Unary requests carry exactly one frame; with ?stream=1 the body is a
+//     sequence of frames and the response streams ndjson ack lines, one
+//     per frame.
+//
+// Bodies may be compressed (Content-Encoding: gzip or deflate; zstd once a
+// decompressor is registered). Decompressed sizes are capped per batch —
+// a compression bomb gets 413, an unknown encoding 415.
 //
 // A batch object is {"attr","watermark","observations":[…]}: attr is the
 // default attribute for observations that carry none; watermark, when
@@ -38,27 +49,14 @@ import (
 // gateway-assigned one in arrival order; producers that need replay-stable
 // streams assign their own ids (see ingest.GatewayIDBase).
 
-// ingestObservationJSON is the wire form of one pushed observation.
-type ingestObservationJSON struct {
-	ID     uint64  `json:"id,omitempty"`
-	Attr   string  `json:"attr,omitempty"`
-	T      float64 `json:"t"`
-	X      float64 `json:"x"`
-	Y      float64 `json:"y"`
-	Value  float64 `json:"value"`
-	Sensor *int    `json:"sensor,omitempty"`
-}
-
-// ingestBatchJSON is the wire form of one pushed batch.
-type ingestBatchJSON struct {
-	Attr         string                  `json:"attr,omitempty"`
-	Watermark    *float64                `json:"watermark,omitempty"`
-	Observations []ingestObservationJSON `json:"observations"`
-}
+// IngestCodecs lists the ingest Content-Types this gateway accepts, in
+// advertisement order (see GET /v1/healthz).
+var IngestCodecs = []string{"application/json", "application/x-ndjson", wire.ContentTypeBinary}
 
 // ingestAckJSON is the wire form of one ingest.Ack. All counts are tuples;
 // watermark is the post-push low watermark in simulation time units (null
-// until any event time or assertion is known).
+// until any event time or assertion is known). The hot path renders this
+// shape with AppendIngestAck; the struct remains as the parse-side schema.
 type ingestAckJSON struct {
 	Accepted    int      `json:"accepted"`
 	Dropped     int      `json:"dropped"`
@@ -79,19 +77,111 @@ func finiteOrNil(v float64) *float64 {
 	return &v
 }
 
-func toIngestAckJSON(ack ingest.Ack) ingestAckJSON {
-	return ingestAckJSON{
-		Accepted:    ack.Accepted,
-		Dropped:     ack.Dropped,
-		Late:        ack.Late,
-		LateDropped: ack.LateDropped,
-		Rejected:    ack.Rejected,
-		Watermark:   finiteOrNil(ack.Watermark),
-		Pending:     ack.Pending,
+// AppendIngestAck renders one ingest ack (with an optional error message)
+// as a JSON line, byte-identical to encoding/json marshaling ingestAckJSON
+// but without an encoder, reflection, or any allocation beyond dst growth.
+// A NaN/±Inf watermark renders as null. Exported for the root-package
+// allocation benchmarks.
+func AppendIngestAck(dst []byte, ack ingest.Ack, errMsg string) []byte {
+	dst = append(dst, `{"accepted":`...)
+	dst = strconv.AppendInt(dst, int64(ack.Accepted), 10)
+	dst = append(dst, `,"dropped":`...)
+	dst = strconv.AppendInt(dst, int64(ack.Dropped), 10)
+	dst = append(dst, `,"late":`...)
+	dst = strconv.AppendInt(dst, int64(ack.Late), 10)
+	dst = append(dst, `,"lateDropped":`...)
+	dst = strconv.AppendInt(dst, int64(ack.LateDropped), 10)
+	dst = append(dst, `,"rejected":`...)
+	dst = strconv.AppendInt(dst, int64(ack.Rejected), 10)
+	dst = append(dst, `,"watermark":`...)
+	if math.IsInf(ack.Watermark, 0) || math.IsNaN(ack.Watermark) {
+		dst = append(dst, `null`...)
+	} else {
+		dst = appendJSONFloat(dst, ack.Watermark)
 	}
+	dst = append(dst, `,"pending":`...)
+	dst = strconv.AppendInt(dst, int64(ack.Pending), 10)
+	if errMsg != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, errMsg)
+	}
+	return append(dst, '}', '\n')
 }
 
-// ingestBatchLimit bounds one batch body / ndjson line.
+// appendJSONFloat renders a float the way encoding/json does: shortest
+// form, 'f' notation except for magnitudes JS would print exponentially,
+// with the exponent's leading zero trimmed.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString renders s as a JSON string with encoding/json's exact
+// escaping rules (HTML-safe escapes included), so hand-rendered acks stay
+// byte-identical to encoder output for any error text.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		// U+2028/U+2029 break JS string literals; encoding/json escapes them.
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// ingestBatchLimit bounds one batch body / ndjson line / binary frame
+// after decompression.
 const ingestBatchLimit = 8 << 20
 
 // IngestRetryAfterSeconds is the Retry-After hint sent with 503 ingest
@@ -119,32 +209,35 @@ func ingestPushStatus(err error) int {
 	}
 }
 
-// applyIngestBatch converts one wire batch and pushes it into the engine.
-func applyIngestBatch(e *Engine, body ingestBatchJSON) (ingest.Ack, error) {
-	buf := stream.BorrowTuples(len(body.Observations))
-	defer buf.Release()
-	for _, o := range body.Observations {
-		attr := o.Attr
-		if attr == "" {
-			attr = body.Attr
-		}
-		if attr == "" {
+// wireStatus classifies a decode/decompress failure: frames or bodies past
+// the size caps are 413, an encoding this build cannot inflate is 415, and
+// every other malformed input is the producer's 400.
+func wireStatus(err error) int {
+	switch {
+	case errors.Is(err, wire.ErrFrameTooLarge), errors.Is(err, wire.ErrBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, wire.ErrUnsupportedEncoding):
+		return http.StatusUnsupportedMediaType
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// pushWireBatch validates a decoded batch and pushes it into the engine.
+// The wire decoder has already applied the batch default attr, so an empty
+// attr here means the producer supplied none at either level.
+func pushWireBatch(e *Engine, b wire.Batch) (ingest.Ack, error) {
+	for i := range b.Tuples {
+		if b.Tuples[i].Attr == "" {
 			return ingest.Ack{}, errors.New("observation missing attr (set it per observation or on the batch)")
 		}
-		sensor := -1
-		if o.Sensor != nil {
-			sensor = *o.Sensor
-		}
-		buf.Tuples = append(buf.Tuples, stream.Tuple{
-			ID: o.ID, Attr: attr, T: o.T, X: o.X, Y: o.Y, Value: o.Value, Sensor: sensor,
-		})
 	}
-	watermark := math.NaN()
-	if body.Watermark != nil {
-		watermark = *body.Watermark
-	}
-	return e.PushObservations(buf.Tuples, watermark)
+	return e.PushObservations(b.Tuples, b.Watermark)
 }
+
+// errAck is the zero ack carried by error lines: its watermark renders as
+// null, matching the historical encoder output for an unset *float64.
+var errAck = ingest.Ack{Watermark: math.NaN()}
 
 // handleSessionIngest serves the push gateway (see the file comment for
 // the wire contract).
@@ -158,15 +251,43 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 		s.writeError(w, http.StatusConflict, ErrNoIngest)
 		return
 	}
+	ctype := r.Header.Get("Content-Type")
+	binary := strings.Contains(ctype, "x-craqr-batch")
 	streaming := r.URL.Query().Get("stream") == "1" ||
-		strings.Contains(r.Header.Get("Content-Type"), "ndjson")
+		strings.Contains(ctype, "ndjson")
+	body, err := wire.Decompress(r.Body, strings.TrimSpace(r.Header.Get("Content-Encoding")))
+	if err != nil {
+		s.writeError(w, wireStatus(err), err)
+		return
+	}
+	defer body.Close()
+
+	d := wire.BorrowDecoder()
+	defer d.Release()
+
 	if !streaming {
-		var body ingestBatchJSON
-		if err := json.NewDecoder(io.LimitReader(r.Body, ingestBatchLimit)).Decode(&body); err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid ingest batch: %w", err))
+		buf := wire.BorrowBuf()
+		defer wire.ReleaseBuf(buf)
+		limit := ingestBatchLimit
+		if binary {
+			limit += 64 // frame header + CRC on top of the payload cap
+		}
+		buf, err = wire.ReadBody(body, limit, buf)
+		if err != nil {
+			s.writeError(w, wireStatus(err), fmt.Errorf("reading ingest body: %w", err))
 			return
 		}
-		ack, err := applyIngestBatch(e, body)
+		var batch wire.Batch
+		if binary {
+			batch, err = d.DecodeBinary(buf)
+		} else {
+			batch, err = d.DecodeJSON(buf)
+		}
+		if err != nil {
+			s.writeError(w, wireStatus(err), fmt.Errorf("invalid ingest batch: %w", err))
+			return
+		}
+		ack, err := pushWireBatch(e, batch)
 		if err != nil {
 			status := ingestPushStatus(err)
 			if status == http.StatusServiceUnavailable {
@@ -178,19 +299,30 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 			s.writeError(w, status, err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, toIngestAckJSON(ack))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		out := wire.BorrowBuf()
+		out = AppendIngestAck(out, ack, "")
+		w.Write(out)
+		wire.ReleaseBuf(out)
 		return
 	}
 
-	// ndjson: one batch per line in, one ack per line out, flushed per
-	// batch. A malformed line or a push failure ends the stream with a
-	// final error ack; everything before it was applied.
+	// Streaming: batches in (ndjson lines or binary frames), one ack line
+	// per batch out, flushed per batch. A malformed batch or a push failure
+	// ends the stream with a final error ack; everything before it was
+	// applied. Full duplex lets HTTP/1.1 keep reading the body after the
+	// first ack flush (without it the server closes the unread body);
+	// transports that don't support it still work half-duplex.
+	_ = http.NewResponseController(w).EnableFullDuplex()
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	writeAck := func(aj ingestAckJSON) bool {
-		if err := enc.Encode(aj); err != nil {
+	ackBuf := wire.BorrowBuf()
+	defer func() { wire.ReleaseBuf(ackBuf) }()
+	writeAck := func(ack ingest.Ack, errMsg string) bool {
+		ackBuf = AppendIngestAck(ackBuf[:0], ack, errMsg)
+		if _, err := w.Write(ackBuf); err != nil {
 			return false
 		}
 		if flusher != nil {
@@ -198,28 +330,50 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 		}
 		return true
 	}
-	scanner := bufio.NewScanner(r.Body)
+	apply := func(batch wire.Batch) bool {
+		ack, err := pushWireBatch(e, batch)
+		if err != nil {
+			writeAck(errAck, err.Error())
+			return false
+		}
+		return writeAck(ack, "")
+	}
+
+	if binary {
+		// Buffered: the frame reader issues small header reads.
+		fr := wire.NewFrameReader(bufio.NewReaderSize(body, 64<<10), d)
+		for {
+			batch, err := fr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				writeAck(errAck, fmt.Sprintf("invalid ingest batch: %v", err))
+				return
+			}
+			if !apply(batch) {
+				return
+			}
+		}
+	}
+
+	scanner := bufio.NewScanner(body)
 	scanner.Buffer(make([]byte, 64<<10), ingestBatchLimit)
 	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
+		line := bytes.TrimSpace(scanner.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		var body ingestBatchJSON
-		if err := json.Unmarshal([]byte(line), &body); err != nil {
-			writeAck(ingestAckJSON{Error: fmt.Sprintf("invalid ingest batch: %v", err)})
-			return
-		}
-		ack, err := applyIngestBatch(e, body)
+		batch, err := d.DecodeJSON(line)
 		if err != nil {
-			writeAck(ingestAckJSON{Error: err.Error()})
+			writeAck(errAck, fmt.Sprintf("invalid ingest batch: %v", err))
 			return
 		}
-		if !writeAck(toIngestAckJSON(ack)) {
-			return // client went away
+		if !apply(batch) {
+			return
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		writeAck(ingestAckJSON{Error: fmt.Sprintf("reading ingest stream: %v", err)})
+		writeAck(errAck, fmt.Sprintf("reading ingest stream: %v", err))
 	}
 }

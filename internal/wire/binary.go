@@ -1,0 +1,374 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unicode/utf8"
+
+	"repro/internal/stream"
+)
+
+// The compact binary batch framing (Content-Type: application/x-craqr-batch).
+//
+// One frame is
+//
+//	[4]byte magic "CQB1"
+//	u32     payload length (little-endian, ≤ MaxFrameBytes)
+//	u32     CRC32-IEEE of the payload (the same check as internal/wal frames)
+//	payload
+//
+// and the payload is
+//
+//	f64  watermark (NaN = no assertion)
+//	u16  attr-table size, then per entry: u16 length + UTF-8 bytes
+//	u16  default-attr reference (0 = none, else table index + 1)
+//	u32  tuple count n
+//	n ×  u64 id
+//	n ×  u16 attr reference (0 = the batch default, else table index + 1)
+//	n ×  f64 t
+//	n ×  f64 x
+//	n ×  f64 y
+//	n ×  f64 value
+//	n ×  i64 sensor
+//
+// Columns rather than per-tuple records: the fixed-width tail decodes with
+// pure offset arithmetic (one bounds check per column, not per field) and
+// compresses better when producers additionally gzip the stream. A frame
+// costs 50 bytes per tuple plus the attr table — roughly 4× denser than
+// the JSON framing, with no text to parse on either end.
+//
+// Every length is validated against the bytes actually present before any
+// storage is sized from it: a frame declaring a huge payload or tuple
+// count fails with ErrFrameTooLarge/ErrTruncated by arithmetic alone.
+
+// Magic identifies a binary batch frame.
+var Magic = [4]byte{'C', 'Q', 'B', '1'}
+
+// frameHeaderLen is magic + payload length + CRC.
+const frameHeaderLen = 12
+
+// tupleWireBytes is the fixed per-tuple cost of the columnar payload tail.
+const tupleWireBytes = 8 + 2 + 8 + 8 + 8 + 8 + 8
+
+// ContentTypeBinary is the negotiated Content-Type for binary frames.
+const ContentTypeBinary = "application/x-craqr-batch"
+
+// AppendFrame appends one complete binary frame encoding b to dst and
+// returns the extended slice. Tuples whose Attr equals b.Attr (or is
+// empty) reference the default; every other attr joins the frame's table.
+func AppendFrame(dst []byte, b Batch) ([]byte, error) {
+	if len(b.Tuples) > MaxFrameBytes/tupleWireBytes {
+		return dst, ErrFrameTooLarge
+	}
+	// Attr table: first-appearance order, linear scan — fleets push one or
+	// two attrs, so this beats a map and allocates nothing.
+	var attrsArr [16]string
+	attrs := attrsArr[:0]
+	ref := func(attr string) (uint16, error) {
+		if attr == "" || attr == b.Attr {
+			return 0, nil
+		}
+		for i, a := range attrs {
+			if a == attr {
+				return uint16(i + 1), nil
+			}
+		}
+		if len(attrs) >= math.MaxUint16 {
+			return 0, fmt.Errorf("%w: more than %d distinct attrs in one frame", ErrFrameTooLarge, math.MaxUint16)
+		}
+		attrs = append(attrs, attr)
+		return uint16(len(attrs)), nil
+	}
+	refsBuf := borrowRefs(len(b.Tuples))
+	defer releaseRefs(refsBuf)
+	refs := refsBuf.refs
+	for i := range b.Tuples {
+		r, err := ref(b.Tuples[i].Attr)
+		if err != nil {
+			return dst, err
+		}
+		refs[i] = r
+	}
+
+	start := len(dst)
+	dst = append(dst, Magic[:]...)
+	dst = appendU32(dst, 0) // payload length, patched below
+	dst = appendU32(dst, 0) // CRC, patched below
+	payloadStart := len(dst)
+
+	dst = appendF64(dst, b.Watermark)
+	tableAttrs := attrs
+	defaultRef := uint16(0)
+	if b.Attr != "" {
+		// The default attr itself rides in the table after the referenced
+		// ones, so a frame with only defaulted tuples is still self-contained.
+		tableAttrs = append(attrs, b.Attr)
+		defaultRef = uint16(len(tableAttrs))
+	}
+	dst = appendU16(dst, uint16(len(tableAttrs)))
+	for _, a := range tableAttrs {
+		if len(a) > MaxAttrLen || !utf8.ValidString(a) {
+			return dst[:start], ErrInvalidAttr
+		}
+		dst = appendU16(dst, uint16(len(a)))
+		dst = append(dst, a...)
+	}
+	dst = appendU16(dst, defaultRef)
+	dst = appendU32(dst, uint32(len(b.Tuples)))
+	for i := range b.Tuples {
+		dst = appendU64(dst, b.Tuples[i].ID)
+	}
+	for i := range b.Tuples {
+		dst = appendU16(dst, refs[i])
+	}
+	for i := range b.Tuples {
+		dst = appendF64(dst, b.Tuples[i].T)
+	}
+	for i := range b.Tuples {
+		dst = appendF64(dst, b.Tuples[i].X)
+	}
+	for i := range b.Tuples {
+		dst = appendF64(dst, b.Tuples[i].Y)
+	}
+	for i := range b.Tuples {
+		dst = appendF64(dst, b.Tuples[i].Value)
+	}
+	for i := range b.Tuples {
+		dst = appendU64(dst, uint64(int64(b.Tuples[i].Sensor)))
+	}
+
+	payload := dst[payloadStart:]
+	if len(payload) > MaxFrameBytes {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[start+4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+8:], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// DecodeBinary decodes exactly one binary frame occupying all of data.
+// The returned Batch borrows the decoder's storage, like DecodeJSON.
+func (d *Decoder) DecodeBinary(data []byte) (Batch, error) {
+	b, n, err := d.decodeFrame(data)
+	if err != nil {
+		return Batch{}, err
+	}
+	if n != len(data) {
+		return Batch{}, fmt.Errorf("%w: %d trailing bytes after frame", ErrTruncated, len(data)-n)
+	}
+	return b, nil
+}
+
+// decodeFrame decodes the frame at the front of data, returning the batch
+// and the frame's total size.
+func (d *Decoder) decodeFrame(data []byte) (Batch, int, error) {
+	if len(data) < len(Magic) {
+		return Batch{}, 0, ErrTruncated
+	}
+	if [4]byte(data[:4]) != Magic {
+		return Batch{}, 0, ErrBadMagic
+	}
+	if len(data) < frameHeaderLen {
+		return Batch{}, 0, ErrTruncated
+	}
+	plen := int(binary.LittleEndian.Uint32(data[4:]))
+	if plen > MaxFrameBytes {
+		return Batch{}, 0, fmt.Errorf("%w: declared payload %d > %d", ErrFrameTooLarge, plen, MaxFrameBytes)
+	}
+	if len(data) < frameHeaderLen+plen {
+		return Batch{}, 0, ErrTruncated
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[8:]) {
+		return Batch{}, 0, ErrCRCMismatch
+	}
+	b, err := d.decodePayload(payload)
+	if err != nil {
+		return Batch{}, 0, err
+	}
+	return b, frameHeaderLen + plen, nil
+}
+
+// decodePayload decodes a CRC-validated frame payload.
+func (d *Decoder) decodePayload(payload []byte) (Batch, error) {
+	d.buf.Tuples = d.buf.Tuples[:0]
+	off := 0
+	need := func(n int) bool { return len(payload)-off >= n }
+	if !need(8 + 2) {
+		return Batch{}, ErrTruncated
+	}
+	b := Batch{Watermark: math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))}
+	off += 8
+	tableLen := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	var tableArr [16]string
+	table := tableArr[:0]
+	if tableLen > 16 {
+		table = make([]string, 0, tableLen)
+	}
+	for i := 0; i < tableLen; i++ {
+		if !need(2) {
+			return Batch{}, ErrTruncated
+		}
+		alen := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if !need(alen) {
+			return Batch{}, ErrTruncated
+		}
+		attr, err := d.intern(payload[off : off+alen])
+		if err != nil {
+			return Batch{}, err
+		}
+		off += alen
+		table = append(table, attr)
+	}
+	if !need(2 + 4) {
+		return Batch{}, ErrTruncated
+	}
+	defRef := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	if defRef > len(table) {
+		return Batch{}, fmt.Errorf("%w: default attr reference %d outside table of %d", ErrInvalidAttr, defRef, len(table))
+	}
+	if defRef > 0 {
+		b.Attr = table[defRef-1]
+	}
+	n := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	// The single structural bound: the columns are fixed-width, so the
+	// whole tail is checked — and the tuple buffer sized — before touching
+	// any column. A hostile count fails here without allocating it.
+	if n > MaxFrameBytes/tupleWireBytes || len(payload)-off != n*tupleWireBytes {
+		if n > (len(payload)-off)/tupleWireBytes {
+			return Batch{}, fmt.Errorf("%w: %d declared tuples exceed %d payload bytes", ErrTruncated, n, len(payload)-off)
+		}
+		return Batch{}, fmt.Errorf("%w: %d trailing payload bytes", ErrTruncated, len(payload)-off-n*tupleWireBytes)
+	}
+	if cap(d.buf.Tuples) < n {
+		d.buf.Release()
+		d.buf = stream.BorrowTuples(n)
+	}
+	tuples := d.buf.Tuples[:n]
+	ids := payload[off:]
+	refs := payload[off+8*n:]
+	ts := payload[off+10*n:]
+	xs := payload[off+18*n:]
+	ys := payload[off+26*n:]
+	vals := payload[off+34*n:]
+	sensors := payload[off+42*n:]
+	for i := 0; i < n; i++ {
+		r := int(binary.LittleEndian.Uint16(refs[2*i:]))
+		attr := b.Attr
+		if r > 0 {
+			if r > len(table) {
+				return Batch{}, fmt.Errorf("%w: attr reference %d outside table of %d", ErrInvalidAttr, r, len(table))
+			}
+			attr = table[r-1]
+		}
+		tuples[i] = stream.Tuple{
+			ID:     binary.LittleEndian.Uint64(ids[8*i:]),
+			Attr:   attr,
+			T:      math.Float64frombits(binary.LittleEndian.Uint64(ts[8*i:])),
+			X:      math.Float64frombits(binary.LittleEndian.Uint64(xs[8*i:])),
+			Y:      math.Float64frombits(binary.LittleEndian.Uint64(ys[8*i:])),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(vals[8*i:])),
+			Sensor: int(int64(binary.LittleEndian.Uint64(sensors[8*i:]))),
+		}
+	}
+	d.buf.Tuples = tuples
+	b.Tuples = tuples
+	return b, nil
+}
+
+// FrameReader decodes a stream of concatenated binary frames — the
+// streaming ingest body and the trace-file format are the same thing. The
+// payload buffer is reused across frames; batches borrow the reader's
+// decoder storage, valid until the next Next.
+type FrameReader struct {
+	r       io.Reader
+	d       *Decoder
+	hdr     [frameHeaderLen]byte
+	payload []byte
+}
+
+// NewFrameReader reads frames from r, decoding through d (which the
+// caller still owns and must Release).
+func NewFrameReader(r io.Reader, d *Decoder) *FrameReader {
+	return &FrameReader{r: r, d: d}
+}
+
+// Next decodes the next frame. A clean end of stream returns io.EOF; a
+// stream ending mid-frame returns ErrTruncated.
+func (fr *FrameReader) Next() (Batch, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Batch{}, io.EOF
+		}
+		return Batch{}, ErrTruncated
+	}
+	if [4]byte(fr.hdr[:4]) != Magic {
+		return Batch{}, ErrBadMagic
+	}
+	plen := int(binary.LittleEndian.Uint32(fr.hdr[4:]))
+	if plen > MaxFrameBytes {
+		return Batch{}, fmt.Errorf("%w: declared payload %d > %d", ErrFrameTooLarge, plen, MaxFrameBytes)
+	}
+	if cap(fr.payload) < plen {
+		fr.payload = make([]byte, plen)
+	}
+	payload := fr.payload[:plen]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return Batch{}, ErrTruncated
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(fr.hdr[8:]) {
+		return Batch{}, ErrCRCMismatch
+	}
+	return fr.d.decodePayload(payload)
+}
+
+// refsBuffer recycles the encoder's per-tuple attr-reference scratch.
+type refsBuffer struct{ refs []uint16 }
+
+var refsPool = struct {
+	pool chan *refsBuffer
+}{pool: make(chan *refsBuffer, 8)}
+
+func borrowRefs(n int) *refsBuffer {
+	select {
+	case b := <-refsPool.pool:
+		if cap(b.refs) < n {
+			b.refs = make([]uint16, n)
+		}
+		b.refs = b.refs[:n]
+		return b
+	default:
+		return &refsBuffer{refs: make([]uint16, n)}
+	}
+}
+
+func releaseRefs(b *refsBuffer) {
+	select {
+	case refsPool.pool <- b:
+	default:
+	}
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}

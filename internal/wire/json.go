@@ -1,0 +1,632 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/stream"
+)
+
+// Decoder turns wire bytes into Batches without allocating in steady
+// state: tuple storage comes from the stream arena, attribute names are
+// interned in a per-decoder table (a fleet pushes the same few attrs
+// forever), and the tokenizer works directly on the input bytes. Borrow
+// one per request (or hold one per connection for ndjson streams) and
+// Release it when done; a Decoder is not safe for concurrent use.
+type Decoder struct {
+	buf     *stream.TupleBuffer
+	attrs   map[string]string // intern table: attr bytes → canonical string
+	scratch []byte            // unescape scratch for quoted strings
+}
+
+var decoderPool = sync.Pool{
+	New: func() interface{} {
+		return &Decoder{attrs: make(map[string]string, 4)}
+	},
+}
+
+// BorrowDecoder returns a pooled decoder with empty scratch state.
+func BorrowDecoder() *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.buf = stream.BorrowTuples(0)
+	return d
+}
+
+// Release returns the decoder (and its borrowed tuple storage) to the
+// pools. Batches decoded through it must not be used afterwards. The
+// intern table is retained — attr names recur across requests — but
+// reset once it grows past plausible fleet vocabularies, so hostile
+// high-cardinality attrs cannot pin memory.
+func (d *Decoder) Release() {
+	if d == nil {
+		return
+	}
+	d.buf.Release()
+	d.buf = nil
+	if len(d.attrs) > 1024 {
+		d.attrs = make(map[string]string, 4)
+	}
+	decoderPool.Put(d)
+}
+
+// intern canonicalizes an attr name, validating length and UTF-8 once per
+// distinct name. The map lookup keyed by string(b) does not allocate; the
+// string is materialized only on first sight.
+func (d *Decoder) intern(b []byte) (string, error) {
+	if s, ok := d.attrs[string(b)]; ok {
+		return s, nil
+	}
+	if len(b) > MaxAttrLen || !utf8.Valid(b) {
+		return "", ErrInvalidAttr
+	}
+	s := string(b)
+	d.attrs[s] = s
+	return s, nil
+}
+
+// DecodeJSON decodes one JSON batch object ({"attr","watermark",
+// "observations":[…]}) from data. The returned Batch borrows the
+// decoder's storage: valid until the next Decode* call or Release.
+// Observations without an attr inherit the batch attr; without a sensor
+// they get -1; Watermark is NaN when absent or null.
+func (d *Decoder) DecodeJSON(data []byte) (Batch, error) {
+	if len(data) > MaxFrameBytes {
+		return Batch{}, ErrFrameTooLarge
+	}
+	d.buf.Tuples = d.buf.Tuples[:0]
+	p := jparser{d: d, data: data}
+	b := Batch{Watermark: math.NaN()}
+	if err := p.parseBatch(&b); err != nil {
+		return Batch{}, err
+	}
+	p.skipSpace()
+	if p.off != len(p.data) {
+		return Batch{}, p.errf("trailing data after batch object")
+	}
+	b.Tuples = d.buf.Tuples
+	if b.Attr != "" {
+		// The batch attr may follow the observations in the object, so the
+		// default is applied after the fact.
+		for i := range b.Tuples {
+			if b.Tuples[i].Attr == "" {
+				b.Tuples[i].Attr = b.Attr
+			}
+		}
+	}
+	return b, nil
+}
+
+// jparser is a cursor over one JSON batch. It recognizes exactly the
+// batch wire shape plus arbitrary skippable JSON for unknown fields.
+type jparser struct {
+	d    *Decoder
+	data []byte
+	off  int
+}
+
+func (p *jparser) errf(msg string) error { return &SyntaxError{Off: p.off, Msg: msg} }
+
+func (p *jparser) skipSpace() {
+	for p.off < len(p.data) {
+		switch p.data[p.off] {
+		case ' ', '\t', '\n', '\r':
+			p.off++
+		default:
+			return
+		}
+	}
+}
+
+// expect consumes c (after whitespace) or fails.
+func (p *jparser) expect(c byte) error {
+	p.skipSpace()
+	if p.off >= len(p.data) || p.data[p.off] != c {
+		return p.errf("expected " + string(c))
+	}
+	p.off++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (p *jparser) peek() byte {
+	p.skipSpace()
+	if p.off >= len(p.data) {
+		return 0
+	}
+	return p.data[p.off]
+}
+
+// parseBatch parses the top-level batch object.
+func (p *jparser) parseBatch(b *Batch) error {
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	if p.peek() == '}' {
+		p.off++
+		return nil
+	}
+	for {
+		key, err := p.rawString()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "attr":
+			raw, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			if b.Attr, err = p.d.intern(raw); err != nil {
+				return err
+			}
+		case "watermark":
+			if p.peek() == 'n' { // null
+				if err := p.literal("null"); err != nil {
+					return err
+				}
+				b.Watermark = math.NaN()
+			} else if b.Watermark, err = p.number(); err != nil {
+				return err
+			}
+		case "observations":
+			if p.peek() == 'n' { // null == absent
+				if err := p.literal("null"); err != nil {
+					return err
+				}
+			} else if err := p.parseObservations(); err != nil {
+				return err
+			}
+		default:
+			if err := p.skipValue(0); err != nil {
+				return err
+			}
+		}
+		switch p.peek() {
+		case ',':
+			p.off++
+		case '}':
+			p.off++
+			return nil
+		default:
+			return p.errf("expected , or } in batch object")
+		}
+	}
+}
+
+// parseObservations parses the observations array straight into the
+// decoder's borrowed tuple buffer.
+func (p *jparser) parseObservations() error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	if p.peek() == ']' {
+		p.off++
+		return nil
+	}
+	for {
+		if err := p.parseObservation(); err != nil {
+			return err
+		}
+		switch p.peek() {
+		case ',':
+			p.off++
+		case ']':
+			p.off++
+			return nil
+		default:
+			return p.errf("expected , or ] in observations array")
+		}
+	}
+}
+
+// parseObservation parses one observation object and appends its tuple.
+func (p *jparser) parseObservation() error {
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	tp := stream.Tuple{Sensor: -1}
+	if p.peek() == '}' {
+		p.off++
+		p.d.buf.Tuples = append(p.d.buf.Tuples, tp)
+		return nil
+	}
+	for {
+		key, err := p.rawString()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "id":
+			if tp.ID, err = p.uint(); err != nil {
+				return err
+			}
+		case "attr":
+			raw, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			if tp.Attr, err = p.d.intern(raw); err != nil {
+				return err
+			}
+		case "t":
+			if tp.T, err = p.number(); err != nil {
+				return err
+			}
+		case "x":
+			if tp.X, err = p.number(); err != nil {
+				return err
+			}
+		case "y":
+			if tp.Y, err = p.number(); err != nil {
+				return err
+			}
+		case "value":
+			if tp.Value, err = p.number(); err != nil {
+				return err
+			}
+		case "sensor":
+			if p.peek() == 'n' { // null == absent
+				if err := p.literal("null"); err != nil {
+					return err
+				}
+			} else {
+				f, err := p.number()
+				if err != nil {
+					return err
+				}
+				tp.Sensor = int(f)
+			}
+		default:
+			if err := p.skipValue(0); err != nil {
+				return err
+			}
+		}
+		switch p.peek() {
+		case ',':
+			p.off++
+		case '}':
+			p.off++
+			p.d.buf.Tuples = append(p.d.buf.Tuples, tp)
+			return nil
+		default:
+			return p.errf("expected , or } in observation object")
+		}
+	}
+}
+
+// literal consumes an exact keyword (true/false/null).
+func (p *jparser) literal(lit string) error {
+	p.skipSpace()
+	if p.off+len(lit) > len(p.data) || string(p.data[p.off:p.off+len(lit)]) != lit {
+		return p.errf("expected " + lit)
+	}
+	p.off += len(lit)
+	return nil
+}
+
+// rawString parses a JSON string and returns its decoded bytes. Strings
+// without escapes — every key and nearly every attr — are returned as a
+// subslice of the input; escaped ones are unescaped into the decoder's
+// scratch buffer. The returned slice is valid until the next rawString
+// call.
+func (p *jparser) rawString() ([]byte, error) {
+	if err := p.expect('"'); err != nil {
+		return nil, err
+	}
+	start := p.off
+	for p.off < len(p.data) {
+		switch c := p.data[p.off]; {
+		case c == '"':
+			s := p.data[start:p.off]
+			p.off++
+			return s, nil
+		case c == '\\':
+			return p.unescapeString(start)
+		case c < 0x20:
+			return nil, p.errf("control character in string")
+		default:
+			p.off++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+// unescapeString finishes a string that contains escapes, decoding into
+// the scratch buffer. p.off points at the first backslash.
+func (p *jparser) unescapeString(start int) ([]byte, error) {
+	out := append(p.d.scratch[:0], p.data[start:p.off]...)
+	for p.off < len(p.data) {
+		c := p.data[p.off]
+		switch {
+		case c == '"':
+			p.off++
+			p.d.scratch = out
+			return out, nil
+		case c == '\\':
+			p.off++
+			if p.off >= len(p.data) {
+				return nil, p.errf("unterminated escape")
+			}
+			switch e := p.data[p.off]; e {
+			case '"', '\\', '/':
+				out = append(out, e)
+				p.off++
+			case 'b':
+				out = append(out, '\b')
+				p.off++
+			case 'f':
+				out = append(out, '\f')
+				p.off++
+			case 'n':
+				out = append(out, '\n')
+				p.off++
+			case 'r':
+				out = append(out, '\r')
+				p.off++
+			case 't':
+				out = append(out, '\t')
+				p.off++
+			case 'u':
+				r, err := p.hexRune()
+				if err != nil {
+					return nil, err
+				}
+				if utf16IsHighSurrogate(r) && p.off+1 < len(p.data) &&
+					p.data[p.off] == '\\' && p.data[p.off+1] == 'u' {
+					p.off += 2
+					r2, err := p.hexRune()
+					if err != nil {
+						return nil, err
+					}
+					if utf16IsLowSurrogate(r2) {
+						r = 0x10000 + (r-0xD800)<<10 + (r2 - 0xDC00)
+					} else {
+						out = utf8.AppendRune(out, utf8.RuneError)
+						r = r2
+					}
+				}
+				if utf16IsHighSurrogate(r) || utf16IsLowSurrogate(r) {
+					r = utf8.RuneError
+				}
+				out = utf8.AppendRune(out, r)
+			default:
+				return nil, p.errf("invalid escape")
+			}
+		case c < 0x20:
+			return nil, p.errf("control character in string")
+		default:
+			out = append(out, c)
+			p.off++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+// hexRune parses the 4 hex digits of a \u escape; p.off points past "u".
+func (p *jparser) hexRune() (rune, error) {
+	p.off++ // the 'u'
+	if p.off+4 > len(p.data) {
+		return 0, p.errf("truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := p.data[p.off+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, p.errf("invalid \\u escape")
+		}
+	}
+	p.off += 4
+	return r, nil
+}
+
+func utf16IsHighSurrogate(r rune) bool { return r >= 0xD800 && r < 0xDC00 }
+func utf16IsLowSurrogate(r rune) bool  { return r >= 0xDC00 && r < 0xE000 }
+
+// pow10 holds the exactly representable powers of ten (10^0 … 10^22).
+var pow10 = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// number parses a JSON number. The fast path — a mantissa below 2⁵²
+// scaled by a power of ten within ±22 — is computed with one exact IEEE
+// multiply/divide, the same shortcut strconv takes, so results are
+// bit-identical to strconv.ParseFloat; anything rarer falls back to
+// strconv on the token's bytes.
+func (p *jparser) number() (float64, error) {
+	p.skipSpace()
+	start := p.off
+	neg := false
+	if p.off < len(p.data) && p.data[p.off] == '-' {
+		neg = true
+		p.off++
+	}
+	var mant uint64
+	exact := true // mantissa fits and no exotic exponent
+	digits := 0
+	for p.off < len(p.data) && p.data[p.off] >= '0' && p.data[p.off] <= '9' {
+		if mant >= 1<<52/10+1 {
+			exact = false
+		} else {
+			mant = mant*10 + uint64(p.data[p.off]-'0')
+		}
+		digits++
+		p.off++
+	}
+	if digits == 0 {
+		return 0, p.errf("invalid number")
+	}
+	exp10 := 0
+	if p.off < len(p.data) && p.data[p.off] == '.' {
+		p.off++
+		fdigits := 0
+		for p.off < len(p.data) && p.data[p.off] >= '0' && p.data[p.off] <= '9' {
+			if mant >= 1<<52/10+1 {
+				exact = false
+			} else {
+				mant = mant*10 + uint64(p.data[p.off]-'0')
+				exp10--
+			}
+			fdigits++
+			p.off++
+		}
+		if fdigits == 0 {
+			return 0, p.errf("invalid number")
+		}
+	}
+	if p.off < len(p.data) && (p.data[p.off] == 'e' || p.data[p.off] == 'E') {
+		p.off++
+		eneg := false
+		if p.off < len(p.data) && (p.data[p.off] == '+' || p.data[p.off] == '-') {
+			eneg = p.data[p.off] == '-'
+			p.off++
+		}
+		ev, edigits := 0, 0
+		for p.off < len(p.data) && p.data[p.off] >= '0' && p.data[p.off] <= '9' {
+			if ev < 10000 {
+				ev = ev*10 + int(p.data[p.off]-'0')
+			}
+			edigits++
+			p.off++
+		}
+		if edigits == 0 {
+			return 0, p.errf("invalid number")
+		}
+		if eneg {
+			ev = -ev
+		}
+		exp10 += ev
+	}
+	if exact && mant>>52 == 0 && exp10 >= -22 && exp10 <= 22 {
+		f := float64(mant)
+		if exp10 > 0 {
+			f *= pow10[exp10]
+		} else if exp10 < 0 {
+			f /= pow10[-exp10]
+		}
+		if neg {
+			f = -f
+		}
+		return f, nil
+	}
+	f, err := strconv.ParseFloat(string(p.data[start:p.off]), 64)
+	if err != nil {
+		return 0, p.errf("invalid number")
+	}
+	return f, nil
+}
+
+// uint parses a non-negative integer (tuple IDs). Fractions, exponents
+// and values past 2⁶⁴−1 are rejected: an ID is an identifier, not a
+// measurement, and rounding one silently would corrupt replay identity.
+func (p *jparser) uint() (uint64, error) {
+	p.skipSpace()
+	var v uint64
+	digits := 0
+	for p.off < len(p.data) && p.data[p.off] >= '0' && p.data[p.off] <= '9' {
+		d := uint64(p.data[p.off] - '0')
+		if v > (math.MaxUint64-d)/10 {
+			return 0, p.errf("id overflows uint64")
+		}
+		v = v*10 + d
+		digits++
+		p.off++
+	}
+	if digits == 0 {
+		return 0, p.errf("invalid id (must be a non-negative integer)")
+	}
+	if p.off < len(p.data) {
+		if c := p.data[p.off]; c == '.' || c == 'e' || c == 'E' {
+			return 0, p.errf("invalid id (must be a non-negative integer)")
+		}
+	}
+	return v, nil
+}
+
+// maxSkipDepth bounds nesting inside skipped unknown values so hostile
+// deeply nested bodies cannot exhaust the stack.
+const maxSkipDepth = 64
+
+// skipValue consumes one JSON value of any shape (unknown fields).
+func (p *jparser) skipValue(depth int) error {
+	if depth > maxSkipDepth {
+		return p.errf("value nested too deeply")
+	}
+	switch c := p.peek(); {
+	case c == '"':
+		_, err := p.rawString()
+		return err
+	case c == '{':
+		p.off++
+		if p.peek() == '}' {
+			p.off++
+			return nil
+		}
+		for {
+			if _, err := p.rawString(); err != nil {
+				return err
+			}
+			if err := p.expect(':'); err != nil {
+				return err
+			}
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			switch p.peek() {
+			case ',':
+				p.off++
+			case '}':
+				p.off++
+				return nil
+			default:
+				return p.errf("expected , or } in object")
+			}
+		}
+	case c == '[':
+		p.off++
+		if p.peek() == ']' {
+			p.off++
+			return nil
+		}
+		for {
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			switch p.peek() {
+			case ',':
+				p.off++
+			case ']':
+				p.off++
+				return nil
+			default:
+				return p.errf("expected , or ] in array")
+			}
+		}
+	case c == 't':
+		return p.literal("true")
+	case c == 'f':
+		return p.literal("false")
+	case c == 'n':
+		return p.literal("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		_, err := p.number()
+		return err
+	default:
+		return p.errf("unexpected value")
+	}
+}

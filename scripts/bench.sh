@@ -7,13 +7,17 @@
 #
 # BENCH filters benchmarks (default: all, including BenchmarkResultStore's
 # ring write/wraparound/cursor-read suite, BenchmarkFusedPipeline's
-# fused-vs-unfused depth/batch matrix, BenchmarkIngest's push-gateway
-# decode→enqueue→epoch-assembly path with B/op, and the durability suite:
-# BenchmarkWALAppend per fsync policy, BenchmarkRecovery's cold-start
-# replay, and BenchmarkIngestDurable's WAL-enabled push path), BENCHTIME
-# sets -benchtime. scripts/bench_guard.sh compares fresh BenchmarkEndToEnd
-# + BenchmarkIngest* runs against the newest committed BENCH_*.json and
-# fails on >15% ns/op regression.
+# fused-vs-unfused depth/batch matrix, the ingest wire suite —
+# BenchmarkWireDecode's zero-alloc JSON/binary batch decode,
+# BenchmarkIngestAck's pooled ack rendering, BenchmarkIngest's per-codec
+# decode→enqueue→epoch-assembly path with tuples/s — and the durability
+# suite: BenchmarkWALAppend per fsync policy, BenchmarkRecovery's
+# cold-start replay, and BenchmarkIngestDurable's WAL-enabled push path),
+# BENCHTIME sets -benchtime. scripts/bench_guard.sh compares fresh
+# BenchmarkEndToEnd + BenchmarkIngest* + BenchmarkWire* runs against the
+# newest committed BENCH_*.json and fails on >15% ns/op regression.
+# scripts/load.sh merges HTTP load-harness results (p50/p99, tuples/s)
+# into the same BENCH_<date>.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,15 +31,16 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; first = 1 }
 /^Benchmark/ {
     name = $1; iters = $2; ns = $3
-    bytes = "null"; allocs = "null"; mbs = "null"
+    bytes = "null"; allocs = "null"; mbs = "null"; tps = "null"
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "MB/s") mbs = $i
+        if ($(i+1) == "tuples/s") tps = $i
     }
     if (!first) printf ",\n"
     first = 0
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"mb_per_s\": %s}", name, iters, ns, bytes, allocs, mbs
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"mb_per_s\": %s, \"tuples_per_s\": %s}", name, iters, ns, bytes, allocs, mbs, tps
 }
 END { print "\n  ]\n}" }
 ' "$raw" > "$out"

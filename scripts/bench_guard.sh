@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Guards the hot paths against performance regressions: runs
-# BenchmarkEndToEnd (epoch execution) and BenchmarkIngest* (push-gateway
-# decode→enqueue→epoch assembly, plus BenchmarkIngestDurable — the same
-# push path with WAL durability at fsync=batch, holding the write-ahead
-# log to within tolerance of the non-durable ingest baseline) and
+# BenchmarkEndToEnd (epoch execution), BenchmarkIngest* (per-codec
+# push-gateway decode→enqueue→epoch assembly, BenchmarkIngestAck's pooled
+# ack rendering, plus BenchmarkIngestDurable — the same push path with WAL
+# durability at fsync=batch, holding the write-ahead log to within
+# tolerance of the non-durable ingest baseline), BenchmarkWire* (the
+# zero-alloc JSON/binary batch decoders) and BenchmarkLoad* (none today;
+# reserved for in-process load benchmarks — scripts/load.sh's HTTP
+# loadgen entries are recorded in BENCH_*.json but not re-run here) and
 # compares ns/op per sub-benchmark
 # against the newest committed BENCH_*.json trajectory file, failing when
 # any sub-benchmark is more than BENCH_TOLERANCE_PCT percent slower
@@ -31,13 +35,13 @@ echo "bench_guard: comparing against $base (tolerance ${tol}%)"
 raw=$(mktemp) basevals=$(mktemp) curvals=$(mktemp)
 trap 'rm -f "$raw" "$basevals" "$curvals"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEndToEnd|BenchmarkIngest' -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEndToEnd|BenchmarkIngest|BenchmarkWire|BenchmarkLoad' -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 # Baseline pairs (name ns_per_op) from the JSON written by bench.sh.
-sed -n 's/.*"name": "\(Benchmark\(EndToEnd\|Ingest\)[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \3/p' "$base" \
+sed -n 's/.*"name": "\(Benchmark\(EndToEnd\|Ingest\|Wire\|Load\)[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \3/p' "$base" \
     | sed 's/-[0-9]* / /' > "$basevals"
 # Current pairs from the benchmark output.
-awk '/^Benchmark(EndToEnd|Ingest)/ {print $1, $3}' "$raw" | sed 's/-[0-9]* / /' > "$curvals"
+awk '/^Benchmark(EndToEnd|Ingest|Wire|Load)/ {print $1, $3}' "$raw" | sed 's/-[0-9]* / /' > "$curvals"
 
 if [ ! -s "$curvals" ]; then
     echo "bench_guard: guarded benchmarks produced no results" >&2

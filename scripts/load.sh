@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# wrk-style HTTP load harness for the ingest wire path: builds craqrd and
+# craqr-loadgen, starts a daemon on a loopback port, drives the codec matrix
+# (json, binary, each plus gzip) and merges each run's p50/p99 latency and
+# tuples/sec into BENCH_<date>.json next to the micro-benchmarks, named
+# BenchmarkLoadgen/<codec>/c<conns>/b<batch> with ns_per_op = p50 latency so
+# the trajectory file stays one shape.
+#
+#   scripts/load.sh                       # 5s per codec on 127.0.0.1:18099
+#   DURATION=10s CONNS=8 BATCH=256 scripts/load.sh
+#   SMOKE=1 scripts/load.sh               # CI: one short binary run, asserts
+#                                         # tuples were accepted and p99 is sane;
+#                                         # writes no BENCH file
+#
+# Re-running on the same day appends duplicate-named entries; the guard's
+# awk keeps the last, so the newest run wins.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+duration="${DURATION:-5s}"
+conns="${CONNS:-4}"
+batch="${BATCH:-64}"
+port="${PORT:-18099}"
+url="http://127.0.0.1:$port"
+
+work=$(mktemp -d)
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/craqrd" ./cmd/craqrd
+go build -o "$work/craqr-loadgen" ./cmd/craqr-loadgen
+
+"$work/craqrd" -addr "127.0.0.1:$port" >"$work/craqrd.log" 2>&1 &
+daemon=$!
+
+if [ -n "${SMOKE:-}" ]; then
+    # CI smoke: the whole wire path end to end — negotiate, frame, push,
+    # ack — must accept tuples within a short budget and keep p99 bounded.
+    "$work/craqr-loadgen" -url "$url" -codec binary -conns 2 -batch 64 \
+        -duration "${DURATION:-2s}" -min-accepted 1 -max-p99 "${MAX_P99:-2s}"
+    "$work/craqr-loadgen" -url "$url" -codec json -compress gzip -conns 2 -batch 64 \
+        -duration "${DURATION:-2s}" -min-accepted 1 -max-p99 "${MAX_P99:-2s}"
+    echo "load.sh: smoke ok"
+    exit 0
+fi
+
+results="$work/results.ndjson"
+: > "$results"
+for spec in "json:" "binary:" "json:gzip" "binary:gzip"; do
+    codec="${spec%%:*}"
+    compress="${spec#*:}"
+    args=(-url "$url" -codec "$codec" -conns "$conns" -batch "$batch" -duration "$duration" -min-accepted 1)
+    [ -n "$compress" ] && args+=(-compress "$compress")
+    "$work/craqr-loadgen" "${args[@]}" >> "$results"
+done
+
+# Convert each loadgen JSON line into a BENCH benchmarks[] entry.
+entries="$work/entries"
+sed -e 's/^{"name": *"loadgen/{"name": "BenchmarkLoadgen/' \
+    -e 's/^/    /' "$results" | sed 's/$/,/' | sed '$ s/,$//' > "$entries"
+
+out="BENCH_$(date +%Y-%m-%d).json"
+if [ -f "$out" ]; then
+    # Splice the load entries into the existing benchmarks array: drop the
+    # closing "  ]\n}", comma-terminate the previous last entry, append.
+    head -n -2 "$out" > "$work/merged"
+    sed -i '$ s/$/,/' "$work/merged"
+    cat "$entries" >> "$work/merged"
+    printf '  ]\n}\n' >> "$work/merged"
+    mv "$work/merged" "$out"
+else
+    {
+        printf '{\n  "date": "%s",\n  "benchmarks": [\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+        cat "$entries"
+        printf '  ]\n}\n'
+    } > "$out"
+fi
+
+echo "load.sh: merged $(wc -l < "$entries") load entries into $out"
