@@ -1047,8 +1047,11 @@ func BenchmarkIngestDurable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		epoch := float64(i)
 		for j := range tuples {
+			// IDs are unique across iterations: re-pushing a pending id is
+			// acked as a duplicate (at-most-once ingest), which would bench
+			// the dedup short-circuit instead of the full push path.
 			tuples[j] = stream.Tuple{
-				ID: uint64(j + 1), Attr: "co2", T: epoch + float64(j)/n,
+				ID: uint64(i)*n + uint64(j) + 1, Attr: "co2", T: epoch + float64(j)/n,
 				X: float64(j%8) + 0.5, Y: float64((j/8)%8) + 0.5, Value: 400, Sensor: -1,
 			}
 		}

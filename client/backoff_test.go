@@ -29,3 +29,30 @@ func TestBackoffNeverUndercutsRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryable429And503: 429 (admission throttled) retries exactly like
+// 503 (queue closed), with the same Retry-After floor; terminal statuses do
+// not retry.
+func TestRetryable429And503(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		if !retryable(&APIError{StatusCode: status}) {
+			t.Fatalf("status %d not retryable", status)
+		}
+	}
+	for _, status := range []int{http.StatusBadRequest, http.StatusConflict, http.StatusRequestEntityTooLarge, http.StatusInternalServerError} {
+		if retryable(&APIError{StatusCode: status}) {
+			t.Fatalf("status %d unexpectedly retryable", status)
+		}
+	}
+	if retryable(errors.New("transport")) {
+		t.Fatal("bare transport error unexpectedly retryable")
+	}
+
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, MaxAttempts: 5}
+	hint := &APIError{StatusCode: http.StatusTooManyRequests, RetryAfter: 2 * time.Second}
+	for i := 0; i < 100; i++ {
+		if d := p.backoffDelay(0, hint); d < hint.RetryAfter {
+			t.Fatalf("429 delay %v undercuts Retry-After %v", d, hint.RetryAfter)
+		}
+	}
+}

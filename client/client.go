@@ -57,6 +57,10 @@ type Client struct {
 	// bodies: "" sends identity, "gzip" compresses. Streaming pushes are
 	// sent uncompressed.
 	Compression string
+	// Token is the producer identity sent as X-CrAQR-Token on every
+	// request; servers running with per-token gateway limits meter each
+	// token's ingest rate across sessions. Empty sends no header.
+	Token string
 
 	capMu sync.Mutex
 	caps  *Capabilities
@@ -129,11 +133,15 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // retryable reports whether err is a transient server condition worth
-// retrying: only 503 qualifies (the batch was rejected before any state
-// change, so a retry cannot double-apply).
+// retrying: 503 (ingest queue closed mid-restart) and 429 (admission
+// control throttled the push — Retry-After says when the token bucket
+// refills). Both refuse before any state change, so a retry cannot
+// double-apply.
 func retryable(err error) bool {
 	var apiErr *APIError
-	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable
+	return errors.As(err, &apiErr) &&
+		(apiErr.StatusCode == http.StatusServiceUnavailable ||
+			apiErr.StatusCode == http.StatusTooManyRequests)
 }
 
 // backoffDelay computes the attempt-th delay (0-based): exponential from
@@ -177,6 +185,13 @@ func (c *Client) withRetry(ctx context.Context, op func() error) error {
 	return err
 }
 
+// setToken stamps the client's producer identity onto a request.
+func (c *Client) setToken(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("X-CrAQR-Token", c.Token)
+	}
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
@@ -194,6 +209,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	c.setToken(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -324,6 +340,22 @@ type SessionSpec struct {
 	DisableDurability bool   `json:"disableDurability,omitempty"`
 	SnapshotEvery     int    `json:"snapshotEvery,omitempty"`
 	FsyncPolicy       string `json:"fsyncPolicy,omitempty"`
+	// Tenant protection (see docs/API.md, "Tenant limits"): Weight is the
+	// session's fair-share weight under epoch contention (0 = default 1);
+	// Limits is the admission-control envelope (nil = unlimited).
+	Weight float64       `json:"weight,omitempty"`
+	Limits *TenantLimits `json:"limits,omitempty"`
+}
+
+// TenantLimits mirrors the server's per-session admission-control envelope.
+// Zero fields mean unlimited; a session over a rate limit answers ingest
+// with 429 + Retry-After, which Ingest retries under the RetryPolicy.
+type TenantLimits struct {
+	RateTuplesPerSec float64 `json:"rateTuplesPerSec,omitempty"`
+	RateBytesPerSec  float64 `json:"rateBytesPerSec,omitempty"`
+	MaxQueries       int     `json:"maxQueries,omitempty"`
+	MaxQueueBytes    int64   `json:"maxQueueBytes,omitempty"`
+	MaxWALBytes      int64   `json:"maxWALBytes,omitempty"`
 }
 
 // Session is the server's session object. The ingest counters are lifetime
@@ -358,6 +390,9 @@ type Session struct {
 	WALBytes          int64  `json:"walBytes,omitempty"`
 	WALSegments       int    `json:"walSegments,omitempty"`
 	Recovered         bool   `json:"recovered,omitempty"`
+	// Tenant protection surface (zero/nil when unconfigured).
+	Weight float64       `json:"weight,omitempty"`
+	Limits *TenantLimits `json:"limits,omitempty"`
 }
 
 // CreateSession creates a session.
@@ -490,6 +525,7 @@ type Ack struct {
 	Late        int      `json:"late"`
 	LateDropped int      `json:"lateDropped"`
 	Rejected    int      `json:"rejected"`
+	Duplicates  int      `json:"duplicates"`
 	Watermark   *float64 `json:"watermark"`
 	Pending     int      `json:"pending"`
 	Error       string   `json:"error,omitempty"`
@@ -565,6 +601,7 @@ func (c *Client) Ingest(ctx context.Context, session string, b Batch) (Ack, erro
 		if encoding != "" {
 			req.Header.Set("Content-Encoding", encoding)
 		}
+		c.setToken(req)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return err
@@ -619,6 +656,7 @@ func (c *Client) OpenIngest(ctx context.Context, session string) (*IngestStream,
 		req.Header.Set("Content-Type", "application/x-ndjson")
 		st.enc = json.NewEncoder(pw)
 	}
+	c.setToken(req)
 	go func() {
 		defer close(st.done)
 		resp, err := c.httpClient().Do(req)

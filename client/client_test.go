@@ -282,6 +282,43 @@ func TestIngestRetries503(t *testing.T) {
 	}
 }
 
+// TestIngestRetriesMixed429And503 proves one retry loop rides out an
+// interleaving of throttling (429) and restart (503) refusals: the client
+// treats both as transient and the caller sees only the final ack.
+func TestIngestRetriesMixed429And503(t *testing.T) {
+	var calls int32
+	h := http.NewServeMux()
+	h.HandleFunc("POST /v1/sessions/{s}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		switch atomic.AddInt32(&calls, 1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"server: rate limited (tuple rate): retry after 1s"}`))
+		case 2:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"ingest queue closed"}`))
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"accepted":1,"watermark":null,"pending":0}`))
+		}
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	ack, err := c.Ingest(context.Background(), "s", client.Batch{Attr: "x"})
+	if err != nil {
+		t.Fatalf("ingest should have retried through 429 then 503: %v", err)
+	}
+	if ack.Accepted != 1 {
+		t.Fatalf("ack = %+v, want the post-retry ack", ack)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (429 + 503 + success)", got)
+	}
+}
+
 // TestIngestRetryExhaustion: a persistent 503 surfaces as an APIError with
 // the server's Retry-After hint after MaxAttempts tries.
 func TestIngestRetryExhaustion(t *testing.T) {

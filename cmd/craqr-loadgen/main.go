@@ -42,6 +42,8 @@ import (
 type options struct {
 	url      string
 	session  string
+	sessions int
+	token    string
 	create   bool
 	codec    string
 	compress string
@@ -55,6 +57,16 @@ type options struct {
 	outFile  string
 	minAcc   int64
 	maxP99   time.Duration
+}
+
+// sessionName maps a worker to its target session: with -sessions 1 every
+// worker shares -session; with N > 1 workers round-robin over
+// "<session>-0" … "<session>-<N-1>", one tenant each.
+func (o options) sessionName(worker int) string {
+	if o.sessions <= 1 {
+		return o.session
+	}
+	return fmt.Sprintf("%s-%d", o.session, worker%o.sessions)
 }
 
 // result is the machine-readable run summary. Field names mirror the
@@ -76,10 +88,28 @@ type result struct {
 	Late         int64   `json:"late"`
 	LateDropped  int64   `json:"lateDropped"`
 	Rejected     int64   `json:"rejected"`
+	Duplicates   int64   `json:"duplicates"`
+	Throttled    int64   `json:"throttled_429"`
 	TuplesPerSec float64 `json:"tuples_per_s"`
 	NsOp         float64 `json:"ns_per_op"`
 	P50Ms        float64 `json:"p50_ms"`
 	P99Ms        float64 `json:"p99_ms"`
+	// Sessions breaks the run down per tenant in multi-tenant mode
+	// (-sessions N > 1): each entry carries its own latency percentiles and
+	// throttle count, so a noisy-neighbor run shows who paid and who was
+	// protected.
+	Sessions []sessionResult `json:"sessions,omitempty"`
+}
+
+// sessionResult is one tenant's slice of a multi-tenant run.
+type sessionResult struct {
+	Session   string  `json:"session"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Accepted  int64   `json:"accepted"`
+	Throttled int64   `json:"throttled_429"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
 }
 
 type ackJSON struct {
@@ -88,6 +118,7 @@ type ackJSON struct {
 	Late        int      `json:"late"`
 	LateDropped int      `json:"lateDropped"`
 	Rejected    int      `json:"rejected"`
+	Duplicates  int      `json:"duplicates"`
 	Watermark   *float64 `json:"watermark"`
 	Pending     int      `json:"pending"`
 	Error       string   `json:"error,omitempty"`
@@ -95,6 +126,7 @@ type ackJSON struct {
 
 type workerStats struct {
 	requests, errors int64
+	throttled        int64
 	sent             int64
 	ack              ackJSON // running sums, int fields only
 	lats             []time.Duration
@@ -104,6 +136,8 @@ func main() {
 	var opt options
 	flag.StringVar(&opt.url, "url", "http://127.0.0.1:8080", "craqrd base URL")
 	flag.StringVar(&opt.session, "session", "loadgen", "session name to ingest into")
+	flag.IntVar(&opt.sessions, "sessions", 1, "multi-tenant mode: round-robin workers over N sessions named <session>-0..N-1")
+	flag.StringVar(&opt.token, "token", "", "producer token sent as X-CrAQR-Token (per-token gateway limits)")
 	flag.BoolVar(&opt.create, "create", true, "create the session if missing (external source, simulated clock, durability off)")
 	flag.StringVar(&opt.codec, "codec", "json", "ingest codec: json or binary")
 	flag.StringVar(&opt.compress, "compress", "", "request Content-Encoding: empty or gzip")
@@ -131,6 +165,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "craqr-loadgen: -conns and -batch must be positive")
 		os.Exit(2)
 	}
+	if opt.sessions < 1 {
+		fmt.Fprintln(os.Stderr, "craqr-loadgen: -sessions must be positive")
+		os.Exit(2)
+	}
+	if opt.sessions > 1 && opt.conns < opt.sessions {
+		// Every tenant needs at least one worker or its slice is empty.
+		opt.conns = opt.sessions
+	}
 	if opt.name == "" {
 		codec := opt.codec
 		if opt.compress != "" {
@@ -149,9 +191,11 @@ func main() {
 		os.Exit(1)
 	}
 	if opt.create {
-		if err := ensureSession(client, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "craqr-loadgen: %v\n", err)
-			os.Exit(1)
+		for _, name := range sessionNames(opt) {
+			if err := ensureSession(client, opt, name); err != nil {
+				fmt.Fprintf(os.Stderr, "craqr-loadgen: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -178,8 +222,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d req (%d errors), %d/%d tuples accepted, %.0f tuples/s, p50 %.2fms p99 %.2fms\n",
-		res.Name, res.Requests, res.Errors, res.Accepted, res.TuplesSent, res.TuplesPerSec, res.P50Ms, res.P99Ms)
+	fmt.Fprintf(os.Stderr, "%s: %d req (%d errors, %d throttled), %d/%d tuples accepted, %.0f tuples/s, p50 %.2fms p99 %.2fms\n",
+		res.Name, res.Requests, res.Errors, res.Throttled, res.Accepted, res.TuplesSent, res.TuplesPerSec, res.P50Ms, res.P99Ms)
+	for _, sr := range res.Sessions {
+		fmt.Fprintf(os.Stderr, "  %s: %d req (%d errors, %d throttled), %d accepted, p50 %.2fms p99 %.2fms\n",
+			sr.Session, sr.Requests, sr.Errors, sr.Throttled, sr.Accepted, sr.P50Ms, sr.P99Ms)
+	}
 
 	if res.Accepted < opt.minAcc {
 		fmt.Fprintf(os.Stderr, "craqr-loadgen: accepted %d < -min-accepted %d\n", res.Accepted, opt.minAcc)
@@ -212,13 +260,25 @@ func waitHealthy(c *http.Client, base string, timeout time.Duration) error {
 	}
 }
 
+// sessionNames lists the distinct sessions a run targets.
+func sessionNames(opt options) []string {
+	if opt.sessions <= 1 {
+		return []string{opt.session}
+	}
+	names := make([]string, opt.sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", opt.session, i)
+	}
+	return names
+}
+
 // ensureSession creates the load session: external-only source so synthetic
 // fleets don't compete for CPU, simulated clock so epochs drain the queue
 // back-to-back instead of on wall-clock ticks, a deep ingest buffer, and no
 // durability so fsync never gates the wire path being measured.
-func ensureSession(c *http.Client, opt options) error {
+func ensureSession(c *http.Client, opt options, name string) error {
 	spec := map[string]any{
-		"name":              opt.session,
+		"name":              name,
 		"source":            "external",
 		"simulated":         true,
 		"ingestBuffer":      1 << 18,
@@ -344,8 +404,8 @@ func appendJSONBatch(dst []byte, b wire.Batch) []byte {
 // sessionBaseT asks the session where event time stands, so synthetic
 // observations resume past the watermark instead of arriving late when the
 // same session is driven by consecutive runs.
-func sessionBaseT(c *http.Client, opt options) float64 {
-	resp, err := c.Get(opt.url + "/v1/sessions/" + opt.session + "/status")
+func sessionBaseT(c *http.Client, opt options, session string) float64 {
+	resp, err := c.Get(opt.url + "/v1/sessions/" + session + "/status")
 	if err != nil {
 		return 0
 	}
@@ -365,12 +425,17 @@ func sessionBaseT(c *http.Client, opt options) float64 {
 }
 
 func run(c *http.Client, opt options, corpus [][]byte) result {
-	ingestURL := opt.url + "/v1/sessions/" + opt.session + "/ingest"
+	names := sessionNames(opt)
 	ctype := "application/json"
 	if opt.codec == "binary" {
 		ctype = wire.ContentTypeBinary
 	}
-	baseT := sessionBaseT(c, opt)
+	ingestURLs := make([]string, len(names))
+	baseTs := make([]float64, len(names))
+	for i, name := range names {
+		ingestURLs[i] = opt.url + "/v1/sessions/" + name + "/ingest"
+		baseTs[i] = sessionBaseT(c, opt, name)
+	}
 
 	start := time.Now()
 	deadline := start.Add(opt.duration)
@@ -382,6 +447,8 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 			defer wg.Done()
 			st := &stats[w]
 			st.lats = make([]time.Duration, 0, 1<<14)
+			sessIdx := w % len(names)
+			ingestURL, baseT := ingestURLs[sessIdx], baseTs[sessIdx]
 			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
 			tuples := make([]stream.Tuple, opt.batch)
 			var body, zbuf []byte
@@ -422,9 +489,15 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 				}
 				st.sent += n
 				t0 := time.Now()
-				ack, err := postBatch(c, ingestURL, ctype, opt.compress, req)
+				ack, throttled, err := postBatch(c, ingestURL, ctype, opt.compress, opt.token, req)
 				lat := time.Since(t0)
 				st.requests++
+				if throttled {
+					// 429 is the server keeping its word, not a harness
+					// failure: count it and keep driving.
+					st.throttled++
+					continue
+				}
 				if err != nil {
 					st.errors++
 					continue
@@ -435,6 +508,7 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 				st.ack.Late += ack.Late
 				st.ack.LateDropped += ack.LateDropped
 				st.ack.Rejected += ack.Rejected
+				st.ack.Duplicates += ack.Duplicates
 			}
 		}(w)
 	}
@@ -454,50 +528,83 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 		st := &stats[i]
 		res.Requests += st.requests
 		res.Errors += st.errors
+		res.Throttled += st.throttled
 		res.TuplesSent += st.sent
 		res.Accepted += int64(st.ack.Accepted)
 		res.Dropped += int64(st.ack.Dropped)
 		res.Late += int64(st.ack.Late)
 		res.LateDropped += int64(st.ack.LateDropped)
 		res.Rejected += int64(st.ack.Rejected)
+		res.Duplicates += int64(st.ack.Duplicates)
 		all = append(all, st.lats...)
 	}
 	res.TuplesPerSec = float64(res.Accepted) / elapsed.Seconds()
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		p50 := all[len(all)/2]
-		p99 := all[min(len(all)-1, len(all)*99/100)]
+	if p50, p99, ok := percentiles(all); ok {
 		res.P50Ms = float64(p50) / 1e6
 		res.P99Ms = float64(p99) / 1e6
 		res.NsOp = float64(p50)
 	}
+	if len(names) > 1 {
+		// Per-tenant breakdown: fold each session's workers together.
+		for si, name := range names {
+			sr := sessionResult{Session: name}
+			var lats []time.Duration
+			for w := si; w < len(stats); w += len(names) {
+				st := &stats[w]
+				sr.Requests += st.requests
+				sr.Errors += st.errors
+				sr.Throttled += st.throttled
+				sr.Accepted += int64(st.ack.Accepted)
+				lats = append(lats, st.lats...)
+			}
+			if p50, p99, ok := percentiles(lats); ok {
+				sr.P50Ms = float64(p50) / 1e6
+				sr.P99Ms = float64(p99) / 1e6
+			}
+			res.Sessions = append(res.Sessions, sr)
+		}
+	}
 	return res
 }
 
-func postBatch(c *http.Client, url, ctype, encoding string, body []byte) (ackJSON, error) {
+// percentiles sorts lats in place and returns its p50/p99.
+func percentiles(lats []time.Duration) (p50, p99 time.Duration, ok bool) {
+	if len(lats) == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2], lats[min(len(lats)-1, len(lats)*99/100)], true
+}
+
+func postBatch(c *http.Client, url, ctype, encoding, token string, body []byte) (ack ackJSON, throttled bool, err error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return ackJSON{}, err
+		return ackJSON{}, false, err
 	}
 	req.Header.Set("Content-Type", ctype)
 	if encoding != "" {
 		req.Header.Set("Content-Encoding", encoding)
 	}
+	if token != "" {
+		req.Header.Set("X-CrAQR-Token", token)
+	}
 	resp, err := c.Do(req)
 	if err != nil {
-		return ackJSON{}, err
+		return ackJSON{}, false, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	if err != nil {
-		return ackJSON{}, err
+		return ackJSON{}, false, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return ackJSON{}, true, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return ackJSON{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+		return ackJSON{}, false, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
 	}
-	var ack ackJSON
 	if err := json.Unmarshal(data, &ack); err != nil {
-		return ackJSON{}, err
+		return ackJSON{}, false, err
 	}
-	return ack, nil
+	return ack, false, nil
 }

@@ -82,6 +82,17 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "batch", "WAL fsync policy with -data-dir: always | batch | never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot cadence in epochs with -data-dir (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	// Tenant protection (docs/API.md, "Tenant limits"): per-session template
+	// limits (overridable per session at POST /v1/sessions), the epoch
+	// scheduler's concurrency, and per-token gateway rates. Zero = unlimited.
+	rateTuples := flag.Float64("rate-tuples", 0, "per-session ingest rate limit in tuples/s (0 = unlimited)")
+	rateBytes := flag.Float64("rate-bytes", 0, "per-session ingest rate limit in payload bytes/s (0 = unlimited)")
+	maxQueries := flag.Int("max-queries", 0, "per-session resident query quota (0 = unlimited)")
+	maxQueueBytes := flag.Int64("max-queue-bytes", 0, "per-session ingest queue quota in accounted bytes (0 = unlimited)")
+	maxWALBytes := flag.Int64("max-wal-bytes", 0, "per-session WAL size quota in bytes (0 = unlimited)")
+	epochSlots := flag.Int("epoch-slots", 0, "concurrent epoch slots shared fairly across sessions (0 = GOMAXPROCS/2)")
+	tokenRateTuples := flag.Float64("token-rate-tuples", 0, "per-producer-token ingest rate limit in tuples/s (0 = unlimited)")
+	tokenRateBytes := flag.Float64("token-rate-bytes", 0, "per-producer-token ingest rate limit in payload bytes/s (0 = unlimited)")
 	flag.Parse()
 
 	srcMode, err := server.ParseSourceMode(*sourceMode)
@@ -116,12 +127,23 @@ func main() {
 			SnapshotEveryEpochs: *snapshotEvery,
 		}
 	}
+	template.Limits = server.TenantLimits{
+		RateTuplesPerSec: *rateTuples,
+		RateBytesPerSec:  *rateBytes,
+		MaxQueries:       *maxQueries,
+		MaxQueueBytes:    *maxQueueBytes,
+		MaxWALBytes:      *maxWALBytes,
+	}
+	if err := template.Limits.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	manager, err := server.NewManager(server.ManagerConfig{
 		NewEngine:     server.NewEngineFactory(template, world.Fields),
 		MaxSessions:   *maxSessions,
 		IdleTTL:       *idleTTL,
 		DurabilityDir: *dataDir,
+		EpochSlots:    *epochSlots,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -157,6 +179,18 @@ func main() {
 	httpServer, err := server.NewManagerHTTPServer(manager, server.DefaultSessionName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tokenRateTuples > 0 || *tokenRateBytes > 0 {
+		httpServer.SetGatewayLimits(server.GatewayLimits{
+			RateTuplesPerSec: *tokenRateTuples,
+			RateBytesPerSec:  *tokenRateBytes,
+		})
+		fmt.Printf("craqrd: per-token gateway limits: %g tuples/s, %g bytes/s (identify producers with X-CrAQR-Token)\n",
+			*tokenRateTuples, *tokenRateBytes)
+	}
+	if template.Limits.RateTuplesPerSec > 0 || template.Limits.RateBytesPerSec > 0 ||
+		template.Limits.MaxQueries > 0 || template.Limits.MaxQueueBytes > 0 || template.Limits.MaxWALBytes > 0 {
+		fmt.Printf("craqrd: per-session tenant limits active (throttled pushes get 429 + Retry-After)\n")
 	}
 	if *tick > 0 {
 		fmt.Printf("craqrd: default session ticking every %v\n", *tick)

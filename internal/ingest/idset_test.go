@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func (s *idSet) testContains(id uint64) bool {
+	_, present := s.probe(id)
+	return present
+}
+
+func (s *idSet) testInsert(id uint64) {
+	if slot, present := s.probe(id); !present {
+		s.insertAt(slot, id)
+	}
+}
+
+// TestIDSetAgainstMap drives idSet and a reference map through the same
+// randomized insert/remove/reset schedule and demands identical membership
+// answers throughout. The key space is kept narrow (1..512) so removals hit
+// live probe clusters constantly — the backward-shift compaction in remove
+// is exactly the code a sparse random test would never exercise.
+func TestIDSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s idSet
+	ref := make(map[uint64]bool)
+	for step := 0; step < 200000; step++ {
+		id := uint64(rng.Intn(512) + 1)
+		switch op := rng.Intn(10); {
+		case op < 5:
+			if got, want := s.testContains(id), ref[id]; got != want {
+				t.Fatalf("step %d: contains(%d) = %v, want %v", step, id, got, want)
+			}
+			s.testInsert(id)
+			ref[id] = true
+		case op < 9:
+			s.remove(id)
+			delete(ref, id)
+		default:
+			if rng.Intn(100) == 0 {
+				s.reset()
+				ref = make(map[uint64]bool)
+			}
+		}
+		if s.n != len(ref) {
+			t.Fatalf("step %d: size %d, want %d", step, s.n, len(ref))
+		}
+	}
+	// Full sweep at the end: every live id present, a band of dead ids absent.
+	for id := uint64(1); id <= 1024; id++ {
+		if got, want := s.testContains(id), ref[id]; got != want {
+			t.Fatalf("final: contains(%d) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestIDSetClusterRemoval hand-builds the pathological shape for
+// backward-shift deletion — many keys colliding into one contiguous probe
+// cluster — and removes them front-to-back and back-to-front.
+func TestIDSetClusterRemoval(t *testing.T) {
+	for _, order := range []string{"front", "back"} {
+		var s idSet
+		// Enough keys that several share home slots in a 16..64-slot table.
+		keys := make([]uint64, 0, 24)
+		for id := uint64(1); id <= 24; id++ {
+			keys = append(keys, id)
+			s.testInsert(id)
+		}
+		if order == "back" {
+			for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+		for i, id := range keys {
+			s.remove(id)
+			if s.testContains(id) {
+				t.Fatalf("%s: %d still present after remove", order, id)
+			}
+			for _, rest := range keys[i+1:] {
+				if !s.testContains(rest) {
+					t.Fatalf("%s: removing %d lost %d", order, id, rest)
+				}
+			}
+		}
+		if s.n != 0 {
+			t.Fatalf("%s: size %d after removing all", order, s.n)
+		}
+	}
+}

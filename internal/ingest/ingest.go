@@ -126,8 +126,12 @@ type Ack struct {
 	// discarded (LateDrop).
 	LateDropped int
 	// Rejected tuples failed validation (outside the configured region,
-	// non-finite event time).
+	// non-finite event time, coordinate, or value).
 	Rejected int
+	// Duplicates tuples carried a producer-assigned ID already buffered in
+	// the pending window and were discarded — a redelivered batch cannot
+	// double-count observations inside an epoch.
+	Duplicates int
 	// Watermark is the queue's low watermark after the push
 	// (math.Inf(-1) before any event time or assertion is known).
 	Watermark float64
@@ -146,8 +150,11 @@ type Stats struct {
 	Late uint64
 	// LateDropped tuples were discarded as late (LateDrop).
 	LateDropped uint64
-	// Rejected tuples failed validation (region, non-finite time).
+	// Rejected tuples failed validation (region, non-finite fields).
 	Rejected uint64
+	// Duplicates tuples repeated a producer-assigned ID still buffered in
+	// the pending window and were discarded.
+	Duplicates uint64
 	// Watermark is the current low watermark in simulation time units
 	// (math.Inf(-1) when unknown).
 	Watermark float64
@@ -165,6 +172,13 @@ type Stats struct {
 // deliveries of the same observations in different orders get different IDs
 // (and therefore different merge positions).
 const GatewayIDBase uint64 = 1 << 63
+
+// TupleMemBytes is the accounting unit for queue-byte quotas: the
+// approximate resident size of one buffered tuple (struct fields plus
+// amortized slice/header overhead). Quota math deliberately uses a fixed
+// figure rather than measuring — the bound must be predictable for
+// operators sizing MaxQueueBytes, and attr strings are interned.
+const TupleMemBytes = 96
 
 // negInf is the watermark before anything is known.
 func negInf() float64 { return math.Inf(-1) }

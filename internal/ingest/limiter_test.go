@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually for deterministic refill.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestTokenBucketBasics(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(10, 10, clk.now) // 10 tokens/s, burst 10
+
+	ok, _ := b.Take(10)
+	if !ok {
+		t.Fatal("full bucket refused a burst-sized take")
+	}
+	ok, wait := b.Take(5)
+	if ok {
+		t.Fatal("empty bucket admitted a take")
+	}
+	if want := 500 * time.Millisecond; wait != want {
+		t.Fatalf("wait = %v, want %v", wait, want)
+	}
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.Take(5); !ok {
+		t.Fatal("refill did not credit tokens")
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(100, 10, clk.now)
+	clk.advance(time.Hour)
+	if ok, _ := b.Take(10); !ok {
+		t.Fatal("bucket should be full after an idle hour")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+func TestTokenBucketOversizedRequestGoesIntoDebt(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(10, 10, clk.now)
+
+	// A request larger than burst is admitted once the bucket is full and
+	// drives the balance negative rather than wedging the producer forever.
+	ok, _ := b.Take(25)
+	if !ok {
+		t.Fatal("oversized request refused by a full bucket")
+	}
+	// Debt is 15 tokens; the next 1-token take must wait 1.6s
+	// (15 tokens of debt + 1 token requested, at 10 tokens/s).
+	ok, wait := b.Take(1)
+	if ok {
+		t.Fatal("in-debt bucket admitted a take")
+	}
+	if want := 1600 * time.Millisecond; wait != want {
+		t.Fatalf("wait = %v, want %v", wait, want)
+	}
+	clk.advance(wait)
+	if ok, _ := b.Take(1); !ok {
+		t.Fatal("debt not paid off after the advertised wait")
+	}
+}
+
+func TestTokenBucketPeek(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(10, 10, clk.now)
+	if w := b.Peek(5); w != 0 {
+		t.Fatalf("Peek on full bucket = %v, want 0", w)
+	}
+	b.Take(10)
+	if w := b.Peek(5); w != 500*time.Millisecond {
+		t.Fatalf("Peek = %v, want 500ms", w)
+	}
+	// Peek must not consume tokens.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.Take(5); !ok {
+		t.Fatal("Peek consumed tokens")
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(42, 0, clk.now)
+	if ok, _ := b.Take(42); !ok {
+		t.Fatal("default burst should equal one second of rate")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("default burst larger than rate")
+	}
+}

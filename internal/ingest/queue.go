@@ -44,8 +44,16 @@ type Queue struct {
 	active   bool   // a push or watermark assertion has been seen
 	closed   bool
 	notify   chan struct{} // lazily created by WaitReady, closed on progress
+	// pendingIDs tracks the producer-assigned IDs currently buffered, so a
+	// duplicate delivery of the same observation across batches is rejected
+	// instead of appearing twice in an epoch. The set is bounded by Buffer
+	// (entries leave when their tuple drains) and holds only client-supplied
+	// IDs — gateway-assigned IDs are unique by construction. It is a flat
+	// open-addressing set rather than a Go map because the membership check
+	// runs once per ingested tuple (see idset.go).
+	pendingIDs idSet
 
-	ingested, dropped, late, lateDropped, rejected uint64
+	ingested, dropped, late, lateDropped, rejected, duplicates uint64
 }
 
 // NewQueue builds an empty queue (Buffer ≤ 0 means DefaultBuffer).
@@ -79,6 +87,15 @@ func (q *Queue) Push(tuples []stream.Tuple, watermark float64) (Ack, error) {
 			ack.Rejected++
 			continue
 		}
+		var idSlot uint64
+		if tp.ID != 0 {
+			slot, dup := q.pendingIDs.probe(tp.ID)
+			if dup {
+				ack.Duplicates++
+				continue
+			}
+			idSlot = slot
+		}
 		if tp.T < q.closedTo && q.cfg.Late == LateDrop {
 			ack.LateDropped++
 			continue
@@ -100,6 +117,8 @@ func (q *Queue) Push(tuples []stream.Tuple, watermark float64) (Ack, error) {
 		if tp.ID == 0 {
 			q.seq++
 			tp.ID = GatewayIDBase | q.seq
+		} else {
+			q.pendingIDs.insertAt(idSlot, tp.ID)
 		}
 		q.buf = append(q.buf, tp)
 		ack.Accepted++
@@ -122,6 +141,7 @@ func (q *Queue) Push(tuples []stream.Tuple, watermark float64) (Ack, error) {
 	q.late += uint64(ack.Late)
 	q.lateDropped += uint64(ack.LateDropped)
 	q.rejected += uint64(ack.Rejected)
+	q.duplicates += uint64(ack.Duplicates)
 	ack.Watermark = q.watermarkLocked()
 	ack.Pending = len(q.buf)
 	// Journal the raw input (not the ack): replaying it through Push
@@ -136,9 +156,17 @@ func (q *Queue) Push(tuples []stream.Tuple, watermark float64) (Ack, error) {
 }
 
 // validObservation rejects tuples the map phase would silently discard or
-// that would poison watermark arithmetic.
+// that would poison downstream arithmetic: empty attributes, non-finite
+// event times, and non-finite coordinates or values. The latter matter
+// because the binary wire format carries raw float64 bits — NaN/Inf smuggled
+// through a frame must die here, before reaching estimators or the WAL's
+// replayed state.
 func validObservation(tp stream.Tuple, region geom.Rect) bool {
-	if tp.Attr == "" || math.IsNaN(tp.T) || math.IsInf(tp.T, 0) {
+	// x−x is 0 for every finite x and NaN for NaN/±Inf, and NaN poisons the
+	// sum — one compare covers all four fields without a branch per field
+	// (this runs once per ingested tuple).
+	probe := (tp.T - tp.T) + (tp.X - tp.X) + (tp.Y - tp.Y) + (tp.Value - tp.Value)
+	if tp.Attr == "" || probe != probe {
 		return false
 	}
 	if !region.IsEmpty() && !region.Contains(geom.Point{X: tp.X, Y: tp.Y}) {
@@ -189,12 +217,25 @@ func (q *Queue) Active() bool {
 func (q *Queue) Drain(t1 float64, dst []stream.Tuple) []stream.Tuple {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	start := len(dst)
 	kept := q.buf[:0]
 	for _, tp := range q.buf {
 		if tp.T < t1 {
 			dst = append(dst, tp)
 		} else {
 			kept = append(kept, tp)
+		}
+	}
+	// Drained tuples leave the pending window, so their producer-assigned
+	// IDs leave the duplicate-detection set with them. The common case — the
+	// watermark releases everything buffered — empties the set outright, so
+	// it resets in one pass instead of removing IDs one by one (gateway IDs
+	// were never added; removing them is a no-op).
+	if len(kept) == 0 {
+		q.pendingIDs.reset()
+	} else {
+		for _, tp := range dst[start:] {
+			q.pendingIDs.remove(tp.ID)
 		}
 	}
 	// Zero the tail so drained tuples don't pin anything via the backing
@@ -226,6 +267,7 @@ func (q *Queue) Stats() Stats {
 		Late:        q.late,
 		LateDropped: q.lateDropped,
 		Rejected:    q.rejected,
+		Duplicates:  q.duplicates,
 		Watermark:   q.watermarkLocked(),
 		ClosedTo:    q.closedTo,
 		Pending:     len(q.buf),

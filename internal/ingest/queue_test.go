@@ -284,3 +284,61 @@ func TestConcurrentPushers(t *testing.T) {
 		}
 	}
 }
+
+func TestDuplicateClientIDsRejectedAcrossBatches(t *testing.T) {
+	q := NewQueue(Config{Tolerance: 0})
+
+	ack := mustPush(t, q, []stream.Tuple{obs(7, 1.0), obs(8, 1.1)}, math.NaN())
+	if ack.Accepted != 2 || ack.Duplicates != 0 {
+		t.Fatalf("first batch ack = %+v", ack)
+	}
+	// Redelivery of ID 7 in a later batch (even with different payload) is a
+	// duplicate while the original is still buffered.
+	dup := obs(7, 1.05)
+	dup.Value = 99
+	ack = mustPush(t, q, []stream.Tuple{dup, obs(9, 1.2)}, math.NaN())
+	if ack.Accepted != 1 || ack.Duplicates != 1 {
+		t.Fatalf("redelivered batch ack = %+v", ack)
+	}
+	if st := q.Stats(); st.Duplicates != 1 {
+		t.Fatalf("Stats.Duplicates = %d, want 1", st.Duplicates)
+	}
+
+	// Draining the original releases the ID: a fresh push reusing it is no
+	// longer a duplicate (dedup is bounded to the pending window).
+	got := q.Drain(2.0, nil)
+	if len(got) != 3 {
+		t.Fatalf("drained %d tuples, want 3", len(got))
+	}
+	ack = mustPush(t, q, []stream.Tuple{obs(7, 2.5)}, math.NaN())
+	if ack.Accepted != 1 || ack.Duplicates != 0 {
+		t.Fatalf("post-drain reuse ack = %+v", ack)
+	}
+
+	// Gateway-assigned IDs (pushed as zero) are never dedup-tracked.
+	ack = mustPush(t, q, []stream.Tuple{obs(0, 2.6), obs(0, 2.6)}, math.NaN())
+	if ack.Accepted != 2 || ack.Duplicates != 0 {
+		t.Fatalf("gateway-ID ack = %+v", ack)
+	}
+}
+
+func TestNonFiniteFieldsRejected(t *testing.T) {
+	q := NewQueue(Config{})
+	bad := []stream.Tuple{}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		v := obs(0, 1.0)
+		v.Value = f
+		x := obs(0, 1.0)
+		x.X = f
+		y := obs(0, 1.0)
+		y.Y = f
+		bad = append(bad, v, x, y)
+	}
+	ack := mustPush(t, q, bad, math.NaN())
+	if ack.Rejected != len(bad) || ack.Accepted != 0 {
+		t.Fatalf("ack = %+v, want all %d rejected", ack, len(bad))
+	}
+	if st := q.Stats(); st.Rejected != uint64(len(bad)) {
+		t.Fatalf("Stats.Rejected = %d, want %d", st.Rejected, len(bad))
+	}
+}

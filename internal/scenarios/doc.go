@@ -1,0 +1,14 @@
+// Package scenarios holds the hostile-scenario pack: end-to-end tests that
+// drive a full manager + HTTP gateway through adversarial workloads —
+// bursty diurnal fleets, late arrivals at the tolerance boundary,
+// malformed/duplicate/oversized pushes, multi-tenant noisy neighbors and a
+// long-running mixed soak — and assert that the tenant-protection layer
+// (admission control, weighted-fair epoch scheduling, typed refusals)
+// keeps the service correct and fair under each of them. See DESIGN.md,
+// "Overload protection and fairness".
+//
+// The package intentionally contains no production code; everything lives
+// in _test.go files so the scenarios ship with the repo's test suite
+// (go test ./internal/scenarios/) and the soak runs under the race
+// detector in CI via scripts/soak.sh.
+package scenarios

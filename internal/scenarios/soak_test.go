@@ -1,0 +1,270 @@
+package scenarios
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// vmRSSMiB reads the process's resident set size from /proc/self/status.
+// Returns 0 (and false) where /proc isn't available so the soak degrades
+// to a leak-only check off Linux.
+func vmRSSMiB(t *testing.T) (float64, bool) {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb / 1024, true
+	}
+	return 0, false
+}
+
+// TestScenarioSoakHostileMix runs the whole hostile mix at once — a
+// well-behaved durable tenant, a rate-limited flooder, a garbage-frame
+// attacker and a status poller — for a configurable duration, then asserts
+// the two resource invariants a long-lived multi-tenant daemon owes its
+// operator: resident memory stays under a ceiling, and shutting the
+// manager down releases every goroutine the run created.
+//
+// CRAQR_SOAK sets the duration (default 2s, CI uses ~60s via
+// scripts/soak.sh); CRAQR_SOAK_RSS_MB sets the RSS ceiling in MiB
+// (default 2048 — roomy enough for -race shadow memory, tight enough to
+// catch an unbounded queue or retention leak immediately).
+func TestScenarioSoakHostileMix(t *testing.T) {
+	duration := 2 * time.Second
+	if env := os.Getenv("CRAQR_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("CRAQR_SOAK=%q: %v", env, err)
+		}
+		duration = d
+	}
+	rssCeilingMiB := 2048.0
+	if env := os.Getenv("CRAQR_SOAK_RSS_MB"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("CRAQR_SOAK_RSS_MB=%q: %v", env, err)
+		}
+		rssCeilingMiB = v
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	root := t.TempDir()
+	template := worldConfig()
+	template.Source = server.SourceConfig{Mode: server.SourceExternal}
+	template.Durability = server.DurabilityConfig{Dir: root, Fsync: wal.FsyncBatch}
+	cl := startCluster(t, template, server.ManagerConfig{DurabilityDir: root, EpochSlots: 2})
+
+	// Tenants: a durable well-behaved session with a bounded queue, and a
+	// flooder capped hard on both rate and queue bytes.
+	do(t, cl.c, "POST", cl.url("/v1/sessions"), mkSpec(t, map[string]interface{}{
+		"name": "good", "source": "external", "tolerance": 0.5, "ingestBuffer": 4096,
+	}), 201, nil)
+	do(t, cl.c, "POST", cl.url("/v1/sessions/good/queries"),
+		"ACQUIRE rain FROM RECT(0,0,8,8) RATE 3", 201, nil)
+	do(t, cl.c, "POST", cl.url("/v1/sessions"), mkSpec(t, map[string]interface{}{
+		"name": "flood", "source": "external", "tolerance": 0.5, "ingestBuffer": 4096,
+		"limits": map[string]interface{}{
+			"rateTuplesPerSec": 500,
+			"maxQueueBytes":    4096 * 96,
+		},
+	}), 201, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	deadline := time.After(duration)
+	var (
+		wg       sync.WaitGroup
+		goodOK   atomic.Int64
+		flood429 atomic.Int64
+		garbage  atomic.Int64
+		errs     atomic.Int64
+	)
+	post := func(hc *http.Client, url, ctype string, body []byte) (int, bool) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, false
+		}
+		req.Header.Set("Content-Type", ctype)
+		resp, err := hc.Do(req)
+		if err != nil {
+			return 0, false // cancelled at shutdown
+		}
+		resp.Body.Close()
+		return resp.StatusCode, true
+	}
+
+	// Well-behaved tenant: steady pushes with advancing watermarks, a step
+	// after each, a periodic results read.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hc := &http.Client{}
+		epoch := 0
+		for ctx.Err() == nil {
+			b := floodBatch(50)
+			b.Watermark = float64(epoch + 1)
+			for i := range b.Tuples {
+				b.Tuples[i].T += float64(epoch)
+			}
+			body, err := wire.AppendFrame(nil, b)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			if status, ok := post(hc, cl.url("/v1/sessions/good/ingest"), wire.ContentTypeBinary, body); ok {
+				if status == http.StatusOK {
+					goodOK.Add(1)
+				} else {
+					errs.Add(1)
+				}
+			}
+			post(hc, cl.url("/v1/sessions/good/step?n=2"), "text/plain", nil)
+			epoch++
+			select {
+			case <-ctx.Done():
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+	// Flooder: full-rate JSON pushes, mostly refused.
+	floodBody := jsonBody(t, floodBatch(500))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hc := &http.Client{}
+		body := floodBody
+		for ctx.Err() == nil {
+			if status, ok := post(hc, cl.url("/v1/sessions/flood/ingest"), "application/json", body); ok && status == http.StatusTooManyRequests {
+				flood429.Add(1)
+			}
+		}
+	}()
+	// Garbage attacker: malformed binary frames and oversized junk at the
+	// good tenant's endpoint; every one must bounce without side effects.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hc := &http.Client{}
+		junk := [][]byte{
+			[]byte("XQB1 this is not a frame"),
+			bytes.Repeat([]byte{0xFF}, 1024),
+			nil,
+		}
+		i := 0
+		for ctx.Err() == nil {
+			if status, ok := post(hc, cl.url("/v1/sessions/good/ingest"), wire.ContentTypeBinary, junk[i%len(junk)]); ok {
+				if status == http.StatusBadRequest {
+					garbage.Add(1)
+				} else if status != 0 {
+					errs.Add(1)
+				}
+			}
+			i++
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	// Status poller: the observability surface stays responsive under fire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hc := &http.Client{}
+		for ctx.Err() == nil {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.url("/v1/sessions/good/status"), nil)
+			if err == nil {
+				if resp, err := hc.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}()
+
+	var peakRSS float64
+	rssSupported := true
+	for running := true; running; {
+		select {
+		case <-deadline:
+			running = false
+		case <-time.After(500 * time.Millisecond):
+		}
+		if rss, ok := vmRSSMiB(t); ok {
+			if rss > peakRSS {
+				peakRSS = rss
+			}
+		} else {
+			rssSupported = false
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	if errs.Load() > 0 {
+		t.Errorf("%d unexpected statuses on the well-behaved/garbage paths", errs.Load())
+	}
+	if goodOK.Load() == 0 {
+		t.Error("well-behaved tenant made no progress during the soak")
+	}
+	if flood429.Load() == 0 {
+		t.Error("flooder was never throttled during the soak")
+	}
+	if garbage.Load() == 0 {
+		t.Error("garbage attacker never drew a 400 during the soak")
+	}
+	if rssSupported && peakRSS > rssCeilingMiB {
+		t.Errorf("peak RSS %.0f MiB exceeds ceiling %.0f MiB", peakRSS, rssCeilingMiB)
+	}
+
+	// Shut everything down and demand the goroutines back: the engines,
+	// schedulers, WAL writers and HTTP plumbing must all unwind. GC/timer
+	// goroutines settle asynchronously, so poll with a deadline.
+	cl.close()
+	var after int
+	for settle := time.Now().Add(10 * time.Second); ; {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= goroutinesBefore+3 || time.Now().After(settle) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if after > goroutinesBefore+3 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before soak, %d after shutdown\n%s", goroutinesBefore, after, buf[:n])
+	}
+	t.Logf("soak %v: good=%d acks, flood429=%d, garbage400=%d, peakRSS=%.0fMiB (%s)",
+		duration, goodOK.Load(), flood429.Load(), garbage.Load(), peakRSS,
+		map[bool]string{true: "ceiling enforced", false: "RSS unavailable"}[rssSupported])
+}

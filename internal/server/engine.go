@@ -90,6 +90,11 @@ type Config struct {
 	// mutation and recovers the session by deterministic replay on
 	// construction (see DESIGN.md, "Durability and recovery").
 	Durability DurabilityConfig
+	// Limits is the session's admission-control envelope: ingest rate
+	// limits and resident-state quotas, all off by default (zero =
+	// unlimited). Enforced at the gateway boundary (AdmitIngest, Submit),
+	// never on replay. See DESIGN.md, "Overload protection and fairness".
+	Limits TenantLimits
 }
 
 // SourceMode selects an engine's observation source composition.
@@ -194,7 +199,14 @@ type Engine struct {
 	// dur is the write-ahead log attachment (nil on non-durable engines).
 	dur *durableState
 
-	mu      sync.Mutex
+	// limiter enforces Config.Limits (nil when no limits are set — the
+	// unlimited path stays lock-free).
+	limiter *tenantLimiter
+
+	mu sync.Mutex
+	// gate, when set, is the manager's fair-scheduler handle every epoch
+	// acquires before running (guarded by mu; see SetEpochGate).
+	gate    *schedSession
 	stepMu  sync.Mutex // serializes epochs across callers (HTTP, tickers)
 	now     float64
 	epochs  int
@@ -329,6 +341,7 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 		source:      src,
 		queue:       queue,
 		dur:         dur,
+		limiter:     newTenantLimiter(cfg.Limits, nil),
 		results:     make(map[string]*stream.ResultStore),
 		plans:       make(map[string]planner.CostEstimate),
 	}
@@ -389,6 +402,11 @@ func (e *Engine) Epochs() int {
 // plan endpoint. With planning disabled — or when the planner cannot price
 // the query — the static Fabricator.Merge mode is used.
 func (e *Engine) Submit(q query.Query) (query.Query, error) {
+	// The resident-query quota refuses before anything mutates; the HTTP
+	// layer maps the typed error to 429.
+	if err := e.admitQuery(); err != nil {
+		return query.Query{}, err
+	}
 	if e.dur != nil {
 		// Reject queries the journal cannot frame before anything mutates:
 		// the submit record must be appendable or the engine's state would
@@ -614,7 +632,50 @@ var ErrEpochOpen = errors.New("server: epoch open: ingest watermark below epoch 
 // concurrently with Step take effect at the next epoch boundary. When the
 // source is watermark-gated and the epoch cannot close yet, Step returns
 // ErrEpochOpen without advancing time.
-func (e *Engine) Step() error {
+func (e *Engine) Step() error { return e.StepCtx(context.Background()) }
+
+// StepCtx is Step with cancellation: when the engine is gated by a
+// manager's fair scheduler, the epoch first acquires its slot in
+// virtual-time order, and ctx cancels a parked acquisition (the clock's
+// stop path, or an HTTP caller going away). Ungated engines never block
+// here.
+func (e *Engine) StepCtx(ctx context.Context) error {
+	e.mu.Lock()
+	gate := e.gate
+	e.mu.Unlock()
+	if gate != nil {
+		release, err := gate.Acquire(ctx)
+		if err != nil {
+			return err
+		}
+		defer release()
+	}
+	return e.step()
+}
+
+// SetEpochGate attaches the fair-scheduler handle every subsequent epoch
+// acquires before running; nil detaches. Managers call this when
+// registering the session's engine.
+func (e *Engine) SetEpochGate(g *schedSession) {
+	e.mu.Lock()
+	e.gate = g
+	e.mu.Unlock()
+}
+
+// SchedStats snapshots the session's epoch-scheduling accounting; ok is
+// false on ungated engines.
+func (e *Engine) SchedStats() (SchedStats, bool) {
+	e.mu.Lock()
+	gate := e.gate
+	e.mu.Unlock()
+	if gate == nil {
+		return SchedStats{}, false
+	}
+	return gate.Stats(), true
+}
+
+// step runs the epoch body (see Step); the caller holds no locks.
+func (e *Engine) step() error {
 	e.stepMu.Lock()
 	defer e.stepMu.Unlock()
 	if e.dur != nil {
@@ -785,8 +846,15 @@ func (e *Engine) Run(n int) error {
 // the source's watermark holds the next epoch open. It returns how many
 // epochs completed; completed < n means the engine is waiting for ingest.
 func (e *Engine) RunReady(n int) (int, error) {
+	return e.RunReadyCtx(context.Background(), n)
+}
+
+// RunReadyCtx is RunReady with cancellation for the fair-scheduler gate:
+// an HTTP step request that goes away while parked behind other sessions'
+// epochs abandons its slot claim instead of running epochs for nobody.
+func (e *Engine) RunReadyCtx(ctx context.Context, n int) (int, error) {
 	for i := 0; i < n; i++ {
-		if err := e.Step(); err != nil {
+		if err := e.StepCtx(ctx); err != nil {
 			if errors.Is(err, ErrEpochOpen) {
 				return i, nil
 			}

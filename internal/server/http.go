@@ -56,6 +56,7 @@ type HTTPServer struct {
 	defName string
 	mux     *http.ServeMux
 	logf    func(format string, args ...interface{})
+	gate    *gatewayLimiter // nil = no per-token limits
 }
 
 // DefaultSessionName is the session that backs the legacy single-session
@@ -123,6 +124,13 @@ func NewManagerHTTPServer(m *Manager, defaultSession string) (*HTTPServer, error
 
 // Manager returns the session manager behind the façade.
 func (s *HTTPServer) Manager() *Manager { return s.manager }
+
+// SetGatewayLimits installs (or clears, with the zero value) the per-token
+// admission envelope applied to every ingest push ahead of the session's own
+// TenantLimits. See docs/API.md, "Tenant limits".
+func (s *HTTPServer) SetGatewayLimits(cfg GatewayLimits) {
+	s.gate = newGatewayLimiter(cfg, nil)
+}
 
 // SetLogf redirects the server's diagnostics (encode failures, stream
 // aborts); nil silences them.
@@ -297,6 +305,11 @@ type sessionJSON struct {
 	IngestDropped uint64   `json:"ingestDropped"`
 	LateDropped   uint64   `json:"lateDropped"`
 	Watermark     *float64 `json:"watermark"`
+	// Tenant protection (see docs/API.md, "Tenant limits"): the session's
+	// fair-share weight (0 = default 1) and its admission-control envelope,
+	// present only when any limit is configured.
+	Weight float64       `json:"weight,omitempty"`
+	Limits *TenantLimits `json:"limits,omitempty"`
 	// Durability (see docs/API.md, "Durability"): present only on durable
 	// sessions — the WAL fsync policy, checkpoint cadence and size
 	// counters, plus whether this process recovered the session from disk.
@@ -331,6 +344,10 @@ func toSessionJSON(sess *Session) sessionJSON {
 		IngestDropped: ist.Dropped,
 		LateDropped:   ist.LateDropped,
 		Watermark:     finiteOrNil(ist.Watermark),
+		Weight:        sess.Spec.Weight,
+	}
+	if lim := sess.Engine.Limits(); lim.enabled() {
+		sj.Limits = &lim
 	}
 	if sess.Spec.Clock.Interval > 0 {
 		sj.Tick = sess.Spec.Clock.Interval.String()
@@ -398,6 +415,11 @@ type sessionSpecJSON struct {
 	DisableDurability bool   `json:"disableDurability"`
 	SnapshotEvery     int    `json:"snapshotEvery"`
 	FsyncPolicy       string `json:"fsyncPolicy"`
+	// Tenant protection (see docs/API.md, "Tenant limits"): the session's
+	// fair-share weight under epoch contention (0 = default 1) and its
+	// admission-control limits (absent = unlimited).
+	Weight float64       `json:"weight"`
+	Limits *TenantLimits `json:"limits"`
 }
 
 // plannerWeightsJSON is the wire form of planner.Weights.
@@ -430,6 +452,8 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 		DisableDurability: body.DisableDurability,
 		SnapshotEvery:     body.SnapshotEvery,
 		FsyncPolicy:       body.FsyncPolicy,
+		Weight:            body.Weight,
+		Limits:            body.Limits,
 	}
 	// Validate here so a bad spec is a 400, not a factory 500 — or, worse,
 	// a silently ignored override.
@@ -457,6 +481,16 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 	}
 	if body.FsyncPolicy != "" {
 		if _, err := wal.ParsePolicy(body.FsyncPolicy); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if body.Weight < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("weight must be non-negative, got %g", body.Weight))
+		return
+	}
+	if body.Limits != nil {
+		if err := body.Limits.Validate(); err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -565,6 +599,11 @@ func (s *HTTPServer) submitQuery(w http.ResponseWriter, r *http.Request, e *Engi
 	}
 	q, err := e.Submit(st.Query)
 	if err != nil {
+		var rl *RateLimitError
+		if errors.As(err, &rl) {
+			s.writeRateLimited(w, err)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -663,6 +702,11 @@ func (s *HTTPServer) submitScript(w http.ResponseWriter, r *http.Request, e *Eng
 	defer wire.ReleaseBuf(body)
 	qs, err := e.SubmitScript(string(body))
 	if err != nil {
+		var rl *RateLimitError
+		if errors.As(err, &rl) {
+			s.writeRateLimited(w, err)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -975,6 +1019,27 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 	// ingestRejected failed validation; ingestPending is the current
 	// backlog and watermark the event-time low watermark (null unknown).
 	ist := e.IngestStats()
+	// Tenant protection (see docs/API.md, "Tenant limits"): the epoch
+	// scheduler's per-session accounting (null before the session is gated),
+	// the admission-control refusal counters, and the configured limits
+	// (null when unlimited).
+	var sched interface{}
+	if st, ok := e.SchedStats(); ok {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		sched = map[string]interface{}{
+			"weight":       st.Weight,
+			"epochsServed": st.Served,
+			"totalWaitMs":  ms(st.TotalWait),
+			"maxWaitMs":    ms(st.MaxWait),
+			"p50WaitMs":    ms(st.P50Wait),
+			"p99WaitMs":    ms(st.P99Wait),
+		}
+	}
+	ts := e.ThrottleCounters()
+	var limits interface{}
+	if lim := e.Limits(); lim.enabled() {
+		limits = lim
+	}
 	// Durability state (see docs/API.md, "Durability"): null on
 	// non-durable sessions.
 	var durability interface{}
@@ -993,34 +1058,42 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
-		"session":        sess.Name,
-		"running":        e.Running(),
-		"clockError":     errString(e.ClockErr()),
-		"now":            e.Now(),
-		"epochs":         e.Epochs(),
-		"queries":        len(e.Queries()),
-		"pipelines":      e.Fabricator().NumPipelines(),
-		"operators":      e.Fabricator().OperatorCounts(),
-		"workers":        e.Workers(),
-		"fused":          e.FusedEnabled(),
-		"planner":        e.PlannerEnabled(),
-		"plans":          plans,
-		"adaptive":       e.AdaptiveEnabled(),
-		"adaptiveSlots":  slots,
-		"meanNv":         e.MeanViolation(),
-		"requests":       e.Handler().RequestsSent(),
-		"responses":      e.Handler().ResponsesReceived(),
-		"retentionDrops": e.RetentionDrops(),
-		"source":         e.SourceMode().String(),
-		"ingested":       ist.Ingested,
-		"ingestDropped":  ist.Dropped,
-		"ingestLate":     ist.Late,
-		"lateDropped":    ist.LateDropped,
-		"ingestRejected": ist.Rejected,
-		"ingestPending":  ist.Pending,
-		"watermark":      finiteOrNil(ist.Watermark),
-		"durability":     durability,
-		"budgets":        bj,
+		"session":          sess.Name,
+		"running":          e.Running(),
+		"clockError":       errString(e.ClockErr()),
+		"now":              e.Now(),
+		"epochs":           e.Epochs(),
+		"queries":          len(e.Queries()),
+		"pipelines":        e.Fabricator().NumPipelines(),
+		"operators":        e.Fabricator().OperatorCounts(),
+		"workers":          e.Workers(),
+		"fused":            e.FusedEnabled(),
+		"planner":          e.PlannerEnabled(),
+		"plans":            plans,
+		"adaptive":         e.AdaptiveEnabled(),
+		"adaptiveSlots":    slots,
+		"meanNv":           e.MeanViolation(),
+		"requests":         e.Handler().RequestsSent(),
+		"responses":        e.Handler().ResponsesReceived(),
+		"retentionDrops":   e.RetentionDrops(),
+		"source":           e.SourceMode().String(),
+		"ingested":         ist.Ingested,
+		"ingestDropped":    ist.Dropped,
+		"ingestLate":       ist.Late,
+		"lateDropped":      ist.LateDropped,
+		"ingestRejected":   ist.Rejected,
+		"ingestPending":    ist.Pending,
+		"ingestDuplicates": ist.Duplicates,
+		"watermark":        finiteOrNil(ist.Watermark),
+		"durability":       durability,
+		"sched":            sched,
+		"limits":           limits,
+		"throttled": map[string]interface{}{
+			"batches": ts.Batches,
+			"tuples":  ts.Tuples,
+			"queries": ts.Queries,
+		},
+		"budgets": bj,
 	})
 }
 

@@ -63,6 +63,7 @@ type ingestAckJSON struct {
 	Late        int      `json:"late"`
 	LateDropped int      `json:"lateDropped"`
 	Rejected    int      `json:"rejected"`
+	Duplicates  int      `json:"duplicates,omitempty"`
 	Watermark   *float64 `json:"watermark"`
 	Pending     int      `json:"pending"`
 	Error       string   `json:"error,omitempty"`
@@ -93,6 +94,13 @@ func AppendIngestAck(dst []byte, ack ingest.Ack, errMsg string) []byte {
 	dst = strconv.AppendInt(dst, int64(ack.LateDropped), 10)
 	dst = append(dst, `,"rejected":`...)
 	dst = strconv.AppendInt(dst, int64(ack.Rejected), 10)
+	// duplicates is omitempty on both render paths: the overwhelmingly
+	// common ack (no duplicate delivery, or no client IDs at all) stays one
+	// field shorter, and producers that predate the field parse unchanged.
+	if ack.Duplicates != 0 {
+		dst = append(dst, `,"duplicates":`...)
+		dst = strconv.AppendInt(dst, int64(ack.Duplicates), 10)
+	}
 	dst = append(dst, `,"watermark":`...)
 	if math.IsInf(ack.Watermark, 0) || math.IsNaN(ack.Watermark) {
 		dst = append(dst, `null`...)
@@ -239,6 +247,43 @@ func pushWireBatch(e *Engine, b wire.Batch) (ingest.Ack, error) {
 // null, matching the historical encoder output for an unset *float64.
 var errAck = ingest.Ack{Watermark: math.NaN()}
 
+// producerToken extracts the producer identity the per-token gateway limits
+// key on: X-CrAQR-Token, falling back to a Bearer credential. Producers
+// without either are not per-token limited (per-session limits still apply).
+func producerToken(r *http.Request) string {
+	if tok := strings.TrimSpace(r.Header.Get("X-CrAQR-Token")); tok != "" {
+		return tok
+	}
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && strings.EqualFold(auth[:7], "Bearer ") {
+		return strings.TrimSpace(auth[7:])
+	}
+	return ""
+}
+
+// admitIngest runs both admission layers for one decoded batch: the
+// gateway's per-token buckets, then the session's TenantLimits. The
+// *RateLimitError comes back verbatim so callers can render the accurate
+// Retry-After.
+func (s *HTTPServer) admitIngest(e *Engine, token string, tupleCount, byteCount int) error {
+	if err := s.gate.admit(token, tupleCount, byteCount); err != nil {
+		return err
+	}
+	return e.AdmitIngest(tupleCount, byteCount)
+}
+
+// writeRateLimited renders an admission refusal as 429 with the limiter's
+// accurate Retry-After (quota refusals, which clear only when the tenant
+// releases resources, still carry the minimum hint so clients back off).
+func (s *HTTPServer) writeRateLimited(w http.ResponseWriter, err error) {
+	secs := IngestRetryAfterSeconds
+	var rl *RateLimitError
+	if errors.As(err, &rl) {
+		secs = rl.retryAfterSeconds()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeError(w, http.StatusTooManyRequests, err)
+}
+
 // handleSessionIngest serves the push gateway (see the file comment for
 // the wire contract).
 func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +332,10 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 			s.writeError(w, wireStatus(err), fmt.Errorf("invalid ingest batch: %w", err))
 			return
 		}
+		if err := s.admitIngest(e, producerToken(r), len(batch.Tuples), len(buf)); err != nil {
+			s.writeRateLimited(w, err)
+			return
+		}
 		ack, err := pushWireBatch(e, batch)
 		if err != nil {
 			status := ingestPushStatus(err)
@@ -330,7 +379,16 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 		}
 		return true
 	}
-	apply := func(batch wire.Batch) bool {
+	// Admission is per batch on a stream; a throttled producer gets the
+	// refusal as the final error ack (the line carries the accurate
+	// retry-after hint in its message) and the stream ends — everything
+	// before it was applied.
+	token := producerToken(r)
+	apply := func(batch wire.Batch, byteCount int) bool {
+		if err := s.admitIngest(e, token, len(batch.Tuples), byteCount); err != nil {
+			writeAck(errAck, err.Error())
+			return false
+		}
 		ack, err := pushWireBatch(e, batch)
 		if err != nil {
 			writeAck(errAck, err.Error())
@@ -351,7 +409,9 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 				writeAck(errAck, fmt.Sprintf("invalid ingest batch: %v", err))
 				return
 			}
-			if !apply(batch) {
+			// The frame's exact wire size is gone by the time the batch
+			// surfaces; charge the fixed per-tuple payload cost instead.
+			if !apply(batch, len(batch.Tuples)*wire.TupleWireBytes) {
 				return
 			}
 		}
@@ -369,7 +429,7 @@ func (s *HTTPServer) handleSessionIngest(w http.ResponseWriter, r *http.Request)
 			writeAck(errAck, fmt.Sprintf("invalid ingest batch: %v", err))
 			return
 		}
-		if !apply(batch) {
+		if !apply(batch, len(line)) {
 			return
 		}
 	}

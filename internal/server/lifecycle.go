@@ -80,7 +80,12 @@ func (e *Engine) tickLoop(ctx context.Context, cfg ClockConfig) error {
 				return nil
 			default:
 			}
-			if err := e.Step(); err != nil {
+			if err := e.StepCtx(ctx); err != nil {
+				if ctx.Err() != nil {
+					// Stop cancelled a parked fair-scheduler acquisition (or
+					// the epoch raced the stop): a clean stop.
+					return nil
+				}
 				if errors.Is(err, ErrEpochOpen) {
 					if werr := e.waitSourceReady(ctx); werr != nil {
 						// Queue closed or ctx done: a clean stop, not an
@@ -104,7 +109,10 @@ func (e *Engine) tickLoop(ctx context.Context, cfg ClockConfig) error {
 		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
-			if err := e.Step(); err != nil && !errors.Is(err, ErrEpochOpen) {
+			if err := e.StepCtx(ctx); err != nil && !errors.Is(err, ErrEpochOpen) {
+				if ctx.Err() != nil {
+					return nil // Stop cancelled a parked slot acquisition
+				}
 				return err
 			}
 		}

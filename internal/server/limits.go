@@ -1,0 +1,352 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/ingest"
+)
+
+// TenantLimits is a session's admission-control envelope: token-bucket rate
+// limits on the ingest path plus hard quotas on resident state. Every field
+// is off by default — zero means unlimited — so existing sessions and
+// byte-reproducibility tests are unaffected unless an operator opts in.
+// Limits are enforcement-time only: they gate what enters the engine, never
+// how accepted data is processed, so they have no effect on replay and are
+// deliberately excluded from manifest-conflict checks (like PlannerWeights).
+type TenantLimits struct {
+	// RateTuplesPerSec caps the session's sustained ingest rate in tuples
+	// per second (burst: one second's worth).
+	RateTuplesPerSec float64 `json:"rateTuplesPerSec,omitempty"`
+	// RateBytesPerSec caps the session's sustained ingest rate in request
+	// payload bytes per second (burst: one second's worth).
+	RateBytesPerSec float64 `json:"rateBytesPerSec,omitempty"`
+	// MaxQueries caps resident queries (Submit fails with 429 once reached).
+	MaxQueries int `json:"maxQueries,omitempty"`
+	// MaxQueueBytes caps the ingest queue's resident size, accounted as
+	// pending tuples × ingest.TupleMemBytes.
+	MaxQueueBytes int64 `json:"maxQueueBytes,omitempty"`
+	// MaxWALBytes caps the session's write-ahead log size on disk; pushes
+	// are refused once the log reaches it (snapshots truncate the log and
+	// release the quota).
+	MaxWALBytes int64 `json:"maxWALBytes,omitempty"`
+}
+
+// enabled reports whether any limit is set.
+func (l TenantLimits) enabled() bool { return l != (TenantLimits{}) }
+
+// Validate rejects negative limit values (zero means unlimited, so there is
+// no meaningful negative).
+func (l TenantLimits) Validate() error {
+	if l.RateTuplesPerSec < 0 || l.RateBytesPerSec < 0 ||
+		l.MaxQueries < 0 || l.MaxQueueBytes < 0 || l.MaxWALBytes < 0 {
+		return fmt.Errorf("server: tenant limits must be non-negative: %+v", l)
+	}
+	return nil
+}
+
+// RateLimitError is the typed refusal of tenant admission control — the
+// engine-level carrier behind HTTP 429. RetryAfter is the accurate wait
+// until the same request would be admitted (zero for quota refusals, which
+// clear only when the tenant releases resources).
+type RateLimitError struct {
+	// Reason names the exhausted limit ("tuple rate", "queue bytes", …).
+	Reason string
+	// RetryAfter is how long the producer should wait before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("server: rate limited (%s): retry after %s", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("server: over quota (%s)", e.Reason)
+}
+
+// retryAfterSeconds renders the error's wait as whole Retry-After seconds
+// (minimum 1 — the header has one-second resolution and zero would invite
+// an immediate, pointless retry).
+func (e *RateLimitError) retryAfterSeconds() int {
+	secs := int(math.Ceil(e.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// ThrottleStats is a session's cumulative admission-control accounting,
+// surfaced in /status next to the ingest queue's drop counters.
+type ThrottleStats struct {
+	// Batches counts refused ingest batches (429 responses on the push path).
+	Batches uint64
+	// Tuples counts the tuples those refused batches carried.
+	Tuples uint64
+	// Queries counts refused query submissions (MaxQueries quota).
+	Queries uint64
+}
+
+// tenantLimiter enforces one session's TenantLimits. It is nil on engines
+// without limits, keeping the unlimited path allocation- and lock-free.
+type tenantLimiter struct {
+	mu     sync.Mutex
+	cfg    TenantLimits
+	tuples *ingest.TokenBucket // nil when RateTuplesPerSec is 0
+	bytes  *ingest.TokenBucket // nil when RateBytesPerSec is 0
+
+	throttledBatches uint64
+	throttledTuples  uint64
+	throttledQueries uint64
+}
+
+func newTenantLimiter(cfg TenantLimits, now func() time.Time) *tenantLimiter {
+	if !cfg.enabled() {
+		return nil
+	}
+	l := &tenantLimiter{cfg: cfg}
+	if cfg.RateTuplesPerSec > 0 {
+		l.tuples = ingest.NewTokenBucket(cfg.RateTuplesPerSec, 0, now)
+	}
+	if cfg.RateBytesPerSec > 0 {
+		l.bytes = ingest.NewTokenBucket(cfg.RateBytesPerSec, 0, now)
+	}
+	return l
+}
+
+// admitRate takes from both buckets atomically: a batch is admitted only
+// when tuple and byte budgets both cover it, and a refusal consumes
+// neither. The returned error carries the longer of the two waits.
+func (l *tenantLimiter) admitRate(tupleCount, byteCount int) *RateLimitError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var (
+		wait   time.Duration
+		reason string
+	)
+	if l.tuples != nil {
+		if w := l.tuples.Peek(float64(tupleCount)); w > wait {
+			wait, reason = w, "tuple rate"
+		}
+	}
+	if l.bytes != nil {
+		if w := l.bytes.Peek(float64(byteCount)); w > wait {
+			wait, reason = w, "byte rate"
+		}
+	}
+	if wait > 0 {
+		l.throttledBatches++
+		l.throttledTuples += uint64(tupleCount)
+		return &RateLimitError{Reason: reason, RetryAfter: wait}
+	}
+	if l.tuples != nil {
+		l.tuples.Take(float64(tupleCount))
+	}
+	if l.bytes != nil {
+		l.bytes.Take(float64(byteCount))
+	}
+	return nil
+}
+
+// noteQuota records a quota refusal on the ingest path.
+func (l *tenantLimiter) noteQuota(tupleCount int) {
+	l.mu.Lock()
+	l.throttledBatches++
+	l.throttledTuples += uint64(tupleCount)
+	l.mu.Unlock()
+}
+
+// noteQuery records a refused query submission.
+func (l *tenantLimiter) noteQuery() {
+	l.mu.Lock()
+	l.throttledQueries++
+	l.mu.Unlock()
+}
+
+func (l *tenantLimiter) stats() ThrottleStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ThrottleStats{Batches: l.throttledBatches, Tuples: l.throttledTuples, Queries: l.throttledQueries}
+}
+
+// AdmitIngest runs the session's ingest admission control for a batch of
+// tupleCount tuples carried in byteCount request bytes: hard quotas first
+// (queue bytes, WAL bytes — refusing them costs no rate tokens), then the
+// token buckets. A nil return admits the batch; a *RateLimitError refusal
+// maps to HTTP 429 with Retry-After at the gateway. Engines without limits
+// return nil immediately.
+//
+// Admission runs at the gateway boundary only — internal callers
+// (PushObservations, WAL replay) bypass it, so recovery re-derives exactly
+// the accepted history regardless of what limits were configured when.
+func (e *Engine) AdmitIngest(tupleCount, byteCount int) error {
+	l := e.limiter
+	if l == nil {
+		return nil
+	}
+	if max := l.cfg.MaxQueueBytes; max > 0 {
+		pending := int64(e.IngestStats().Pending)
+		if (pending+int64(tupleCount))*ingest.TupleMemBytes > max {
+			l.noteQuota(tupleCount)
+			return &RateLimitError{Reason: "queue bytes"}
+		}
+	}
+	if max := l.cfg.MaxWALBytes; max > 0 && e.dur != nil {
+		if e.Durability().WALBytes >= max {
+			l.noteQuota(tupleCount)
+			return &RateLimitError{Reason: "wal bytes"}
+		}
+	}
+	if err := l.admitRate(tupleCount, byteCount); err != nil {
+		return err
+	}
+	return nil
+}
+
+// admitQuery enforces the resident-query quota on Submit.
+func (e *Engine) admitQuery() error {
+	l := e.limiter
+	if l == nil || l.cfg.MaxQueries <= 0 {
+		return nil
+	}
+	e.mu.Lock()
+	resident := len(e.results)
+	e.mu.Unlock()
+	if resident >= l.cfg.MaxQueries {
+		l.noteQuery()
+		return &RateLimitError{Reason: fmt.Sprintf("resident queries (max %d)", l.cfg.MaxQueries)}
+	}
+	return nil
+}
+
+// Limits returns the session's configured tenant limits (zero when none).
+func (e *Engine) Limits() TenantLimits {
+	if e.limiter == nil {
+		return TenantLimits{}
+	}
+	return e.limiter.cfg
+}
+
+// ThrottleCounters snapshots the session's admission-control refusals.
+func (e *Engine) ThrottleCounters() ThrottleStats {
+	if e.limiter == nil {
+		return ThrottleStats{}
+	}
+	return e.limiter.stats()
+}
+
+// GatewayLimits is the HTTP server's cross-session admission envelope:
+// token-bucket rates applied per producer token (the X-CrAQR-Token header,
+// or a Bearer credential), so one producer identity is bounded even when it
+// spreads load across many sessions. Zero fields mean unlimited.
+type GatewayLimits struct {
+	// RateTuplesPerSec caps each token's sustained tuple rate.
+	RateTuplesPerSec float64
+	// RateBytesPerSec caps each token's sustained payload-byte rate.
+	RateBytesPerSec float64
+	// MaxTokens bounds distinct tracked tokens (0 = 4096); beyond it the
+	// least-recently-seen token's buckets are recycled.
+	MaxTokens int
+}
+
+func (g GatewayLimits) enabled() bool {
+	return g.RateTuplesPerSec > 0 || g.RateBytesPerSec > 0
+}
+
+// defaultMaxTokens bounds the gateway's token-bucket table.
+const defaultMaxTokens = 4096
+
+type tokenEntry struct {
+	tuples   *ingest.TokenBucket
+	bytes    *ingest.TokenBucket
+	lastSeen time.Time
+}
+
+// gatewayLimiter applies GatewayLimits. Unknown producers (no token header)
+// are not per-token limited — per-session limits still apply to them.
+type gatewayLimiter struct {
+	mu        sync.Mutex
+	cfg       GatewayLimits
+	now       func() time.Time
+	perToken  map[string]*tokenEntry
+	throttled uint64
+}
+
+func newGatewayLimiter(cfg GatewayLimits, now func() time.Time) *gatewayLimiter {
+	if !cfg.enabled() {
+		return nil
+	}
+	if cfg.MaxTokens <= 0 {
+		cfg.MaxTokens = defaultMaxTokens
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &gatewayLimiter{cfg: cfg, now: now, perToken: make(map[string]*tokenEntry)}
+}
+
+// admit checks one producer token's buckets; empty tokens pass.
+func (g *gatewayLimiter) admit(token string, tupleCount, byteCount int) *RateLimitError {
+	if g == nil || token == "" {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ent := g.perToken[token]
+	if ent == nil {
+		if len(g.perToken) >= g.cfg.MaxTokens {
+			g.evictOldestLocked()
+		}
+		ent = &tokenEntry{}
+		if g.cfg.RateTuplesPerSec > 0 {
+			ent.tuples = ingest.NewTokenBucket(g.cfg.RateTuplesPerSec, 0, g.now)
+		}
+		if g.cfg.RateBytesPerSec > 0 {
+			ent.bytes = ingest.NewTokenBucket(g.cfg.RateBytesPerSec, 0, g.now)
+		}
+		g.perToken[token] = ent
+	}
+	ent.lastSeen = g.now()
+	var (
+		wait   time.Duration
+		reason string
+	)
+	if ent.tuples != nil {
+		if w := ent.tuples.Peek(float64(tupleCount)); w > wait {
+			wait, reason = w, "token tuple rate"
+		}
+	}
+	if ent.bytes != nil {
+		if w := ent.bytes.Peek(float64(byteCount)); w > wait {
+			wait, reason = w, "token byte rate"
+		}
+	}
+	if wait > 0 {
+		g.throttled++
+		return &RateLimitError{Reason: reason, RetryAfter: wait}
+	}
+	if ent.tuples != nil {
+		ent.tuples.Take(float64(tupleCount))
+	}
+	if ent.bytes != nil {
+		ent.bytes.Take(float64(byteCount))
+	}
+	return nil
+}
+
+// evictOldestLocked recycles the least-recently-seen token's entry.
+func (g *gatewayLimiter) evictOldestLocked() {
+	var (
+		oldest string
+		at     time.Time
+		first  = true
+	)
+	for tok, ent := range g.perToken {
+		if first || ent.lastSeen.Before(at) {
+			oldest, at, first = tok, ent.lastSeen, false
+		}
+	}
+	if oldest != "" {
+		delete(g.perToken, oldest)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -81,6 +82,15 @@ type SessionSpec struct {
 	// "always" or "never" (see wal.ParsePolicy); empty inherits the
 	// template's policy.
 	FsyncPolicy string `json:"fsyncPolicy,omitempty"`
+	// Weight is the session's fair-scheduling weight: under epoch-slot
+	// contention it receives bandwidth proportional to Weight (≤ 0 = 1).
+	// Scheduling-only — it never changes what any epoch contains.
+	Weight float64 `json:"weight,omitempty"`
+	// Limits is the session's admission-control envelope (rate limits and
+	// quotas); nil or zero fields mean unlimited. Enforcement-time only:
+	// like PlannerWeights it does not affect replay, so it is excluded from
+	// manifest-conflict checks.
+	Limits *TenantLimits `json:"limits,omitempty"`
 }
 
 // Session is one named engine hosted by a Manager.
@@ -209,6 +219,9 @@ func ConfigForSpec(template Config, spec SessionSpec) (Config, error) {
 	}
 	if spec.IngestTolerance > 0 {
 		cfg.Source.Tolerance = spec.IngestTolerance
+	}
+	if spec.Limits != nil {
+		cfg.Limits = *spec.Limits
 	}
 	if spec.LatePolicy != "" {
 		late, err := ingest.ParseLatePolicy(spec.LatePolicy)
@@ -359,17 +372,35 @@ type ManagerConfig struct {
 	// root/sessions/*/session.json and re-creates every session found —
 	// each engine then replays its own WAL inside the factory.
 	DurabilityDir string
+	// EpochSlots caps concurrently executing epochs across all sessions
+	// (0 = DefaultEpochSlots); under contention the fair scheduler grants
+	// slots in weighted virtual-time order. See DESIGN.md, "Overload
+	// protection and fairness".
+	EpochSlots int
 }
 
 // DefaultMaxSessions bounds a manager whose config leaves MaxSessions zero.
 const DefaultMaxSessions = 64
 
+// DefaultEpochSlots is the concurrent-epoch cap when ManagerConfig leaves
+// EpochSlots zero: half the scheduler's CPUs (each epoch already fans out
+// over the fabricator's worker pool, so running every session's epoch at
+// once oversubscribes cores and lets a flooded session degrade everyone).
+func DefaultEpochSlots() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Manager hosts many named engine sessions behind one process — the
 // multi-tenant counterpart of a single Engine. All methods are safe for
 // concurrent use.
 type Manager struct {
-	cfg ManagerConfig
-	now func() time.Time // injectable for GC tests
+	cfg   ManagerConfig
+	now   func() time.Time // injectable for GC tests
+	sched *FairScheduler   // weighted-fair epoch dispatch across sessions
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -385,7 +416,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
-	return &Manager{cfg: cfg, now: time.Now, sessions: make(map[string]*Session)}, nil
+	if cfg.EpochSlots <= 0 {
+		cfg.EpochSlots = DefaultEpochSlots()
+	}
+	return &Manager{
+		cfg:      cfg,
+		now:      time.Now,
+		sched:    NewFairScheduler(cfg.EpochSlots),
+		sessions: make(map[string]*Session),
+	}, nil
 }
 
 // ErrSessionExists is returned when creating a session under a taken name.
@@ -436,6 +475,9 @@ func (m *Manager) Create(spec SessionSpec) (*Session, error) {
 		m.mu.Unlock()
 		return nil, err
 	}
+	// Every session steps through the fair scheduler; the gate attaches
+	// before the clock starts so the first epoch is already arbitrated.
+	engine.SetEpochGate(m.sched.Session(spec.Name, spec.Weight))
 	now := m.now()
 	sess := &Session{Name: spec.Name, Engine: engine, Spec: spec, Created: now, lastAccess: now}
 	if spec.Clock.Interval > 0 || spec.Clock.Simulated {
@@ -540,6 +582,7 @@ func (m *Manager) Adopt(name string, e *Engine) (*Session, error) {
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, m.cfg.MaxSessions)
 	}
+	e.SetEpochGate(m.sched.Session(name, 1))
 	now := m.now()
 	sess := &Session{Name: name, Engine: e, Spec: SessionSpec{Name: name, Pinned: true}, Created: now, lastAccess: now}
 	m.sessions[name] = sess
@@ -658,6 +701,10 @@ func (m *Manager) touchInterval() time.Duration {
 
 // Close stops every session and refuses further use.
 func (m *Manager) Close() error {
+	// Retire the fairness gate first: every parked epoch is granted and
+	// future acquisitions pass through, so draining clocks can never wedge
+	// behind the scheduler during shutdown.
+	m.sched.Close()
 	m.mu.Lock()
 	m.closed = true
 	sessions := make([]*Session, 0, len(m.sessions))

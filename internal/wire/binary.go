@@ -53,6 +53,11 @@ const frameHeaderLen = 12
 // tupleWireBytes is the fixed per-tuple cost of the columnar payload tail.
 const tupleWireBytes = 8 + 2 + 8 + 8 + 8 + 8 + 8
 
+// TupleWireBytes is tupleWireBytes exported: the byte-accounting unit for
+// admission control over streamed frames, whose exact wire size the frame
+// reader has already consumed by the time a batch surfaces.
+const TupleWireBytes = tupleWireBytes
+
 // ContentTypeBinary is the negotiated Content-Type for binary frames.
 const ContentTypeBinary = "application/x-craqr-batch"
 

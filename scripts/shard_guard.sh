@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# shard_guard.sh — fail CI when sharded epoch execution stops scaling.
+#
+# Runs BenchmarkSharded (the 256-cell / 64-query wide topology) at
+# workers=1 and workers=4 and demands a real speedup from the worker pool
+# on multi-core machines: flat ns/op at 4 workers means the shard executor
+# has collapsed to serial (a lost parallelism regression that ordinary
+# correctness tests cannot see). Skips cleanly on machines with fewer than
+# 4 CPUs, where the comparison would measure oversubscription instead.
+#
+#   scripts/shard_guard.sh                   # require ≥ SHARD_MIN_SPEEDUP (default 1.3×)
+#   SHARD_MIN_SPEEDUP=2.0 scripts/shard_guard.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cpus=$(go env GOMAXPROCS 2>/dev/null || echo 1)
+if command -v nproc >/dev/null 2>&1; then
+    cpus=$(nproc)
+fi
+if [ "$cpus" -lt 4 ]; then
+    echo "shard_guard: only ${cpus} CPUs; need ≥4 for a meaningful speedup check — skipping"
+    exit 0
+fi
+
+min="${SHARD_MIN_SPEEDUP:-1.3}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSharded/workers=(1|4)$' -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-3}" . | tee "$raw"
+
+# Best (minimum) ns/op per worker count across the repetitions: the guard
+# compares capability, not noise.
+awk -v min="$min" '
+    /^BenchmarkSharded\/workers=1/ { if (!(1 in best) || $3 < best[1]) best[1] = $3 }
+    /^BenchmarkSharded\/workers=4/ { if (!(4 in best) || $3 < best[4]) best[4] = $3 }
+    END {
+        if (!(1 in best) || !(4 in best)) {
+            print "shard_guard: missing benchmark results" > "/dev/stderr"
+            exit 1
+        }
+        speedup = best[1] / best[4]
+        printf "shard_guard: workers=1 %.0f ns/op, workers=4 %.0f ns/op, speedup %.2fx (floor %.2fx)\n", best[1], best[4], speedup, min
+        if (speedup < min) {
+            printf "shard_guard: FLAT SPEEDUP — sharded execution is not scaling on %d-core hardware\n", 4 > "/dev/stderr"
+            exit 1
+        }
+    }' "$raw"
+echo "shard_guard: ok"

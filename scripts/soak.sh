@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# soak.sh — hostile mixed-workload soak under the race detector.
+#
+# Runs TestScenarioSoakHostileMix (internal/scenarios) for SOAK_DURATION of
+# wall time: a well-behaved durable tenant, a rate-limited flooder pushing
+# flat out, a garbage-frame attacker and a status poller, all concurrently
+# against one manager. The test itself asserts the resource invariants —
+# peak RSS stays under SOAK_RSS_MB MiB and every goroutine the run created
+# is released after shutdown — so this script only picks the duration and
+# turns the race detector on.
+#
+#   scripts/soak.sh                       # 60s soak (CI default)
+#   SOAK_DURATION=5s scripts/soak.sh      # quick local run
+#   SOAK_RSS_MB=1024 scripts/soak.sh      # tighter memory ceiling
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+duration="${SOAK_DURATION:-60s}"
+rss_mb="${SOAK_RSS_MB:-2048}"
+
+echo "soak: ${duration} hostile mixed workload, -race, RSS ceiling ${rss_mb} MiB"
+CRAQR_SOAK="$duration" CRAQR_SOAK_RSS_MB="$rss_mb" \
+    go test -race -run TestScenarioSoakHostileMix -v -timeout 20m ./internal/scenarios/
+echo "soak: ok"
