@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/budget"
@@ -486,30 +487,95 @@ func BenchmarkSGD(b *testing.B) {
 	}
 }
 
-// --- E10: query churn -----------------------------------------------------------
+// --- E10: query churn at scale ----------------------------------------------
 
-func BenchmarkQueryChurn(b *testing.B) {
+// churnPool returns a fixed pool of distinct query shapes (cell-aligned
+// regions × a few rates) that the churn benchmark cycles through, so a
+// sharing fabricator converges on at most len(pool) subplans however many
+// queries are resident.
+func churnPool() []query.Query {
+	rates := []float64{2, 5, 11, 23}
+	var pool []query.Query
+	for q0 := 0; q0 < 3; q0++ {
+		for r0 := 0; r0 < 3; r0++ {
+			x0, y0 := float64(q0)*2, float64(r0)*2
+			for i, rate := range rates {
+				w := float64(2 + 2*(i%2)) // 2- and 4-unit wide regions
+				pool = append(pool, query.Query{Attr: "rain", Region: geom.NewRect(x0, y0, x0+w, y0+2), Rate: rate})
+			}
+		}
+	}
+	return pool
+}
+
+// benchQueryChurn holds `resident` queries from churnPool live, then each
+// iteration performs one steady-state churn step: delete the oldest
+// resident, submit a replacement, run one full epoch. With sharing the
+// topology holds one subplan per distinct pool entry regardless of the
+// resident count — epoch cost and memory track the pool size, not the
+// query count (the sublinearity claim; TestSharedChurnSublinear proves it
+// exactly via operator counts) — while the no-sharing control fabricates
+// per query and scales linearly.
+func benchQueryChurn(b *testing.B, resident int, share bool) {
 	grid, err := geom.NewGrid(geom.NewRect(0, 0, 8, 8), 16)
 	if err != nil {
 		b.Fatal(err)
 	}
-	fab, err := topology.New(grid, topology.Config{}, stats.NewRNG(1))
+	fab, err := topology.New(grid, topology.Config{DisableSharing: !share}, stats.NewRNG(1))
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := stats.NewRNG(2)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		x0 := float64(rng.Intn(3) * 2)
-		y0 := float64(rng.Intn(3) * 2)
-		region := geom.NewRect(x0, y0, x0+2+float64(rng.Intn(2)*2), y0+2)
-		stored, err := fab.InsertQuery(query.Query{Attr: "rain", Region: region, Rate: 1 + rng.Float64()*50}, stream.NewCollector())
+	pool := churnPool()
+	ids := make([]string, 0, resident)
+	submit := func(i int) {
+		stored, err := fab.InsertQuery(pool[i%len(pool)], stream.NewResultStore(64))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := fab.DeleteQuery(stored.ID); err != nil {
+		ids = append(ids, stored.ID)
+	}
+	for i := 0; i < resident; i++ {
+		submit(i)
+	}
+	batch := benchBatch(4096, 3)
+	batch.Attr = "rain"
+	batch.Window.Rect = grid.Region()
+	fr := fracs(batch)
+	// Resident memory per query: everything reachable after setup divided
+	// by the query count (sinks included, so the floor is one 64-tuple
+	// store per query; the sharing win is on top of that floor).
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapPerQuery := float64(ms.HeapAlloc) / float64(resident)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fab.DeleteQuery(ids[0]); err != nil {
 			b.Fatal(err)
+		}
+		ids = ids[1:]
+		submit(resident + i)
+		retime(&batch, fr, float64(i))
+		if err := fab.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Reported after the loop: ResetTimer clears extra metrics.
+	b.ReportMetric(heapPerQuery, "heapB/query")
+}
+
+// BenchmarkQueryChurn measures sustained submit/delete churn with an epoch
+// per step at 1k and 10k resident queries. Sublinear epoch cost shows as
+// shared ns/op staying flat from resident=1000 to resident=10000 while the
+// no-sharing control grows with the query count. Wired into scripts/bench.sh
+// (default -bench '.') and guarded by scripts/bench_guard.sh.
+func BenchmarkQueryChurn(b *testing.B) {
+	for _, resident := range []int{1000, 10000} {
+		for _, mode := range []string{"shared", "unshared"} {
+			b.Run(fmt.Sprintf("resident=%d/%s", resident, mode), func(b *testing.B) {
+				benchQueryChurn(b, resident, mode == "shared")
+			})
 		}
 	}
 }

@@ -244,6 +244,23 @@ type Explanation struct {
 	Query     query.Query
 	Estimates []CostEstimate // CompareModes order: flat, chain, tree
 	Choice    CostEstimate   // the ChooseMergeMode winner
+	// Shared, when non-nil, reports the live shared subplan the query's
+	// normal form resolves to in a running session: the topology was
+	// fabricated once and Refs queries ride it. The stateless planner never
+	// sets it — the engine annotates explanations against its fabricator
+	// (offline surfaces like craqr-plan have no live topology to report).
+	Shared *SharedPlan
+}
+
+// SharedPlan annotates an explanation with the live shared-subplan group
+// serving the query's normal form.
+type SharedPlan struct {
+	// Mode is the merge topology the shared subplan was fabricated with —
+	// what the query actually executes on, which may predate (and therefore
+	// differ from) this explanation's fresh Choice.
+	Mode topology.MergeMode
+	// Refs is the number of resident queries attached to the subplan.
+	Refs int
 }
 
 // Explain prices q under every merge mode and picks the winner — the
@@ -262,9 +279,11 @@ func Explain(grid *geom.Grid, q query.Query, epochLength float64, w Weights) (Ex
 }
 
 // Table renders the explanation as text, one CostEstimate.String line per
-// mode followed by the choice. Every EXPLAIN surface (CrAQL, HTTP,
-// craqr-plan) prints this exact rendering, so the output is byte-identical
-// to formatting CompareModes directly.
+// mode followed by the choice — and, when the engine annotated a live
+// shared subplan, one trailing "shared:" line. Every EXPLAIN surface
+// (CrAQL, HTTP, craqr-plan) prints this exact rendering, so the output is
+// byte-identical to formatting CompareModes directly whenever Shared is
+// unset.
 func (ex Explanation) Table() string {
 	var b strings.Builder
 	for _, est := range ex.Estimates {
@@ -272,5 +291,8 @@ func (ex Explanation) Table() string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "choice: %v (cost %.1f)\n", ex.Choice.Mode, ex.Choice.Total)
+	if ex.Shared != nil {
+		fmt.Fprintf(&b, "shared: refs=%d mode=%v (subplan fabricated once, fanned out per query)\n", ex.Shared.Refs, ex.Shared.Mode)
+	}
 	return b.String()
 }

@@ -216,6 +216,15 @@ type Engine struct {
 	attrScratch []string
 	// plans retains the planner's chosen estimate per live query.
 	plans map[string]planner.CostEstimate
+	// planCache memoizes planFor results by canonical CrAQL key
+	// (craql.CanonicalKey), each entry validated against the fabricator's
+	// per-attribute structural version — the incremental-replanning hook:
+	// only churn that actually changed an attribute's shared prefixes
+	// forces a re-cost; identical queries (the sharing-heavy workload) hit
+	// the cache. Guarded by mu, as are the hit/miss counters.
+	planCache  map[string]planCacheEntry
+	planHits   uint64
+	planMisses uint64
 	// nvSum/nvN accumulate every (cell, epoch) normalized-violation sample —
 	// MeanViolation is the adaptivity acceptance metric.
 	nvSum float64
@@ -344,6 +353,7 @@ func New(cfg Config, fields map[string]sensors.Field) (*Engine, error) {
 		limiter:     newTenantLimiter(cfg.Limits, nil),
 		results:     make(map[string]*stream.ResultStore),
 		plans:       make(map[string]planner.CostEstimate),
+		planCache:   make(map[string]planCacheEntry),
 	}
 	if dur != nil {
 		// Recover: replay whatever the durability directory already holds
@@ -454,19 +464,71 @@ func (e *Engine) Submit(q query.Query) (query.Query, error) {
 	return stored, nil
 }
 
+// planCacheEntry is one memoized planFor result, pinned to the structural
+// version of its attribute's topology at costing time.
+type planCacheEntry struct {
+	est     planner.CostEstimate
+	version uint64
+}
+
+// planCacheMax bounds the plan cache; at the cap an arbitrary entry is
+// evicted (the cache is a memo, not state — eviction only costs a
+// re-price). 16k entries ≈ the 10k-resident-query design point with room
+// for churn.
+const planCacheMax = 16384
+
 // planFor prices q and returns the winning estimate; false disables
 // planning for this query (planner off, or the query is un-priceable — the
-// fabricator then owns rejecting it with its own error).
+// fabricator then owns rejecting it with its own error). Results are
+// memoized by canonical CrAQL key: a cached estimate is reused as long as
+// the attribute's topology kept its structural version (no subplan
+// fabricated or torn down since), so steady-state churn over a recurring
+// query population prices each normal form once per structural change
+// instead of once per submit.
 func (e *Engine) planFor(q query.Query) (planner.CostEstimate, bool) {
 	if e.cfg.Planner.Disable {
 		return planner.CostEstimate{}, false
 	}
+	key := craql.CanonicalKey(q)
+	ver := e.fab.AttrVersion(q.Attr)
+	e.mu.Lock()
+	if ent, ok := e.planCache[key]; ok && ent.version == ver {
+		e.planHits++
+		e.mu.Unlock()
+		return ent.est, true
+	}
+	e.planMisses++
+	e.mu.Unlock()
 	est, err := planner.ChooseMergeMode(e.grid, q, e.cfg.Epoch, e.planWeights)
 	if err != nil {
 		return planner.CostEstimate{}, false
 	}
+	e.mu.Lock()
+	if len(e.planCache) >= planCacheMax {
+		for k := range e.planCache {
+			delete(e.planCache, k)
+			break
+		}
+	}
+	e.planCache[key] = planCacheEntry{est: est, version: ver}
+	e.mu.Unlock()
 	return est, true
 }
+
+// PlanCacheStats returns the plan cache's lifetime hit and miss counts —
+// the /status planCacheHits/planCacheMisses counters.
+func (e *Engine) PlanCacheStats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.planHits, e.planMisses
+}
+
+// SharingEnabled reports whether the session deduplicates subplans across
+// queries; exposed in /status for A/B runs, like FusedEnabled.
+func (e *Engine) SharingEnabled() bool { return e.fab.SharingEnabled() }
+
+// SharedStats snapshots the fabricator's subplan-sharing accounting.
+func (e *Engine) SharedStats() topology.SharedStats { return e.fab.SharedStats() }
 
 // Plan returns the planner's chosen cost estimate for a live query; false
 // when the query is unknown or was submitted without planning.
@@ -487,8 +549,12 @@ func (e *Engine) PlannerWeights() planner.Weights { return e.planWeights }
 // Explain parses a CrAQL statement — the EXPLAIN form or a plain query —
 // and prices it against the engine's grid, epoch length and planner
 // weights without submitting anything. Explanation.Table is the canonical
-// text rendering, byte-identical to planner.CompareModes output. Explain
-// works even when planning is disabled (it is a what-if, not an action).
+// text rendering, byte-identical to planner.CompareModes output — plus,
+// when the query's normal form is already served by a shared subplan with
+// two or more attached queries, a trailing "shared:" line reporting the
+// live topology (the mode actually executing and the refcount), not a
+// stale submit-time estimate. Explain works even when planning is
+// disabled (it is a what-if, not an action).
 func (e *Engine) Explain(src string) (planner.Explanation, error) {
 	st, err := craql.ParseStatement(src)
 	if err != nil {
@@ -497,9 +563,18 @@ func (e *Engine) Explain(src string) (planner.Explanation, error) {
 	return e.ExplainQuery(st.Query)
 }
 
-// ExplainQuery prices an already-parsed query (see Explain).
+// ExplainQuery prices an already-parsed query (see Explain) and annotates
+// the explanation with the live shared subplan serving its normal form,
+// when one exists with ≥ 2 members.
 func (e *Engine) ExplainQuery(q query.Query) (planner.Explanation, error) {
-	return planner.Explain(e.grid, q, e.cfg.Epoch, e.planWeights)
+	ex, err := planner.Explain(e.grid, q, e.cfg.Epoch, e.planWeights)
+	if err != nil {
+		return planner.Explanation{}, err
+	}
+	if g, ok := e.fab.SharedGroup(craql.CanonicalKey(q)); ok && g.Refs >= 2 {
+		ex.Shared = &planner.SharedPlan{Mode: g.Mode, Refs: g.Refs}
+	}
+	return ex, nil
 }
 
 // SubmitCRAQL parses a CrAQL statement and submits it.

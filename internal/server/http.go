@@ -265,6 +265,16 @@ type explainJSON struct {
 	Modes   []costEstimateJSON `json:"modes"`
 	Chosen  costEstimateJSON   `json:"chosen"`
 	Explain string             `json:"explain"`
+	// Shared reports the live shared subplan serving the query's normal
+	// form (≥ 2 attached queries); absent otherwise. Mirrors the table's
+	// trailing "shared:" line.
+	Shared *sharedPlanJSON `json:"shared,omitempty"`
+}
+
+// sharedPlanJSON is the wire form of planner.SharedPlan.
+type sharedPlanJSON struct {
+	Refs int    `json:"refs"`
+	Mode string `json:"mode"`
 }
 
 func toExplainJSON(ex planner.Explanation) explainJSON {
@@ -272,12 +282,16 @@ func toExplainJSON(ex planner.Explanation) explainJSON {
 	for _, est := range ex.Estimates {
 		modes = append(modes, toCostEstimateJSON(est))
 	}
-	return explainJSON{
+	out := explainJSON{
 		Query:   toQueryJSON(ex.Query),
 		Modes:   modes,
 		Chosen:  toCostEstimateJSON(ex.Choice),
 		Explain: ex.Table(),
 	}
+	if ex.Shared != nil {
+		out.Shared = &sharedPlanJSON{Refs: ex.Shared.Refs, Mode: ex.Shared.Mode.String()}
+	}
+	return out
 }
 
 // sessionJSON is the wire form of a session. The ingest counters are
@@ -299,6 +313,7 @@ type sessionJSON struct {
 	Queries       int      `json:"queries"`
 	Fused         bool     `json:"fused"`
 	Planner       bool     `json:"planner"`
+	Sharing       bool     `json:"sharing"`
 	Adaptive      bool     `json:"adaptive"`
 	Source        string   `json:"source"`
 	Ingested      uint64   `json:"ingested"`
@@ -338,6 +353,7 @@ func toSessionJSON(sess *Session) sessionJSON {
 		Queries:       len(sess.Engine.Queries()),
 		Fused:         sess.Engine.FusedEnabled(),
 		Planner:       sess.Engine.PlannerEnabled(),
+		Sharing:       sess.Engine.SharingEnabled(),
 		Adaptive:      sess.Engine.AdaptiveEnabled(),
 		Source:        sess.Engine.SourceMode().String(),
 		Ingested:      ist.Ingested,
@@ -396,6 +412,7 @@ type sessionSpecJSON struct {
 	// rate-retune feedback loop on and disableAdaptive forces it off (the
 	// static control next to a `craqrd -budget` template).
 	DisablePlanner  bool                `json:"disablePlanner"`
+	DisableSharing  bool                `json:"disableSharing"` // A/B: per-query fabrication, no subplan dedup
 	PlannerWeights  *plannerWeightsJSON `json:"plannerWeights"`
 	AdaptiveRates   bool                `json:"adaptiveRates"`
 	DisableAdaptive bool                `json:"disableAdaptive"`
@@ -443,6 +460,7 @@ func (s *HTTPServer) handleSessionCreate(w http.ResponseWriter, r *http.Request)
 		Pinned:            body.Pinned,
 		DisableFused:      body.DisableFused,
 		DisablePlanner:    body.DisablePlanner,
+		DisableSharing:    body.DisableSharing,
 		AdaptiveRates:     body.AdaptiveRates,
 		DisableAdaptive:   body.DisableAdaptive,
 		Source:            body.Source,
@@ -1036,6 +1054,12 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		}
 	}
 	ts := e.ThrottleCounters()
+	// Multi-query sharing (see docs/API.md, "Status"): sharedPrefixes is
+	// the number of subplans serving ≥ 2 queries, subplans the distinct
+	// fabricated subplans, and planCacheHits/Misses the plan cache's
+	// lifetime counters.
+	shared := e.SharedStats()
+	planHits, planMisses := e.PlanCacheStats()
 	var limits interface{}
 	if lim := e.Limits(); lim.enabled() {
 		limits = lim
@@ -1069,6 +1093,13 @@ func (s *HTTPServer) status(w http.ResponseWriter, sess *Session) {
 		"workers":          e.Workers(),
 		"fused":            e.FusedEnabled(),
 		"planner":          e.PlannerEnabled(),
+		"sharing":          e.SharingEnabled(),
+		"sharedPrefixes":   shared.SharedSubplans,
+		"sharedQueries":    shared.SharedQueries,
+		"sharedAttaches":   shared.Attaches,
+		"subplans":         shared.Subplans,
+		"planCacheHits":    planHits,
+		"planCacheMisses":  planMisses,
 		"plans":            plans,
 		"adaptive":         e.AdaptiveEnabled(),
 		"adaptiveSlots":    slots,

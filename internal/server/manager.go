@@ -48,6 +48,12 @@ type SessionSpec struct {
 	// mode instead of the cost-based per-query choice — the A/B lever for
 	// planning, mirroring DisableFused.
 	DisablePlanner bool `json:"disablePlanner,omitempty"`
+	// DisableSharing fabricates every query independently instead of
+	// deduplicating identical subplans across resident queries — the A/B
+	// lever for multi-query sharing, and the differential harness's
+	// control arm. Sharing and no-sharing sessions with equal seeds
+	// fabricate byte-identical per-query streams.
+	DisableSharing bool `json:"disableSharing,omitempty"`
 	// PlannerWeights overrides the cost-model weights for this session's
 	// planner (nil = the template's weights, or planner.DefaultWeights).
 	PlannerWeights *planner.Weights `json:"plannerWeights,omitempty"`
@@ -197,6 +203,9 @@ func ConfigForSpec(template Config, spec SessionSpec) (Config, error) {
 	}
 	if spec.DisablePlanner {
 		cfg.Planner.Disable = true
+	}
+	if spec.DisableSharing {
+		cfg.Fabricator.DisableSharing = true
 	}
 	if spec.PlannerWeights != nil {
 		cfg.Planner.Weights = *spec.PlannerWeights
@@ -349,6 +358,8 @@ func manifestConflict(a, b SessionSpec) string {
 		return "disableFused differs"
 	case a.DisablePlanner != b.DisablePlanner:
 		return "disablePlanner differs"
+	case a.DisableSharing != b.DisableSharing:
+		return "disableSharing differs"
 	case a.AdaptiveRates != b.AdaptiveRates:
 		return "adaptiveRates differs"
 	case a.DisableAdaptive != b.DisableAdaptive:

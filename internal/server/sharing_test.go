@@ -1,0 +1,339 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// sharingPool is the shared query population for the differential harness:
+// few enough distinct shapes that random sampling collides constantly (the
+// whole point of dedup), spanning both attributes, whole-cell and
+// grid-wide regions, and a spread of rates.
+func sharingPool() []query.Query {
+	return []query.Query{
+		{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 6},
+		{Attr: "rain", Region: geom.NewRect(2, 2, 6, 6), Rate: 3},
+		{Attr: "rain", Region: geom.NewRect(0, 0, 2, 2), Rate: 9},
+		{Attr: "rain", Region: geom.NewRect(0, 0, 8, 8), Rate: 1},
+		{Attr: "temp", Region: geom.NewRect(4, 4, 8, 8), Rate: 4},
+		{Attr: "temp", Region: geom.NewRect(0, 4, 4, 8), Rate: 2},
+	}
+}
+
+// runSharingArm replays one deterministic churn script — random submits
+// from the pool, random deletes, epoch steps, with adaptive retunes live —
+// against a fresh engine, and returns the final per-query delivered tuples.
+// Everything that varies is derived from (seed, workers), so the shared
+// and control arms see op-for-op identical scripts: registry IDs are
+// assigned in submission order, hence "delete the i-th live query" names
+// the same query in both arms.
+func runSharingArm(t *testing.T, seed int64, workers int, disableSharing bool) (map[string][]stream.Tuple, *Engine) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Retention = 128
+	cfg.AdaptiveRates = true
+	cfg.Fabricator.Workers = workers
+	cfg.Fabricator.DisableSharing = disableSharing
+	e, err := New(cfg, testFields(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sharingPool()
+	rnd := rand.New(rand.NewSource(seed))
+	var live []string
+	for op := 0; op < 120; op++ {
+		switch p := rnd.Float64(); {
+		case p < 0.5:
+			stored, err := e.Submit(pool[rnd.Intn(len(pool))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, stored.ID)
+		case p < 0.7 && len(live) > 0:
+			i := rnd.Intn(len(live))
+			if err := e.Delete(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default:
+			if err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A settling run so every surviving query has seen full epochs after
+	// the last churn op.
+	if err := e.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fabricator().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]stream.Tuple, len(live))
+	for _, id := range live {
+		tuples, err := e.Results(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = tuples
+	}
+	return out, e
+}
+
+// TestSharedDifferentialRandomized is the differential harness: for several
+// seeds and worker counts, the same randomized submit/delete/step script
+// runs against a sharing engine and a DisableSharing control, and every
+// resident query's delivered tuple stream must be byte-identical between
+// the two — sharing is an optimization, never a behavior change, including
+// under adaptive retunes and parallel epoch execution.
+func TestSharedDifferentialRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		for _, workers := range []int{1, 3} {
+			shared, se := runSharingArm(t, seed, workers, false)
+			control, ce := runSharingArm(t, seed, workers, true)
+			if !se.SharingEnabled() || ce.SharingEnabled() {
+				t.Fatal("arm configuration mixed up")
+			}
+			// The script's collisions must actually have exercised dedup.
+			if st := se.SharedStats(); st.Attaches == 0 {
+				t.Fatalf("seed=%d workers=%d: sharing arm never deduplicated (%+v)", seed, workers, st)
+			}
+			if st := ce.SharedStats(); st.Attaches != 0 {
+				t.Fatalf("seed=%d workers=%d: control arm deduplicated (%+v)", seed, workers, st)
+			}
+			if len(shared) != len(control) {
+				t.Fatalf("seed=%d workers=%d: %d live queries shared vs %d control", seed, workers, len(shared), len(control))
+			}
+			for id, want := range control {
+				got, ok := shared[id]
+				if !ok {
+					t.Fatalf("seed=%d workers=%d: query %s missing from sharing arm", seed, workers, id)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d workers=%d query %s: %d tuples shared vs %d control", seed, workers, id, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed=%d workers=%d query %s tuple %d: shared %+v control %+v", seed, workers, id, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheChurn pins the incremental re-planning contract: a recurring
+// normal form is priced once per structural change of its attribute's
+// topology, not once per submit; churn on another attribute never
+// invalidates it; teardown does.
+func TestPlanCacheChurn(t *testing.T) {
+	e := newEngine(t)
+	rain := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 6}
+
+	// Submit the same query four times. The first prices against the
+	// pre-fabrication version (miss), fabrication bumps the version so the
+	// second re-prices (miss); the third and fourth attach with no
+	// structural change and must hit.
+	var ids []string
+	for i := 0; i < 4; i++ {
+		stored, err := e.Submit(rain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, stored.ID)
+	}
+	hits, misses := e.PlanCacheStats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("after 4 identical submits: hits=%d misses=%d, want 2/2", hits, misses)
+	}
+
+	// Structural churn on temp leaves the rain entry valid.
+	temp, err := e.Submit(query.Query{Attr: "temp", Region: geom.NewRect(4, 4, 8, 8), Rate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(temp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(rain); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := e.PlanCacheStats(); h != hits+1 {
+		t.Fatalf("temp churn invalidated the rain plan: hits %d -> %d", hits, h)
+	}
+
+	// Tearing down the last rain query is structural: the next submit
+	// must re-price.
+	for _, id := range append(ids, e.Queries()[len(e.Queries())-1].ID) {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses = e.PlanCacheStats()
+	if _, err := e.Submit(rain); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := e.PlanCacheStats(); m != misses+1 {
+		t.Fatalf("teardown did not invalidate: misses %d -> %d", misses, m)
+	}
+}
+
+// TestExplainReportsLiveSharedGroup pins satellite fix #4: EXPLAIN on a
+// query whose normal form is resident reports the live shared topology —
+// refs and the fabricated merge mode — identically through the engine,
+// the CrAQL EXPLAIN table, and the HTTP plan endpoint; and stops reporting
+// it when the group drops below two members.
+func TestExplainReportsLiveSharedGroup(t *testing.T) {
+	m := newManager(t, ManagerConfig{})
+	if _, err := m.Create(SessionSpec{Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewManagerHTTPServer(m, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hs)
+	defer ts.Close()
+	sess, err := m.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sess.Engine
+
+	const stmt = "ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 6"
+	q1, err := e.SubmitCRAQL(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One resident query: no sharing to report.
+	ex, err := e.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Shared != nil {
+		t.Fatalf("single query reported shared group: %+v", ex.Shared)
+	}
+	q2, err := e.SubmitCRAQL(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine surface: live refs and the fabricated mode.
+	ex, err = e.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Shared == nil || ex.Shared.Refs != 2 {
+		t.Fatalf("Explain.Shared = %+v, want refs=2", ex.Shared)
+	}
+	liveMode, ok := e.Fabricator().QueryMergeMode(q1.ID)
+	if !ok || ex.Shared.Mode != liveMode {
+		t.Fatalf("Explain.Shared.Mode = %v, live mode %v", ex.Shared.Mode, liveMode)
+	}
+	if !strings.Contains(ex.Table(), "shared: refs=2") {
+		t.Fatalf("table missing shared line:\n%s", ex.Table())
+	}
+
+	// HTTP plan endpoint serves the same annotation.
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/s/queries/" + q2.ID + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("plan status = %d", resp.StatusCode)
+	}
+	var planBody struct {
+		Plan struct {
+			Explain string `json:"explain"`
+			Shared  *struct {
+				Refs int    `json:"refs"`
+				Mode string `json:"mode"`
+			} `json:"shared"`
+		} `json:"plan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&planBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if planBody.Plan.Shared == nil || planBody.Plan.Shared.Refs != 2 || planBody.Plan.Shared.Mode != liveMode.String() {
+		t.Fatalf("HTTP shared = %+v, want refs=2 mode=%v", planBody.Plan.Shared, liveMode)
+	}
+	if planBody.Plan.Explain != ex.Table() {
+		t.Fatal("HTTP explain table diverges from engine rendering")
+	}
+
+	// Status counters reflect the live group.
+	resp, err = ts.Client().Get(ts.URL + "/v1/sessions/s/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for key, want := range map[string]string{
+		"sharing":        "true",
+		"sharedPrefixes": "1",
+		"sharedQueries":  "2",
+		"sharedAttaches": "1",
+	} {
+		if got := strings.TrimSpace(string(status[key])); got != want {
+			t.Fatalf("status %s = %s, want %s", key, got, want)
+		}
+	}
+	if _, ok := status["planCacheHits"]; !ok {
+		t.Fatal("status missing planCacheHits")
+	}
+	if _, ok := status["subplans"]; !ok {
+		t.Fatal("status missing subplans")
+	}
+
+	// After the group shrinks to one member the annotation disappears —
+	// the stale-estimate bug this satellite fixed would have kept
+	// reporting submit-time state.
+	if err := e.Delete(q1.ID); err != nil {
+		t.Fatal(err)
+	}
+	ex, err = e.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Shared != nil {
+		t.Fatalf("shared annotation survived shrink to 1 ref: %+v", ex.Shared)
+	}
+}
+
+// TestSessionSpecDisableSharing drives the A/B lever end to end: a session
+// created with disableSharing reports sharing=false and fabricates
+// per-query topology.
+func TestSessionSpecDisableSharing(t *testing.T) {
+	m := newManager(t, ManagerConfig{})
+	if _, err := m.Create(SessionSpec{Name: "ctl", DisableSharing: true}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Get("ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Engine.SharingEnabled() {
+		t.Fatal("disableSharing spec left sharing on")
+	}
+	const stmt = "ACQUIRE rain FROM RECT(0, 0, 4, 4) RATE 6"
+	if _, err := sess.Engine.SubmitCRAQL(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Engine.SubmitCRAQL(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Engine.SharedStats(); st.Subplans != 2 || st.Attaches != 0 {
+		t.Fatalf("control session deduplicated: %+v", st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/budget"
+	"repro/internal/craql"
 	"repro/internal/geom"
 	"repro/internal/pmat"
 	"repro/internal/query"
@@ -29,6 +30,12 @@ type Config struct {
 	// merge phase orders tuples deterministically, serial and parallel runs
 	// of the same seed produce identical fabricated streams.
 	Workers int
+	// DisableSharing fabricates every query independently instead of
+	// deduplicating identical subplans across queries (see DESIGN.md,
+	// "Multi-query sharing"). Sharing and no-sharing runs of the same seed
+	// fabricate byte-identical per-query streams — this lever exists as the
+	// differential harness's control arm and for debugging.
+	DisableSharing bool
 }
 
 // Fabricator is the crowdsensed stream fabricator of Fig. 1: it owns the
@@ -60,15 +67,41 @@ type Fabricator struct {
 	// attrs caches order's keys sorted — maintained alongside order so the
 	// per-epoch attr walk (AppendAttrs, VisitLastReports) never sorts.
 	attrs []string
+	// shared indexes live subplans by canonical CrAQL key
+	// (craql.CanonicalKey), so a submit whose normal form matches a
+	// resident query attaches to the existing subplan instead of
+	// fabricating a new one. Nil when Config.DisableSharing is set.
+	shared map[string]*queryState
+	// versions counts structural changes per attribute — subplans
+	// fabricated or torn down, never refcount-only churn. The engine's plan
+	// cache validates against it (AttrVersion).
+	versions map[string]uint64
+	// sharedAttaches counts inserts absorbed by an existing subplan.
+	sharedAttaches uint64
 }
 
-// queryState tracks one inserted query's wiring.
+// queryState is one fabricated subplan and the queries riding it. With
+// sharing enabled, every query whose canonical key matches shares one
+// queryState (f.queries maps each member id to the same pointer); with
+// sharing disabled each query gets its own.
 type queryState struct {
-	q     query.Query
+	// q is the creating query's stored form; it defines the wiring geometry
+	// (every member has the identical normal form, so identical geometry).
+	q query.Query
+	// tapID is the id taps and U-operator names were registered under — the
+	// creator's query id, stable even after the creator detaches while
+	// other members keep the subplan alive.
+	tapID string
+	// key is the canonical CrAQL key the subplan is indexed under in
+	// f.shared ("" when sharing is disabled).
+	key   string
 	plan  *MergePlan
-	sink  stream.Processor
-	keys  []Key // pipelines this query taps
+	fan   *fanOut
+	keys  []Key // pipelines this subplan taps
 	rects []geom.Rect
+	// refs lists member query ids in attach order; the subplan is torn down
+	// when the last one detaches.
+	refs []string
 }
 
 // New creates a fabricator over the grid. rng seeds the per-operator
@@ -80,7 +113,7 @@ func New(grid *geom.Grid, cfg Config, rng *stats.RNG) (*Fabricator, error) {
 	if rng == nil {
 		return nil, errors.New("topology: fabricator requires an RNG")
 	}
-	return &Fabricator{
+	f := &Fabricator{
 		grid:     grid,
 		cfg:      cfg,
 		rng:      rng,
@@ -88,7 +121,12 @@ func New(grid *geom.Grid, cfg Config, rng *stats.RNG) (*Fabricator, error) {
 		queries:  make(map[string]*queryState),
 		registry: query.NewRegistry(),
 		order:    make(map[string][]*CellPipeline),
-	}, nil
+		versions: make(map[string]uint64),
+	}
+	if !cfg.DisableSharing {
+		f.shared = make(map[string]*queryState)
+	}
+	return f, nil
 }
 
 // FusedEnabled reports whether cell pipelines execute via the compiled fused
@@ -96,8 +134,13 @@ func New(grid *geom.Grid, cfg Config, rng *stats.RNG) (*Fabricator, error) {
 func (f *Fabricator) FusedEnabled() bool { return !f.cfg.Pipeline.DisableFused }
 
 // refreshOrder rebuilds the cached shard order for one attribute (and the
-// sorted attr cache). Must be called with f.mu held for writing.
+// sorted attr cache) and advances the attribute's structural version. It is
+// called exactly by the structural mutations — subplan fabrication,
+// teardown, rollback — and never by refcount-only attach/detach, so
+// AttrVersion moves iff the attribute's shared prefixes changed. Must be
+// called with f.mu held for writing.
 func (f *Fabricator) refreshOrder(attr string) {
+	f.versions[attr]++
 	list := f.order[attr][:0]
 	for k, p := range f.cells {
 		if k.Attr == attr {
@@ -166,6 +209,15 @@ func (f *Fabricator) InsertQuery(q query.Query, sink stream.Processor) (query.Qu
 // this query only — the hook the cost-based planner uses to pick a merge
 // topology per query instead of applying Config.Merge uniformly. The chosen
 // mode is recorded on the query's MergePlan (QueryMergeMode).
+//
+// With sharing enabled (the default), a query whose canonical normal form
+// (craql.CanonicalKey) matches a resident query attaches its sink to the
+// existing subplan's fan-out instead of fabricating anything: no new
+// operators, no fused-program invalidation, no shard-order rebuild. The
+// requested mode is ignored on attach — the subplan keeps the mode it was
+// fabricated with (the cost model prices identical queries identically, so
+// a planner-driven submit asks for the same mode anyway, and merge output
+// is byte-identical across modes regardless).
 func (f *Fabricator) InsertQueryMerge(q query.Query, sink stream.Processor, mode MergeMode) (query.Query, error) {
 	if sink == nil {
 		return query.Query{}, errors.New("topology: InsertQuery requires a sink")
@@ -176,6 +228,17 @@ func (f *Fabricator) InsertQueryMerge(q query.Query, sink stream.Processor, mode
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	key := ""
+	if f.shared != nil {
+		key = craql.CanonicalKey(stored)
+		if sp, ok := f.shared[key]; ok {
+			sp.refs = append(sp.refs, stored.ID)
+			sp.fan.add(stored.ID, sink)
+			f.queries[stored.ID] = sp
+			f.sharedAttaches++
+			return stored, nil
+		}
+	}
 	overlaps := f.grid.Overlapping(stored.Region)
 	if len(overlaps) == 0 {
 		f.registry.Remove(stored.ID)
@@ -186,8 +249,10 @@ func (f *Fabricator) InsertQueryMerge(q query.Query, sink stream.Processor, mode
 		f.registry.Remove(stored.ID)
 		return query.Query{}, err
 	}
-	plan.AttachSink(sink)
-	st := &queryState{q: stored, plan: plan, sink: sink}
+	fan := &fanOut{}
+	fan.add(stored.ID, sink)
+	plan.AttachSink(fan)
+	st := &queryState{q: stored, tapID: stored.ID, key: key, plan: plan, fan: fan, refs: []string{stored.ID}}
 	// Re-derive the overlap order used by the plan (row-major).
 	ordered := append([]geom.Overlap(nil), overlaps...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -225,6 +290,9 @@ func (f *Fabricator) InsertQueryMerge(q query.Query, sink stream.Processor, mode
 		st.rects = append(st.rects, ov.Rect)
 	}
 	f.queries[stored.ID] = st
+	if key != "" {
+		f.shared[key] = st
+	}
 	f.refreshOrder(stored.Attr)
 	return stored, nil
 }
@@ -233,7 +301,7 @@ func (f *Fabricator) InsertQueryMerge(q query.Query, sink stream.Processor, mode
 func (f *Fabricator) rollbackInsert(st *queryState) {
 	for _, key := range st.keys {
 		if p, ok := f.cells[key]; ok {
-			_, _ = p.RemoveTap(st.q.ID)
+			_, _ = p.RemoveTap(st.tapID)
 			if p.Empty() {
 				f.dropPipeline(key)
 			}
@@ -243,10 +311,13 @@ func (f *Fabricator) rollbackInsert(st *queryState) {
 	f.registry.Remove(st.q.ID)
 }
 
-// DeleteQuery removes a query: its taps are detached right-to-left in every
-// cell, T-operators left consecutive are merged, emptied pipelines (and
-// their hashmap keys) are deleted, and the budget slot is unregistered when
-// the cell no longer serves any query.
+// DeleteQuery removes a query. While other queries still share its subplan
+// the delete is a pure detach — the member's sink leaves the fan-out,
+// refcounts drop, and no operator, fused program or shard order changes.
+// The last member's delete tears the subplan down: taps are detached
+// right-to-left in every cell, T-operators left consecutive are merged,
+// emptied pipelines (and their hashmap keys) are deleted, and the budget
+// slot is unregistered when the cell no longer serves any query.
 func (f *Fabricator) DeleteQuery(id string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -254,28 +325,43 @@ func (f *Fabricator) DeleteQuery(id string) error {
 	if !ok {
 		return fmt.Errorf("topology: DeleteQuery: unknown query %q", id)
 	}
+	if !st.fan.remove(id) {
+		return fmt.Errorf("topology: DeleteQuery: query %q not in its subplan's fan", id)
+	}
+	for i, ref := range st.refs {
+		if ref == id {
+			st.refs = append(st.refs[:i], st.refs[i+1:]...)
+			break
+		}
+	}
+	delete(f.queries, id)
+	f.registry.Remove(id)
+	if len(st.refs) > 0 {
+		return nil
+	}
 	// Rebuild the shard order on every exit (registered after the Unlock
 	// defer, so it runs first, still under the lock): an error return after
 	// dropPipeline must not leave dropped pipelines in the cached order.
 	defer f.refreshOrder(st.q.Attr)
+	if st.key != "" {
+		delete(f.shared, st.key)
+	}
 	for _, key := range st.keys {
 		p, ok := f.cells[key]
 		if !ok {
 			continue
 		}
-		found, err := p.RemoveTap(id)
+		found, err := p.RemoveTap(st.tapID)
 		if err != nil {
 			return err
 		}
 		if !found {
-			return fmt.Errorf("topology: DeleteQuery: query %q not tapped in %v", id, key)
+			return fmt.Errorf("topology: DeleteQuery: subplan %q not tapped in %v", st.tapID, key)
 		}
 		if p.Empty() {
 			f.dropPipeline(key)
 		}
 	}
-	delete(f.queries, id)
-	f.registry.Remove(id)
 	return nil
 }
 
@@ -536,7 +622,8 @@ func (f *Fabricator) QueryPlan(id string) *MergePlan {
 	return st.plan
 }
 
-// OperatorCounts tallies live operators by kind ("F", "T", "P", "U").
+// OperatorCounts tallies live operators by kind ("F", "T", "P", "U"). A
+// shared subplan's U-operators count once however many queries ride it.
 func (f *Fabricator) OperatorCounts() map[string]int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -546,7 +633,7 @@ func (f *Fabricator) OperatorCounts() map[string]int {
 			out[op.Kind()]++
 		}
 	}
-	for _, st := range f.queries {
+	for _, st := range f.distinctStates() {
 		out["U"] += st.plan.NumUnions()
 	}
 	return out
@@ -569,7 +656,7 @@ func (f *Fabricator) TotalFlow() stream.FlowStats {
 			add(op.Stats())
 		}
 	}
-	for _, st := range f.queries {
+	for _, st := range f.distinctStates() {
 		for _, u := range st.plan.Unions {
 			add(u.Stats())
 		}
@@ -578,7 +665,9 @@ func (f *Fabricator) TotalFlow() stream.FlowStats {
 }
 
 // CheckInvariants verifies every pipeline's structural invariants plus the
-// cross-cutting ones (each query taps exactly its overlapped cells).
+// cross-cutting ones: each subplan taps exactly its overlapped cells
+// (under its tapID — stable across member churn), and the sharing
+// bookkeeping (member maps, fans, the shared index) is consistent.
 func (f *Fabricator) CheckInvariants() error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -587,29 +676,29 @@ func (f *Fabricator) CheckInvariants() error {
 			return err
 		}
 	}
-	for id, st := range f.queries {
+	for _, st := range f.distinctStates() {
 		want := len(f.grid.Overlapping(st.q.Region))
 		if len(st.keys) != want {
-			return fmt.Errorf("topology: query %s taps %d cells, expected %d", id, len(st.keys), want)
+			return fmt.Errorf("topology: subplan %s taps %d cells, expected %d", st.tapID, len(st.keys), want)
 		}
 		for _, key := range st.keys {
 			p, ok := f.cells[key]
 			if !ok {
-				return fmt.Errorf("topology: query %s taps missing pipeline %v", id, key)
+				return fmt.Errorf("topology: subplan %s taps missing pipeline %v", st.tapID, key)
 			}
 			found := false
 			for _, qid := range p.QueryIDs() {
-				if qid == id {
+				if qid == st.tapID {
 					found = true
 					break
 				}
 			}
 			if !found {
-				return fmt.Errorf("topology: query %s not subscribed in pipeline %v", id, key)
+				return fmt.Errorf("topology: subplan %s not subscribed in pipeline %v", st.tapID, key)
 			}
 		}
 	}
-	return nil
+	return f.checkShared()
 }
 
 // Render draws every cell topology, sorted by key, one per line.

@@ -1,0 +1,284 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// sharedFeed drives one epoch of synthetic rain observations through the
+// fabricator, deterministic in (seed, epoch).
+func sharedFeed(t *testing.T, f *Fabricator, seed int64, epoch int) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	w := geom.Window{T0: float64(epoch), T1: float64(epoch + 1), Rect: f.Grid().Region()}
+	b := stream.Batch{Attr: "rain", Window: w}
+	n := rng.Poisson(60 * w.Volume())
+	for i := 0; i < n; i++ {
+		b.Tuples = append(b.Tuples, stream.Tuple{
+			ID: uint64(epoch)<<32 | uint64(i), T: rng.Uniform(w.T0, w.T1),
+			X: rng.Uniform(0, 6), Y: rng.Uniform(0, 6),
+			Value: rng.Uniform(0, 1),
+		})
+	}
+	if err := f.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedSubplanLifecycle inserts three identical queries and walks the
+// refcounted subplan through attach, epoch delivery, creator-first detach
+// and final teardown.
+func TestSharedSubplanLifecycle(t *testing.T) {
+	f := newFab(t, fig2Grid(t), Config{})
+	if !f.SharingEnabled() {
+		t.Fatal("sharing must be on by default")
+	}
+	q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 6}
+	sinks := make([]*stream.Collector, 3)
+	ids := make([]string, 3)
+	for i := range sinks {
+		sinks[i] = stream.NewCollector()
+		stored, err := f.InsertQuery(q, sinks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = stored.ID
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := f.SharedStats()
+	want := SharedStats{Subplans: 1, SharedSubplans: 1, Queries: 3, SharedQueries: 3, Attaches: 2}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// One subplan means cell operators for exactly one query's worth of
+	// topology: 4 whole cells → 4 F, 4 T, 0 P, 1 U (flat).
+	counts := f.OperatorCounts()
+	if counts["F"] != 4 || counts["T"] != 4 || counts["P"] != 0 || counts["U"] != 1 {
+		t.Fatalf("operator counts = %v, want one query's worth", counts)
+	}
+	g, ok := f.QuerySharedGroup(ids[2])
+	if !ok || g.Refs != 3 {
+		t.Fatalf("QuerySharedGroup(%s) = %+v, %v", ids[2], g, ok)
+	}
+
+	// Every member sees byte-identical delivery.
+	sharedFeed(t, f, 7, 0)
+	base := sinks[0].Tuples()
+	if len(base) == 0 {
+		t.Fatal("no tuples delivered")
+	}
+	for i := 1; i < 3; i++ {
+		got := sinks[i].Tuples()
+		if len(got) != len(base) {
+			t.Fatalf("sink %d got %d tuples, sink 0 got %d", i, len(got), len(base))
+		}
+		for j := range got {
+			if got[j] != base[j] {
+				t.Fatalf("sink %d tuple %d = %+v, want %+v", i, j, got[j], base[j])
+			}
+		}
+	}
+
+	// Deleting the creator first must keep the subplan alive for the
+	// survivors — taps stay registered under the creator's stable tapID.
+	ver := f.AttrVersion("rain")
+	if err := f.DeleteQuery(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.AttrVersion("rain"); got != ver {
+		t.Fatalf("refcount-only detach bumped attr version %d -> %d", ver, got)
+	}
+	if st := f.SharedStats(); st.Subplans != 1 || st.Queries != 2 {
+		t.Fatalf("after creator delete: %+v", st)
+	}
+	sinks[1].Reset()
+	sharedFeed(t, f, 7, 1)
+	if sinks[1].Len() == 0 {
+		t.Fatal("survivor stopped receiving after creator detach")
+	}
+
+	// Tearing down the last member frees the topology and bumps the
+	// structural version.
+	for _, id := range ids[1:] {
+		if err := f.DeleteQuery(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.SharedStats(); st.Subplans != 0 || st.Queries != 0 {
+		t.Fatalf("after full teardown: %+v", st)
+	}
+	if counts := f.OperatorCounts(); counts["T"] != 0 || counts["U"] != 0 {
+		t.Fatalf("operators leaked: %v", counts)
+	}
+	if got := f.AttrVersion("rain"); got == ver {
+		t.Fatal("teardown did not bump attr version")
+	}
+}
+
+// TestSharedDisabledMatchesShared is the package-level identity check: with
+// sharing on and off, the same queries over the same feed deliver
+// byte-identical tuples (the server package's differential harness extends
+// this across churn and retunes).
+func TestSharedDisabledMatchesShared(t *testing.T) {
+	q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 6}
+	run := func(disable bool) [][]stream.Tuple {
+		f := newFab(t, fig2Grid(t), Config{DisableSharing: disable})
+		sinks := make([]*stream.Collector, 3)
+		for i := range sinks {
+			sinks[i] = stream.NewCollector()
+			if _, err := f.InsertQuery(q, sinks[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < 5; e++ {
+			sharedFeed(t, f, 21, e)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]stream.Tuple, len(sinks))
+		for i, s := range sinks {
+			out[i] = s.Tuples()
+		}
+		return out
+	}
+	shared, unshared := run(false), run(true)
+	for i := range shared {
+		if len(shared[i]) != len(unshared[i]) {
+			t.Fatalf("query %d: shared %d tuples, unshared %d", i, len(shared[i]), len(unshared[i]))
+		}
+		for j := range shared[i] {
+			if shared[i][j] != unshared[i][j] {
+				t.Fatalf("query %d tuple %d: shared %+v, unshared %+v", i, j, shared[i][j], unshared[i][j])
+			}
+		}
+	}
+}
+
+// TestSharedDisabledIsolates verifies the control arm really fabricates
+// per-query topology: identical queries get independent subplans.
+func TestSharedDisabledIsolates(t *testing.T) {
+	f := newFab(t, fig2Grid(t), Config{DisableSharing: true})
+	if f.SharingEnabled() {
+		t.Fatal("SharingEnabled with DisableSharing set")
+	}
+	q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 6}
+	for i := 0; i < 3; i++ {
+		if _, err := f.InsertQuery(q, stream.NewCollector()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.SharedStats()
+	if st.Subplans != 3 || st.SharedSubplans != 0 || st.Attaches != 0 {
+		t.Fatalf("control arm shared anyway: %+v", st)
+	}
+	if _, ok := f.SharedGroup("anything"); ok {
+		t.Fatal("SharedGroup resolved with sharing disabled")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttrVersionTracksStructureOnly pins the plan-cache invalidation
+// contract: the version bumps on fabrication and teardown of an
+// attribute's subplans, never on refcount churn, and churn on one
+// attribute leaves another's version alone.
+func TestAttrVersionTracksStructureOnly(t *testing.T) {
+	f := newFab(t, fig2Grid(t), Config{})
+	rainV0, tempV0 := f.AttrVersion("rain"), f.AttrVersion("temp")
+
+	q := query.Query{Attr: "rain", Region: geom.NewRect(0, 0, 4, 4), Rate: 6}
+	first, err := f.InsertQuery(q, stream.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rainV1 := f.AttrVersion("rain")
+	if rainV1 == rainV0 {
+		t.Fatal("fabrication did not bump rain version")
+	}
+	if f.AttrVersion("temp") != tempV0 {
+		t.Fatal("rain fabrication bumped temp version")
+	}
+
+	// Attach/detach churn on the existing subplan: version stays put.
+	for i := 0; i < 4; i++ {
+		stored, err := f.InsertQuery(q, stream.NewCollector())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.DeleteQuery(stored.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.AttrVersion("rain"); got != rainV1 {
+		t.Fatalf("attach/detach churn moved rain version %d -> %d", rainV1, got)
+	}
+
+	// Tearing down the last member is structural again.
+	if err := f.DeleteQuery(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.AttrVersion("rain"); got == rainV1 {
+		t.Fatal("teardown did not bump rain version")
+	}
+}
+
+// TestSharedChurnSublinear is the deterministic companion to
+// BenchmarkQueryChurn: at a fixed pool of distinct query shapes, the
+// fabricated topology is independent of how many resident queries ride it.
+func TestSharedChurnSublinear(t *testing.T) {
+	grid, err := geom.NewGrid(geom.NewRect(0, 0, 8, 8), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]query.Query, 0, 12)
+	for i := 0; i < 12; i++ {
+		x := float64(2 * (i % 3))
+		y := float64(2 * ((i / 3) % 3))
+		pool = append(pool, query.Query{
+			Attr: "rain", Region: geom.NewRect(x, y, x+2, y+2), Rate: float64(1 + i%4),
+		})
+	}
+	measure := func(resident int) (pipelines int, counts map[string]int) {
+		f, err := New(grid, Config{}, stats.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < resident; i++ {
+			if _, err := f.InsertQuery(pool[i%len(pool)], stream.NewResultStore(16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if st := f.SharedStats(); st.Subplans > len(pool) {
+			t.Fatalf("resident=%d: %d subplans for a %d-shape pool", resident, st.Subplans, len(pool))
+		}
+		return f.NumPipelines(), f.OperatorCounts()
+	}
+	p100, c100 := measure(100)
+	p1000, c1000 := measure(1000)
+	if p100 != p1000 {
+		t.Fatalf("pipelines grew with residency: %d at 100 vs %d at 1000", p100, p1000)
+	}
+	for op, n := range c1000 {
+		if c100[op] != n {
+			t.Fatalf("operator %s grew with residency: %d at 100 vs %d at 1000", op, c100[op], n)
+		}
+	}
+}

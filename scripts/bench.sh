@@ -12,9 +12,12 @@
 # BenchmarkIngestAck's pooled ack rendering, BenchmarkIngest's per-codec
 # decode→enqueue→epoch-assembly path with tuples/s — and the durability
 # suite: BenchmarkWALAppend per fsync policy, BenchmarkRecovery's
-# cold-start replay, and BenchmarkIngestDurable's WAL-enabled push path),
+# cold-start replay, and BenchmarkIngestDurable's WAL-enabled push path —
+# plus BenchmarkQueryChurn's resident-query churn matrix, shared vs
+# unshared at 1k/10k queries with a heapB/query memory metric),
 # BENCHTIME sets -benchtime. scripts/bench_guard.sh compares fresh
-# BenchmarkEndToEnd + BenchmarkIngest* + BenchmarkWire* runs against the
+# BenchmarkEndToEnd + BenchmarkIngest* + BenchmarkWire* +
+# BenchmarkQueryChurn runs against the
 # newest committed BENCH_*.json and fails on >15% ns/op regression.
 # scripts/load.sh merges HTTP load-harness results (p50/p99, tuples/s)
 # into the same BENCH_<date>.json.

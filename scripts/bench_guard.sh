@@ -5,10 +5,12 @@
 # ack rendering, plus BenchmarkIngestDurable — the same push path with WAL
 # durability at fsync=batch, holding the write-ahead log to within
 # tolerance of the non-durable ingest baseline), BenchmarkWire* (the
-# zero-alloc JSON/binary batch decoders) and BenchmarkLoad* (none today;
-# reserved for in-process load benchmarks — scripts/load.sh's HTTP
-# loadgen entries are recorded in BENCH_*.json but not re-run here) and
-# compares ns/op per sub-benchmark
+# zero-alloc JSON/binary batch decoders), BenchmarkQueryChurn (submit/
+# delete/epoch cycles at 1k and 10k resident queries, shared vs unshared —
+# the shared rows guard the multi-query dedup win) and BenchmarkLoad*
+# (none today; reserved for in-process load benchmarks — scripts/load.sh's
+# HTTP loadgen entries are recorded in BENCH_*.json but not re-run here)
+# and compares ns/op per sub-benchmark
 # against the newest committed BENCH_*.json trajectory file, failing when
 # any sub-benchmark is more than BENCH_TOLERANCE_PCT percent slower
 # (default 15). Benchmarks present in only one side are reported and
@@ -47,13 +49,13 @@ echo "bench_guard: comparing against $base (tolerance ${tol}%)"
 raw=$(mktemp) basevals=$(mktemp) curvals=$(mktemp) failing=$(mktemp)
 trap 'rm -f "$raw" "$basevals" "$curvals" "$failing"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEndToEnd|BenchmarkIngest|BenchmarkWire|BenchmarkLoad' -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-1}" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEndToEnd|BenchmarkIngest|BenchmarkWire|BenchmarkLoad|BenchmarkQueryChurn' -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-1}" . | tee "$raw"
 
 # Baseline pairs (name ns_per_op) from the JSON written by bench.sh.
-sed -n 's/.*"name": "\(Benchmark\(EndToEnd\|Ingest\|Wire\|Load\)[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \3/p' "$base" \
+sed -n 's/.*"name": "\(Benchmark\(EndToEnd\|Ingest\|Wire\|Load\|QueryChurn\)[^"]*\)".*"ns_per_op": \([0-9.eE+]*\).*/\1 \3/p' "$base" \
     | sed 's/-[0-9]* / /' > "$basevals"
 # Current pairs from the benchmark output, best ns/op per name.
-awk '/^Benchmark(EndToEnd|Ingest|Wire|Load)/ {if (!($1 in best) || $3 < best[$1]) best[$1] = $3} END {for (n in best) print n, best[n]}' "$raw" \
+awk '/^Benchmark(EndToEnd|Ingest|Wire|Load|QueryChurn)/ {if (!($1 in best) || $3 < best[$1]) best[$1] = $3} END {for (n in best) print n, best[n]}' "$raw" \
     | sed 's/-[0-9]* / /' > "$curvals"
 
 if [ ! -s "$curvals" ]; then
