@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stream"
@@ -133,15 +134,18 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // retryable reports whether err is a transient server condition worth
-// retrying: 503 (ingest queue closed mid-restart) and 429 (admission
-// control throttled the push — Retry-After says when the token bucket
-// refills). Both refuse before any state change, so a retry cannot
-// double-apply.
+// retrying: 503 (ingest queue closed mid-restart, or a cluster gateway
+// holding a session mid-handoff), 429 (admission control throttled the
+// push — Retry-After says when the token bucket refills), and 421 (a
+// cluster node refusing a request routed on a stale ring; the gateway
+// converges within its failure-detection window). All refuse before any
+// state change, so a retry cannot double-apply.
 func retryable(err error) bool {
 	var apiErr *APIError
 	return errors.As(err, &apiErr) &&
 		(apiErr.StatusCode == http.StatusServiceUnavailable ||
-			apiErr.StatusCode == http.StatusTooManyRequests)
+			apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusMisdirectedRequest)
 }
 
 // backoffDelay computes the attempt-th delay (0-based): exponential from
@@ -754,61 +758,118 @@ func (c *Client) Results(ctx context.Context, session, query string, cursor uint
 // ResultStream is a live ndjson subscription to a query's stream. Next
 // blocks until the next tuple is fabricated; it returns io.EOF when the
 // query or session is deleted and ctx's error when the caller cancels.
+//
+// The stream tracks its cursor (start + tuples delivered + tuples the
+// server reported dropped), so when the connection ends unexpectedly —
+// the owning node died, or a cluster gateway handed the session to a new
+// node mid-stream — Next transparently reconnects from that cursor under
+// the client's RetryPolicy and resumes without dropping or duplicating a
+// tuple. A 404 on reconnect means the query or session is genuinely gone:
+// Next reports the clean io.EOF it always has.
 type ResultStream struct {
+	c       *Client
+	ctx     context.Context
+	session string
+	query   string
+	cursor  uint64
 	body    io.ReadCloser
 	sc      *bufio.Scanner
 	dropped uint64
+	closed  atomic.Bool
 }
 
 // StreamResults opens a push subscription from cursor (0 = the oldest
-// retained tuple). Cancel ctx to end it.
+// retained tuple). Cancel ctx to end it. A retryable open failure (503
+// while a cluster gateway converges a handoff) backs off under the
+// client's RetryPolicy before giving up.
 func (c *Client) StreamResults(ctx context.Context, session, query string, cursor uint64) (*ResultStream, error) {
-	path := fmt.Sprintf("/v1/sessions/%s/results/%s/stream?cursor=%d",
-		url.PathEscape(session), url.PathEscape(query), cursor)
-	req, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+path, nil)
-	if err != nil {
+	s := &ResultStream{c: c, ctx: ctx, session: session, query: query, cursor: cursor}
+	if err := c.withRetry(ctx, s.connect); err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Do(req)
+	return s, nil
+}
+
+// connect (re)opens the subscription at the stream's current cursor.
+func (s *ResultStream) connect() error {
+	path := fmt.Sprintf("/v1/sessions/%s/results/%s/stream?cursor=%d",
+		url.PathEscape(s.session), url.PathEscape(s.query), s.cursor)
+	req, err := http.NewRequestWithContext(s.ctx, "GET", s.c.BaseURL+path, nil)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	resp, err := s.c.httpClient().Do(req)
+	if err != nil {
+		return err
 	}
 	if resp.StatusCode >= 300 {
 		defer resp.Body.Close()
-		return nil, decodeError(resp)
+		return decodeError(resp)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), 8<<20)
-	return &ResultStream{body: resp.Body, sc: sc}, nil
+	s.body = resp.Body
+	s.sc = bufio.NewScanner(resp.Body)
+	s.sc.Buffer(make([]byte, 64<<10), 8<<20)
+	return nil
 }
 
 // Next returns the next tuple. Tuples evicted before delivery are counted
 // in Dropped (the server reports them explicitly), never silently skipped.
+// Next is not safe for concurrent use.
 func (s *ResultStream) Next() (Tuple, error) {
-	for s.sc.Scan() {
-		line := s.sc.Bytes()
-		var drop struct {
-			Dropped *uint64 `json:"dropped"`
+	for {
+		for s.sc.Scan() {
+			line := s.sc.Bytes()
+			var drop struct {
+				Dropped *uint64 `json:"dropped"`
+			}
+			if err := json.Unmarshal(line, &drop); err == nil && drop.Dropped != nil {
+				s.dropped += *drop.Dropped
+				s.cursor += *drop.Dropped
+				continue
+			}
+			var tp Tuple
+			if err := json.Unmarshal(line, &tp); err != nil {
+				return Tuple{}, err
+			}
+			s.cursor++
+			return tp, nil
 		}
-		if err := json.Unmarshal(line, &drop); err == nil && drop.Dropped != nil {
-			s.dropped += *drop.Dropped
-			continue
+		scanErr := s.sc.Err()
+		if s.closed.Load() || s.ctx.Err() != nil {
+			if scanErr != nil && s.ctx.Err() != nil {
+				return Tuple{}, scanErr
+			}
+			return Tuple{}, io.EOF
 		}
-		var tp Tuple
-		if err := json.Unmarshal(line, &tp); err != nil {
+		// The connection ended under us. Resume from the cursor: during a
+		// cluster handoff the gateway answers 503 until the new owner has
+		// replayed the WAL, and withRetry rides that out.
+		s.body.Close()
+		if err := s.c.withRetry(s.ctx, s.connect); err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+				// Gone for real (query deleted, session destroyed): the
+				// clean end of stream.
+				return Tuple{}, io.EOF
+			}
+			if scanErr != nil {
+				return Tuple{}, scanErr
+			}
 			return Tuple{}, err
 		}
-		return tp, nil
 	}
-	if err := s.sc.Err(); err != nil {
-		return Tuple{}, err
-	}
-	return Tuple{}, io.EOF
 }
 
 // Dropped returns how many tuples the server evicted before this stream
 // could deliver them.
 func (s *ResultStream) Dropped() uint64 { return s.dropped }
 
-// Close ends the subscription.
-func (s *ResultStream) Close() error { return s.body.Close() }
+// Cursor returns the stream position the next tuple will arrive at (and
+// the position a reconnect resumes from).
+func (s *ResultStream) Cursor() uint64 { return s.cursor }
+
+// Close ends the subscription and disables reconnection.
+func (s *ResultStream) Close() error {
+	s.closed.Store(true)
+	return s.body.Close()
+}

@@ -1,0 +1,102 @@
+// Command craqr-gw is the CrAQR cluster gateway: a stateless HTTP front
+// that spreads sessions over a pool of craqrd nodes with a consistent-hash
+// ring and keeps them reachable through node failures.
+//
+//	craqrd -addr :8081 -node-name a -source external -data-dir /shared &
+//	craqrd -addr :8082 -node-name b -source external -data-dir /shared &
+//	craqrd -addr :8083 -node-name c -source external -data-dir /shared &
+//	craqr-gw -addr :8080 -nodes http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// Clients speak the ordinary /v1 API to the gateway; every session-scoped
+// request is proxied to the node that owns the session's hash. The gateway
+// probes each node's /v1/healthz (interval -check-interval, down after
+// -fail-after consecutive failures, back up after -up-after successes);
+// when membership changes it rebuilds the ring and moves displaced
+// sessions to their new owners by deterministic WAL replay from the shared
+// -data-dir volume. Requests for a session mid-handoff answer a retryable
+// 503 with Retry-After, which the Go client backs off on.
+//
+//	GET /v1/healthz          pool health ("degraded" when any node is down)
+//	GET /v1/cluster/status   per-node health, live sessions, ring ownership
+//
+// See docs/API.md ("Cluster gateway") and DESIGN.md §15.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodes := flag.String("nodes", "", "comma-separated craqrd base URLs (required), e.g. http://127.0.0.1:8081,http://127.0.0.1:8082")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per pool member on the hash ring")
+	checkInterval := flag.Duration("check-interval", time.Second, "health-check probe interval")
+	checkTimeout := flag.Duration("check-timeout", 2*time.Second, "per-probe timeout")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a node is marked down")
+	upAfter := flag.Int("up-after", 1, "consecutive successful probes before a down node rejoins")
+	flag.Parse()
+
+	urls := strings.Split(*nodes, ",")
+	var pool []string
+	for _, u := range urls {
+		if u = strings.TrimSpace(u); u != "" {
+			pool = append(pool, u)
+		}
+	}
+	if len(pool) == 0 {
+		log.Fatal("craqr-gw: -nodes is required (comma-separated craqrd base URLs)")
+	}
+
+	gw, err := cluster.NewGateway(pool, cluster.GatewayConfig{
+		Pool: cluster.PoolConfig{
+			Interval:  *checkInterval,
+			Timeout:   *checkTimeout,
+			FailAfter: *failAfter,
+			UpAfter:   *upAfter,
+			Logf:      log.Printf,
+		},
+		VirtualNodes: *vnodes,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go gw.Run(ctx)
+
+	hint := *addr
+	if strings.HasPrefix(hint, ":") {
+		hint = "localhost" + hint
+	}
+	fmt.Printf("craqr-gw: fronting %d nodes on %s (detection window ≈ %v; status: curl %s/v1/cluster/status)\n",
+		len(pool), *addr, time.Duration(*failAfter)*(*checkInterval), hint)
+
+	srv := &http.Server{Addr: *addr, Handler: gw}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("craqr-gw: shutdown: %v", err)
+		}
+		log.Println("craqr-gw: bye")
+	}
+}

@@ -8,6 +8,11 @@
 //	craqrd -addr :8080 &
 //	craqr-loadgen -url http://127.0.0.1:8080 -codec binary -conns 8 -duration 10s
 //
+// -targets takes a comma-separated endpoint list — the three nodes of a
+// cluster, or one craqr-gw gateway URL — and round-robins workers over it;
+// the result then carries a per-target p50/p99 breakdown so a slow node
+// stands out.
+//
 // By default it creates (or reuses) a session configured for load: external
 // source, simulated clock (epochs drain back-to-back as fast as the
 // watermark allows), a deep ingest buffer, and durability off so the disk
@@ -32,6 +37,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +47,7 @@ import (
 
 type options struct {
 	url      string
+	targets  []string // resolved endpoint list: -targets, or [-url]
 	session  string
 	sessions int
 	token    string
@@ -99,11 +106,26 @@ type result struct {
 	// throttle count, so a noisy-neighbor run shows who paid and who was
 	// protected.
 	Sessions []sessionResult `json:"sessions,omitempty"`
+	// Targets breaks the run down per endpoint in multi-target mode
+	// (-targets with more than one URL): per-node p50/p99 over a cluster,
+	// so a slow or recovering node is visible in BENCH_*.json.
+	Targets []targetResult `json:"targets,omitempty"`
 }
 
 // sessionResult is one tenant's slice of a multi-tenant run.
 type sessionResult struct {
 	Session   string  `json:"session"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Accepted  int64   `json:"accepted"`
+	Throttled int64   `json:"throttled_429"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// targetResult is one endpoint's slice of a multi-target run.
+type targetResult struct {
+	Target    string  `json:"target"`
 	Requests  int64   `json:"requests"`
 	Errors    int64   `json:"errors"`
 	Accepted  int64   `json:"accepted"`
@@ -134,7 +156,9 @@ type workerStats struct {
 
 func main() {
 	var opt options
+	var targets string
 	flag.StringVar(&opt.url, "url", "http://127.0.0.1:8080", "craqrd base URL")
+	flag.StringVar(&targets, "targets", "", "comma-separated endpoint list (node URLs or one gateway URL); workers round-robin over them and the result carries per-target p50/p99 (empty = -url)")
 	flag.StringVar(&opt.session, "session", "loadgen", "session name to ingest into")
 	flag.IntVar(&opt.sessions, "sessions", 1, "multi-tenant mode: round-robin workers over N sessions named <session>-0..N-1")
 	flag.StringVar(&opt.token, "token", "", "producer token sent as X-CrAQR-Token (per-token gateway limits)")
@@ -169,9 +193,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "craqr-loadgen: -sessions must be positive")
 		os.Exit(2)
 	}
+	for _, u := range strings.Split(targets, ",") {
+		if u = strings.TrimSpace(strings.TrimRight(u, "/")); u != "" {
+			opt.targets = append(opt.targets, u)
+		}
+	}
+	if len(opt.targets) == 0 {
+		opt.targets = []string{opt.url}
+	}
 	if opt.sessions > 1 && opt.conns < opt.sessions {
 		// Every tenant needs at least one worker or its slice is empty.
 		opt.conns = opt.sessions
+	}
+	if len(opt.targets) > 1 && opt.conns < len(opt.targets) {
+		// Likewise every endpoint needs at least one worker.
+		opt.conns = len(opt.targets)
 	}
 	if opt.name == "" {
 		codec := opt.codec
@@ -186,15 +222,22 @@ func main() {
 		MaxIdleConnsPerHost: opt.conns * 2,
 	}}
 
-	if err := waitHealthy(client, opt.url, 10*time.Second); err != nil {
-		fmt.Fprintf(os.Stderr, "craqr-loadgen: %v\n", err)
-		os.Exit(1)
+	for _, target := range opt.targets {
+		if err := waitHealthy(client, target, 10*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "craqr-loadgen: %s: %v\n", target, err)
+			os.Exit(1)
+		}
 	}
 	if opt.create {
-		for _, name := range sessionNames(opt) {
-			if err := ensureSession(client, opt, name); err != nil {
-				fmt.Fprintf(os.Stderr, "craqr-loadgen: %v\n", err)
-				os.Exit(1)
+		// With independent node targets each endpoint hosts its own copy of
+		// every session it will be driven on; behind a gateway the creates
+		// after the first just find the session already exists.
+		for _, target := range opt.targets {
+			for _, name := range sessionNames(opt) {
+				if err := ensureSession(client, target, name); err != nil {
+					fmt.Fprintf(os.Stderr, "craqr-loadgen: %s: %v\n", target, err)
+					os.Exit(1)
+				}
 			}
 		}
 	}
@@ -227,6 +270,10 @@ func main() {
 	for _, sr := range res.Sessions {
 		fmt.Fprintf(os.Stderr, "  %s: %d req (%d errors, %d throttled), %d accepted, p50 %.2fms p99 %.2fms\n",
 			sr.Session, sr.Requests, sr.Errors, sr.Throttled, sr.Accepted, sr.P50Ms, sr.P99Ms)
+	}
+	for _, tr := range res.Targets {
+		fmt.Fprintf(os.Stderr, "  %s: %d req (%d errors, %d throttled), %d accepted, p50 %.2fms p99 %.2fms\n",
+			tr.Target, tr.Requests, tr.Errors, tr.Throttled, tr.Accepted, tr.P50Ms, tr.P99Ms)
 	}
 
 	if res.Accepted < opt.minAcc {
@@ -276,7 +323,7 @@ func sessionNames(opt options) []string {
 // fleets don't compete for CPU, simulated clock so epochs drain the queue
 // back-to-back instead of on wall-clock ticks, a deep ingest buffer, and no
 // durability so fsync never gates the wire path being measured.
-func ensureSession(c *http.Client, opt options, name string) error {
+func ensureSession(c *http.Client, base, name string) error {
 	spec := map[string]any{
 		"name":              name,
 		"source":            "external",
@@ -286,7 +333,7 @@ func ensureSession(c *http.Client, opt options, name string) error {
 		"disableDurability": true,
 	}
 	body, _ := json.Marshal(spec)
-	resp, err := c.Post(opt.url+"/v1/sessions", "application/json", bytes.NewReader(body))
+	resp, err := c.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("creating session: %v", err)
 	}
@@ -404,8 +451,8 @@ func appendJSONBatch(dst []byte, b wire.Batch) []byte {
 // sessionBaseT asks the session where event time stands, so synthetic
 // observations resume past the watermark instead of arriving late when the
 // same session is driven by consecutive runs.
-func sessionBaseT(c *http.Client, opt options, session string) float64 {
-	resp, err := c.Get(opt.url + "/v1/sessions/" + session + "/status")
+func sessionBaseT(c *http.Client, baseURL, session string) float64 {
+	resp, err := c.Get(baseURL + "/v1/sessions/" + session + "/status")
 	if err != nil {
 		return 0
 	}
@@ -430,11 +477,16 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 	if opt.codec == "binary" {
 		ctype = wire.ContentTypeBinary
 	}
-	ingestURLs := make([]string, len(names))
-	baseTs := make([]float64, len(names))
-	for i, name := range names {
-		ingestURLs[i] = opt.url + "/v1/sessions/" + name + "/ingest"
-		baseTs[i] = sessionBaseT(c, opt, name)
+	// One (target, session) cell per combination a worker can land on.
+	ingestURLs := make([][]string, len(opt.targets))
+	baseTs := make([][]float64, len(opt.targets))
+	for ti, target := range opt.targets {
+		ingestURLs[ti] = make([]string, len(names))
+		baseTs[ti] = make([]float64, len(names))
+		for si, name := range names {
+			ingestURLs[ti][si] = target + "/v1/sessions/" + name + "/ingest"
+			baseTs[ti][si] = sessionBaseT(c, target, name)
+		}
 	}
 
 	start := time.Now()
@@ -447,8 +499,8 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 			defer wg.Done()
 			st := &stats[w]
 			st.lats = make([]time.Duration, 0, 1<<14)
-			sessIdx := w % len(names)
-			ingestURL, baseT := ingestURLs[sessIdx], baseTs[sessIdx]
+			tgtIdx, sessIdx := w%len(opt.targets), w%len(names)
+			ingestURL, baseT := ingestURLs[tgtIdx][sessIdx], baseTs[tgtIdx][sessIdx]
 			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
 			tuples := make([]stream.Tuple, opt.batch)
 			var body, zbuf []byte
@@ -562,6 +614,26 @@ func run(c *http.Client, opt options, corpus [][]byte) result {
 				sr.P99Ms = float64(p99) / 1e6
 			}
 			res.Sessions = append(res.Sessions, sr)
+		}
+	}
+	if len(opt.targets) > 1 {
+		// Per-endpoint breakdown: fold each target's workers together.
+		for ti, target := range opt.targets {
+			tr := targetResult{Target: target}
+			var lats []time.Duration
+			for w := ti; w < len(stats); w += len(opt.targets) {
+				st := &stats[w]
+				tr.Requests += st.requests
+				tr.Errors += st.errors
+				tr.Throttled += st.throttled
+				tr.Accepted += int64(st.ack.Accepted)
+				lats = append(lats, st.lats...)
+			}
+			if p50, p99, ok := percentiles(lats); ok {
+				tr.P50Ms = float64(p50) / 1e6
+				tr.P99Ms = float64(p99) / 1e6
+			}
+			res.Targets = append(res.Targets, tr)
 		}
 	}
 	return res

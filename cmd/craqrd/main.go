@@ -93,7 +93,12 @@ func main() {
 	epochSlots := flag.Int("epoch-slots", 0, "concurrent epoch slots shared fairly across sessions (0 = GOMAXPROCS/2)")
 	tokenRateTuples := flag.Float64("token-rate-tuples", 0, "per-producer-token ingest rate limit in tuples/s (0 = unlimited)")
 	tokenRateBytes := flag.Float64("token-rate-bytes", 0, "per-producer-token ingest rate limit in payload bytes/s (0 = unlimited)")
+	nodeName := flag.String("node-name", "", "cluster node mode: advertise this name behind a craqr-gw gateway (requires -data-dir shared with the pool)")
 	flag.Parse()
+
+	if *nodeName != "" && *dataDir == "" {
+		log.Fatal("craqrd: -node-name requires -data-dir (session handoff replays the shared WAL volume)")
+	}
 
 	srcMode, err := server.ParseSourceMode(*sourceMode)
 	if err != nil {
@@ -149,36 +154,47 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Re-adopt sessions persisted under a previous run's -data-dir: each
-	// recovers by replaying its WAL before serving. Recover isolates
-	// failures per session, so one corrupt or spec-mismatched directory
-	// must not take the healthy sessions down with it: log it and serve
-	// what recovered — the failed directory is left on disk for inspection
-	// (DELETE /v1/sessions/{name} purges it).
-	recovered, err := manager.Recover()
-	if err != nil {
-		log.Printf("craqrd: recovery: %v (serving the sessions that recovered)", err)
-	}
-	for _, name := range recovered {
-		log.Printf("craqrd: recovered session %q from %s", name, *dataDir)
-	}
+	if *nodeName == "" {
+		// Re-adopt sessions persisted under a previous run's -data-dir: each
+		// recovers by replaying its WAL before serving. Recover isolates
+		// failures per session, so one corrupt or spec-mismatched directory
+		// must not take the healthy sessions down with it: log it and serve
+		// what recovered — the failed directory is left on disk for inspection
+		// (DELETE /v1/sessions/{name} purges it).
+		recovered, err := manager.Recover()
+		if err != nil {
+			log.Printf("craqrd: recovery: %v (serving the sessions that recovered)", err)
+		}
+		for _, name := range recovered {
+			log.Printf("craqrd: recovered session %q from %s", name, *dataDir)
+		}
 
-	// The pinned default session backs the legacy single-session routes
-	// (skipped when a recovered session already owns the name).
-	if _, err := manager.Get(server.DefaultSessionName); err != nil {
-		if _, err := manager.Create(server.SessionSpec{
-			Name:   server.DefaultSessionName,
-			Seed:   *seed,
-			Clock:  server.ClockConfig{Interval: *tick},
-			Pinned: true,
-		}); err != nil {
-			log.Fatal(err)
+		// The pinned default session backs the legacy single-session routes
+		// (skipped when a recovered session already owns the name).
+		if _, err := manager.Get(server.DefaultSessionName); err != nil {
+			if _, err := manager.Create(server.SessionSpec{
+				Name:   server.DefaultSessionName,
+				Seed:   *seed,
+				Clock:  server.ClockConfig{Interval: *tick},
+				Pinned: true,
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
+	// In node mode both steps above are the gateway's job: the pool shares
+	// one -data-dir, so auto-recovering here would make every node adopt
+	// every session's WAL, and a locally pinned "default" session would
+	// fight the ring for the name. Nodes start empty; craqr-gw's reconcile
+	// places sessions via /v1/node/sessions/{s}/recover.
 
 	httpServer, err := server.NewManagerHTTPServer(manager, server.DefaultSessionName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *nodeName != "" {
+		httpServer.SetNodeName(*nodeName)
+		fmt.Printf("craqrd: cluster node %q (misrouted requests get 421; put a craqr-gw in front)\n", *nodeName)
 	}
 	if *tokenRateTuples > 0 || *tokenRateBytes > 0 {
 		httpServer.SetGatewayLimits(server.GatewayLimits{

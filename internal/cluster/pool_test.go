@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyNode is a stand-in craqrd healthz endpoint whose health the test
+// flips at will.
+type flakyNode struct {
+	name string
+	up   atomic.Bool
+	ts   *httptest.Server
+}
+
+func newFlakyNode(t *testing.T, name string) *flakyNode {
+	t.Helper()
+	n := &flakyNode{name: name}
+	n.up.Store(true)
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !n.up.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"status":"ok","sessions":3,"node":%q}`, n.name)
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// TestPoolFailureDetection pins the detector's thresholds: a node goes
+// down only after FailAfter consecutive failed probes, comes back after
+// UpAfter consecutive successes, and the pool learns advertised names and
+// session counts from healthz.
+func TestPoolFailureDetection(t *testing.T) {
+	a, b := newFlakyNode(t, "a"), newFlakyNode(t, "b")
+	p := NewPool([]string{a.ts.URL, b.ts.URL}, PoolConfig{FailAfter: 3, UpAfter: 2})
+	ctx := context.Background()
+
+	healthyNames := func() []string {
+		var names []string
+		for _, n := range p.Healthy() {
+			names = append(names, n.Name)
+		}
+		return names
+	}
+
+	// First round: everything comes up immediately (no flap history).
+	if changed := p.CheckNow(ctx); !changed {
+		t.Fatal("first check round must report a membership change")
+	}
+	if got := healthyNames(); len(got) != 2 || got[0] != "a" && got[1] != "a" {
+		t.Fatalf("healthy after first round = %v, want [a b]", got)
+	}
+	for _, s := range p.Snapshot() {
+		if s.Sessions != 3 {
+			t.Fatalf("node %s sessions = %d, want 3 (from healthz)", s.Name, s.Sessions)
+		}
+	}
+
+	// b starts failing: two failed rounds keep it up (FailAfter=3)…
+	b.up.Store(false)
+	if p.CheckNow(ctx) || p.CheckNow(ctx) {
+		t.Fatal("node marked down before FailAfter consecutive failures")
+	}
+	if got := healthyNames(); len(got) != 2 {
+		t.Fatalf("healthy during grace = %v, want both", got)
+	}
+	// …the third takes it down.
+	if !p.CheckNow(ctx) {
+		t.Fatal("third consecutive failure must mark the node down")
+	}
+	if got := healthyNames(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("healthy after detection = %v, want [a]", got)
+	}
+	for _, s := range p.Snapshot() {
+		if s.Name == "b" && s.LastError == "" {
+			t.Fatal("down node must carry its probe error")
+		}
+	}
+
+	// Recovery needs UpAfter=2 consecutive successes.
+	b.up.Store(true)
+	if p.CheckNow(ctx) {
+		t.Fatal("one success must not rejoin a flapped node (UpAfter=2)")
+	}
+	if !p.CheckNow(ctx) {
+		t.Fatal("second consecutive success must rejoin the node")
+	}
+	if got := healthyNames(); len(got) != 2 {
+		t.Fatalf("healthy after rejoin = %v, want both", got)
+	}
+
+	// An interleaved failure resets the success streak.
+	b.up.Store(false)
+	p.CheckNow(ctx)
+	p.CheckNow(ctx)
+	p.CheckNow(ctx) // down again
+	b.up.Store(true)
+	p.CheckNow(ctx) // one success
+	b.up.Store(false)
+	p.CheckNow(ctx) // failure resets oks
+	b.up.Store(true)
+	if p.CheckNow(ctx) {
+		t.Fatal("success streak must restart after an interleaved failure")
+	}
+}

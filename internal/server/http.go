@@ -52,11 +52,12 @@ import (
 // arrived. Epoch serialization lives in Engine.Step; the HTTP layer adds no
 // locking of its own.
 type HTTPServer struct {
-	manager *Manager
-	defName string
-	mux     *http.ServeMux
-	logf    func(format string, args ...interface{})
-	gate    *gatewayLimiter // nil = no per-token limits
+	manager  *Manager
+	defName  string
+	mux      *http.ServeMux
+	logf     func(format string, args ...interface{})
+	gate     *gatewayLimiter // nil = no per-token limits
+	nodeName string          // "" = standalone; set = cluster node mode
 }
 
 // DefaultSessionName is the session that backs the legacy single-session
@@ -111,6 +112,14 @@ func NewManagerHTTPServer(m *Manager, defaultSession string) (*HTTPServer, error
 	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}", s.handleSessionResults)
 	s.mux.HandleFunc("GET /v1/sessions/{session}/results/{id}/stream", s.handleSessionResultStream)
 
+	// Node-mode control plane (see docs/API.md, "Cluster node routes"): a
+	// cluster gateway drives session handoff with these — list durable
+	// state, re-adopt a session by WAL replay, stop serving one without
+	// purging it. Harmless on a standalone daemon.
+	s.mux.HandleFunc("GET /v1/node/durable", s.handleNodeDurable)
+	s.mux.HandleFunc("POST /v1/node/sessions/{session}/recover", s.handleNodeRecover)
+	s.mux.HandleFunc("POST /v1/node/sessions/{session}/release", s.handleNodeRelease)
+
 	// Legacy single-session façade: thin wrappers resolving the default
 	// session and delegating to the session-scoped logic above.
 	s.mux.HandleFunc("/queries", s.handleLegacyQueries)
@@ -141,8 +150,21 @@ func (s *HTTPServer) SetLogf(f func(format string, args ...interface{})) {
 	s.logf = f
 }
 
-// ServeHTTP implements http.Handler.
-func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. In node mode it first asserts session
+// ownership: a request stamped for a different node (a gateway routing on a
+// stale ring, or a misconfigured proxy) is refused with 421 before touching
+// any session state, so two nodes can never both mutate a handed-off
+// session's WAL.
+func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.nodeName != "" {
+		if want := r.Header.Get(HeaderExpectNode); want != "" && want != s.nodeName {
+			s.writeError(w, http.StatusMisdirectedRequest,
+				fmt.Errorf("server: request routed for node %q but this is %q", want, s.nodeName))
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // jsonEncoder pairs a reusable buffer with an encoder bound to it, so
 // writeJSON neither allocates an encoder per response nor writes to the
@@ -387,14 +409,20 @@ func toSessionJSON(sess *Session) sessionJSON {
 // inflates. Clients probe this once to pick the densest codec the server
 // speaks (see client.Client capabilities).
 func (s *HTTPServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"status":   "ok",
 		"sessions": s.manager.Len(),
 		"ingest": map[string]interface{}{
 			"codecs":    IngestCodecs,
 			"encodings": wire.Encodings(),
 		},
-	})
+	}
+	if s.nodeName != "" {
+		// Cluster gateways learn each pool member's advertised name from
+		// here, and stamp it back as X-CrAQR-Expect-Node on routed requests.
+		resp["node"] = s.nodeName
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // sessionSpecJSON is the create-session request body; all fields optional.

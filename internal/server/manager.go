@@ -576,6 +576,87 @@ func (m *Manager) Recover() ([]string, error) {
 	return recovered, errs
 }
 
+// DurableSessions lists the session names with durable state under the
+// manager's durability root — every sessions/<dir>/session.json manifest,
+// live or not, sorted by name. A cluster gateway uses this to decide which
+// sessions exist at all before assigning them to ring owners; a manager
+// without a durability root reports none.
+func (m *Manager) DurableSessions() ([]string, error) {
+	if m.cfg.DurabilityDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(m.cfg.DurabilityDir, "sessions"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("server: durable sessions: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		spec, rerr := ReadManifest(filepath.Join(m.cfg.DurabilityDir, "sessions", ent.Name()))
+		if rerr != nil || spec.Name == "" {
+			continue // not a session directory (no readable manifest)
+		}
+		names = append(names, spec.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// RecoverSession re-adopts one named session from its durable state: the
+// persisted manifest is loaded and the session re-created through the
+// normal factory, which replays its WAL. Already-live sessions are left
+// untouched (recovered=false); a name with no durable state is ErrNoSession.
+// This is the cluster handoff primitive: after a node dies, the new ring
+// owner recovers the displaced session from the shared durability volume.
+func (m *Manager) RecoverSession(name string) (recovered bool, err error) {
+	if m.cfg.DurabilityDir == "" {
+		return false, errors.New("server: recover session: no durability root configured")
+	}
+	m.mu.Lock()
+	_, live := m.sessions[name]
+	m.mu.Unlock()
+	if live {
+		return false, nil
+	}
+	spec, err := ReadManifest(sessionDir(m.cfg.DurabilityDir, name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("%w: %q has no durable state", ErrNoSession, name)
+		}
+		return false, fmt.Errorf("server: recover session %q: %w", name, err)
+	}
+	if spec.Name != name {
+		return false, fmt.Errorf("server: recover session %q: manifest names %q", name, spec.Name)
+	}
+	if _, err := m.Create(spec); err != nil {
+		return false, fmt.Errorf("server: recover session %q: %w", name, err)
+	}
+	return true, nil
+}
+
+// Release stops serving a session without purging its durable state: the
+// engine drains and every result store closes (streams end cleanly), but
+// the WAL, snapshots and manifest stay on disk for another process — or
+// this one — to re-adopt via RecoverSession. The counterpart of Destroy for
+// cluster rebalancing: ownership moves, history does not disappear.
+func (m *Manager) Release(name string) error {
+	m.mu.Lock()
+	sess := m.sessions[name]
+	if sess != nil {
+		delete(m.sessions, name)
+	}
+	m.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("%w: %q", ErrNoSession, name)
+	}
+	return sess.Engine.Shutdown()
+}
+
 // Adopt registers a pre-built engine as a pinned session — the bridge for
 // the legacy single-engine façade and for engines assembled by hand.
 func (m *Manager) Adopt(name string, e *Engine) (*Session, error) {

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# docs_check.sh — keep docs/API.md in lockstep with internal/server/http.go.
+# docs_check.sh — keep docs/API.md in lockstep with the HTTP surface:
+# internal/server/http.go (craqrd) and internal/cluster/gateway.go
+# (craqr-gw).
 #
-# Two-way check over the HTTP surface:
+# Two-way check:
 #   1. every method-qualified /v1 route registered with HandleFunc must have
 #      a matching `### METHOD /path` heading in docs/API.md;
 #   2. every `### METHOD /path` heading in docs/API.md must still be
-#      registered in http.go (no documentation of removed routes);
+#      registered in one of the source files (no documentation of removed
+#      routes);
 #   3. every legacy pattern route (HandleFunc("/x", …)) must have a
 #      `### LEGACY /x` heading (trailing-slash patterns like "/results/"
 #      are documented as "/results/{id}").
@@ -16,9 +19,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 HTTP_GO=internal/server/http.go
+GW_GO=internal/cluster/gateway.go
 API_MD=docs/API.md
 
-code_routes=$(grep -oE 'HandleFunc\("(GET|POST|PUT|PATCH|DELETE) [^"]+"' "$HTTP_GO" \
+code_routes=$(grep -ohE 'HandleFunc\("(GET|POST|PUT|PATCH|DELETE) [^"]+"' "$HTTP_GO" "$GW_GO" \
   | sed -E 's/^HandleFunc\("//; s/"$//' | sort -u)
 doc_routes=$(grep -oE '^### (GET|POST|PUT|PATCH|DELETE) /[^[:space:]]+' "$API_MD" \
   | sed -E 's/^### //' | sort -u)
@@ -28,7 +32,7 @@ fail=0
 while IFS= read -r route; do
   [ -z "$route" ] && continue
   if ! printf '%s\n' "$doc_routes" | grep -qxF "$route"; then
-    echo "docs_check: '$route' is registered in $HTTP_GO but undocumented in $API_MD" >&2
+    echo "docs_check: '$route' is registered in $HTTP_GO/$GW_GO but undocumented in $API_MD" >&2
     fail=1
   fi
 done <<<"$code_routes"
@@ -36,7 +40,7 @@ done <<<"$code_routes"
 while IFS= read -r route; do
   [ -z "$route" ] && continue
   if ! printf '%s\n' "$code_routes" | grep -qxF "$route"; then
-    echo "docs_check: '$route' is documented in $API_MD but not registered in $HTTP_GO" >&2
+    echo "docs_check: '$route' is documented in $API_MD but not registered in $HTTP_GO or $GW_GO" >&2
     fail=1
   fi
 done <<<"$doc_routes"
@@ -60,4 +64,4 @@ done <<<"$legacy_routes"
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "docs_check: $API_MD and $HTTP_GO agree ($(printf '%s\n' "$code_routes" | grep -c .) v1 routes, $(printf '%s\n' "$legacy_routes" | grep -c .) legacy routes)"
+echo "docs_check: $API_MD, $HTTP_GO and $GW_GO agree ($(printf '%s\n' "$code_routes" | grep -c .) v1 routes, $(printf '%s\n' "$legacy_routes" | grep -c .) legacy routes)"
